@@ -1,0 +1,106 @@
+"""Q3TEAM + Q3PERF: the Section 3 decision-support scenarios end to end.
+
+Team management (skill availability via pick tuples + conf), performance
+prediction (recency-weighted esum), and the layoff what-if, on the
+synthetic NBA data -- each checked against its closed-form ground truth
+and benchmarked through the full SQL stack.
+"""
+
+import pytest
+
+from conftest import timed
+
+from repro import MayBMS
+from repro.datagen.nba import NBADataGenerator
+
+SKILL_SQL = """
+    select s.skill, conf() as p
+    from (pick tuples from availability independently
+          with probability p) a, skills s
+    where a.player = s.player
+    group by s.skill
+"""
+
+POINTS_SQL = """
+    select r.player, esum(r.points * w.w) as predicted
+    from points r, weights w
+    where r.game = w.game
+    group by r.player
+"""
+
+
+def team_db(n_players=15, seed=2009):
+    gen = NBADataGenerator(seed=seed, n_players=n_players)
+    db = MayBMS()
+    db.create_table_from_relation("availability", gen.availability_relation())
+    db.create_table_from_relation("skills", gen.skills_relation())
+    db.create_table_from_relation("points", gen.recent_points_relation())
+    db.create_table_from_relation("weights", gen.recency_weights_relation())
+    return db, gen
+
+
+class TestCorrectness:
+    def test_skill_availability_matches_closed_form(self):
+        db, gen = team_db()
+        result = db.query(SKILL_SQL)
+        truth = gen.skill_availability_ground_truth()
+        for skill, p in result:
+            assert p == pytest.approx(truth[skill], abs=1e-9)
+
+    def test_predicted_points_match_closed_form(self):
+        db, gen = team_db()
+        result = db.query(POINTS_SQL)
+        truth = gen.expected_points_ground_truth()
+        for player, predicted in result:
+            assert predicted == pytest.approx(truth[player], rel=1e-9)
+
+
+class TestShape:
+    def test_roster_size_sweep(self, benchmark, report):
+        rows = []
+        for n_players in (5, 10, 20, 40):
+            db, _ = team_db(n_players=n_players, seed=77)
+            skills_s, _ = timed(db.query, SKILL_SQL)
+            points_s, _ = timed(db.query, POINTS_SQL)
+            rows.append((n_players, skills_s * 1e3, points_s * 1e3))
+        report(
+            "Q3TEAM/Q3PERF: roster size sweep",
+            ["players", "skill_conf_ms", "esum_ms"],
+            rows,
+        )
+        # Both queries scale smoothly with roster size.
+        assert rows[-1][1] < max(rows[0][1], 1.0) * 64
+        assert rows[-1][2] < max(rows[0][2], 1.0) * 64
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestHeadlineBenchmarks:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        return team_db(n_players=15)
+
+    def test_q3team_skill_availability(self, benchmark, loaded):
+        db, _ = loaded
+        result = benchmark(db.query, SKILL_SQL)
+        assert len(result) > 0
+
+    def test_q3perf_expected_points(self, benchmark, loaded):
+        db, _ = loaded
+        result = benchmark(db.query, POINTS_SQL)
+        assert len(result) == 15
+
+    def test_layoff_whatif_roundtrip(self, benchmark, loaded):
+        db, gen = loaded
+        expensive = max(gen.players, key=lambda p: p.salary_millions).name
+
+        def whatif():
+            db.execute("create table backup as select * from availability")
+            db.execute(f"delete from availability where player = '{expensive}'")
+            reduced = db.query(SKILL_SQL)
+            db.execute("delete from availability")
+            db.execute("insert into availability select * from backup")
+            db.execute("drop table backup")
+            return reduced
+
+        result = benchmark.pedantic(whatif, rounds=3, iterations=1)
+        assert all(0.0 <= row[1] <= 1.0 for row in result)

@@ -1,0 +1,136 @@
+"""C-REPAIR: repair-key / pick-tuples scale linearly while the world
+count explodes -- the succinctness of U-relations (Section 2.1: "a
+succinct and complete representation system for large sets of possible
+worlds").
+"""
+
+import math
+
+import pytest
+
+from conftest import timed
+
+from repro.core.pick_tuples import pick_tuples
+from repro.core.repair_key import repair_key
+from repro.core.variables import VariableRegistry
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, INTEGER
+
+
+def keyed_relation(n_groups, group_size, seed=5):
+    import random
+
+    rng = random.Random(seed)
+    schema = Schema.of(("k", INTEGER), ("v", INTEGER), ("w", FLOAT))
+    rows = [
+        (g, i, rng.uniform(0.5, 2.0))
+        for g in range(n_groups)
+        for i in range(group_size)
+    ]
+    return Relation(schema, rows)
+
+
+class TestShape:
+    def test_repair_key_scaling_report(self, benchmark, report):
+        rows = []
+        for n_groups in (100, 400, 1600, 6400):
+            relation = keyed_relation(n_groups, 4)
+            registry = VariableRegistry()
+            seconds, urel = timed(
+                repair_key, relation, ["k"], registry, "w"
+            )
+            # Worlds = group_size ^ n_groups; report log10.
+            log10_worlds = n_groups * math.log10(4)
+            rows.append(
+                (
+                    n_groups * 4,
+                    seconds * 1e3,
+                    len(urel),
+                    len(registry),
+                    log10_worlds,
+                )
+            )
+        report(
+            "C-REPAIR: repair key scaling (groups of 4, weighted)",
+            ["input_rows", "ms", "encoding_rows", "variables", "log10_worlds"],
+            rows,
+        )
+        # Encoding stays linear in the input while the world count is
+        # astronomically larger.
+        for input_rows, _, encoding_rows, variables, log10_worlds in rows:
+            assert encoding_rows == input_rows
+            assert variables == input_rows // 4
+        assert rows[-1][4] > 3800  # 10^3853 worlds from 25600 rows
+        # Near-linear time: 64x data in well under 64*8x time.
+        assert rows[-1][1] < max(rows[0][1], 0.5) * 512
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_pick_tuples_scaling_report(self, benchmark, report):
+        rows = []
+        for n in (500, 2000, 8000, 32000):
+            relation = keyed_relation(n, 1)
+            registry = VariableRegistry()
+            seconds, urel = timed(
+                pick_tuples, relation, registry, 0.5, True
+            )
+            rows.append((n, seconds * 1e3, len(urel), n * math.log10(2)))
+        report(
+            "C-REPAIR: pick tuples scaling (independently, p=0.5)",
+            ["input_rows", "ms", "encoding_rows", "log10_worlds"],
+            rows,
+        )
+        for n, _, encoding_rows, _ in rows:
+            assert encoding_rows == n
+        assert rows[-1][1] < max(rows[0][1], 0.5) * 512
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_group_size_sweep(self, benchmark, report):
+        """Bigger key groups mean bigger per-variable domains, same total
+        encoding size."""
+        rows = []
+        for group_size in (2, 8, 32, 128):
+            relation = keyed_relation(1024 // group_size, group_size)
+            registry = VariableRegistry()
+            seconds, urel = timed(repair_key, relation, ["k"], registry, "w")
+            rows.append((group_size, 1024 // group_size, seconds * 1e3, len(urel)))
+        report(
+            "C-REPAIR: group size sweep (1024 input rows)",
+            ["group_size", "groups", "ms", "encoding_rows"],
+            rows,
+        )
+        assert all(row[3] == 1024 for row in rows)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestHeadlineBenchmarks:
+    def test_repair_key_10k_rows(self, benchmark):
+        relation = keyed_relation(2500, 4)
+
+        def run():
+            return repair_key(relation, ["k"], VariableRegistry(), "w")
+
+        urel = benchmark(run)
+        assert len(urel) == 10000
+
+    def test_pick_tuples_10k_rows(self, benchmark):
+        relation = keyed_relation(10000, 1)
+
+        def run():
+            return pick_tuples(relation, VariableRegistry(), 0.5, True)
+
+        urel = benchmark(run)
+        assert len(urel) == 10000
+
+    def test_repair_key_through_sql(self, benchmark):
+        from repro import MayBMS
+
+        db = MayBMS()
+        db.create_table_from_relation("t", keyed_relation(500, 4))
+        result = benchmark.pedantic(
+            db.uncertain_query,
+            args=("select * from (repair key k in t weight by w) r",),
+            rounds=3,
+            iterations=1,
+        )
+        assert len(result) == 2000

@@ -1,0 +1,161 @@
+"""C-TRANS: the parsimonious translation runs at RDBMS speed.
+
+Section 2.1/2.3, citing [1]: positive relational algebra on U-relations
+translates to ordinary relational algebra on the wide encoding.  The
+experiment runs the same logical join query
+
+    σ(orders ⋈ customers)
+
+(a) on certain tables through the plain engine, and (b) on U-relation
+versions of the same tables (one condition triple each, built by
+``pick tuples``) through the translated operators.  The expected shape:
+the translated query costs a small constant factor over the certain one
+(extra condition columns + the consistency filter) and both scale
+linearly in the data size.
+"""
+
+import pytest
+
+from conftest import timed
+
+from repro.core.pick_tuples import pick_tuples
+from repro.core.translate import u_join, u_project, u_rename, u_select
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.engine import algebra, planner
+from repro.engine.expressions import ColumnRef, Comparison, Literal
+from repro.datagen.tpch import TpchGenerator
+
+
+def build_inputs(scale):
+    gen = TpchGenerator(scale=scale, seed=22)
+    customers = gen.customers()
+    orders = gen.orders()
+    registry = VariableRegistry()
+    u_customers = u_rename(
+        pick_tuples(customers, registry, probability=0.8), "c"
+    )
+    u_orders = u_rename(pick_tuples(orders, registry, probability=0.8), "o")
+    return customers, orders, u_customers, u_orders
+
+
+def certain_query(customers, orders):
+    plan = algebra.Select(
+        algebra.Join(
+            algebra.RelationScan(orders, "o"),
+            algebra.RelationScan(customers, "c"),
+            Comparison("=", ColumnRef("custkey", "o"), ColumnRef("custkey", "c")),
+        ),
+        Comparison(">", ColumnRef("totalprice", "o"), Literal(150000.0)),
+    )
+    return planner.run(plan)
+
+
+def translated_query(u_customers, u_orders):
+    joined = u_join(
+        u_orders,
+        u_customers,
+        Comparison("=", ColumnRef("custkey", "o"), ColumnRef("custkey", "c")),
+    )
+    return u_select(
+        joined, Comparison(">", ColumnRef("totalprice", "o"), Literal(150000.0))
+    )
+
+
+class TestCorrectness:
+    def test_translated_payload_equals_certain_result(self):
+        """With all-same-variable-free conditions, the translated query's
+        payload is exactly the certain answer (conditions ride along)."""
+        customers, orders, u_customers, u_orders = build_inputs(0.05)
+        certain = certain_query(customers, orders)
+        translated = translated_query(u_customers, u_orders)
+        assert len(translated) == len(certain)
+        assert translated.cond_arity == 2  # one triple from each side
+
+
+class TestShape:
+    def test_overhead_and_scaling_report(self, benchmark, report):
+        rows = []
+        for scale in (0.1, 0.2, 0.4, 0.8):
+            customers, orders, u_customers, u_orders = build_inputs(scale)
+            certain_s, certain = timed(certain_query, customers, orders)
+            translated_s, translated = timed(
+                translated_query, u_customers, u_orders
+            )
+            rows.append(
+                (
+                    scale,
+                    len(orders),
+                    certain_s * 1e3,
+                    translated_s * 1e3,
+                    translated_s / certain_s,
+                    len(certain),
+                )
+            )
+        report(
+            "C-TRANS: certain vs translated join, scale sweep",
+            ["scale", "orders", "certain_ms", "translated_ms", "overhead", "out_rows"],
+            rows,
+        )
+        # Shape: overhead is a modest constant factor (the paper's thesis
+        # that probabilistic processing inherits relational performance).
+        for row in rows:
+            assert row[4] < 12.0, f"overhead factor {row[4]:.1f} too large"
+        # Linear-ish scaling: 8x data costs well under 64x time.
+        assert rows[-1][3] < rows[0][3] * 64
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_condition_arity_sweep(self, benchmark, report):
+        """Deeper chains of joins widen the condition columns; cost per
+        extra triple stays moderate (the succinctness of U-relations)."""
+        registry = VariableRegistry()
+        gen = TpchGenerator(scale=0.1, seed=22)
+        base = u_rename(pick_tuples(gen.orders(), registry, probability=0.9), "j0")
+        rows = []
+        current = base
+        for depth in range(1, 5):
+            joined_alias = f"j{depth}"
+            other = u_rename(
+                pick_tuples(gen.orders(), registry, probability=0.9), joined_alias
+            )
+            seconds, current = timed(
+                u_join,
+                current,
+                other,
+                Comparison(
+                    "=",
+                    ColumnRef("orderkey", "j0"),
+                    ColumnRef("orderkey", joined_alias),
+                ),
+            )
+            rows.append((depth + 1, current.cond_arity, seconds * 1e3, len(current)))
+        report(
+            "C-TRANS: join-chain depth (condition arity growth)",
+            ["relations", "cond_arity", "ms", "rows"],
+            rows,
+        )
+        assert rows[-1][1] == 5  # arity grows by one triple per join
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestHeadlineBenchmarks:
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        return build_inputs(0.4)
+
+    def test_certain_join(self, benchmark, inputs):
+        customers, orders, _, _ = inputs
+        result = benchmark(certain_query, customers, orders)
+        assert len(result) > 0
+
+    def test_translated_join(self, benchmark, inputs):
+        _, _, u_customers, u_orders = inputs
+        result = benchmark(translated_query, u_customers, u_orders)
+        assert len(result) > 0
+
+    def test_projection_on_urelation(self, benchmark, inputs):
+        _, _, _, u_orders = inputs
+        result = benchmark(
+            u_project, u_orders, [(ColumnRef("custkey", "o"), "custkey")]
+        )
+        assert len(result) == len(u_orders)

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one experiment from DESIGN.md's index
+(FIG1, Q3WALK, Q3TEAM, Q3PERF, C-EXACT, C-SPROUT, C-TRANS, C-AGG,
+C-ACONF, C-REPAIR).  Benchmarks assert the *shape* of the paper's claims
+(who wins, where crossovers fall) in addition to timing; the printed
+series tables are the rows recorded in EXPERIMENTS.md.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import time
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print an aligned series table (visible with -s; always evaluated)."""
+
+    def _print(title, header, rows):
+        widths = [len(h) for h in header]
+        rendered = [[_cell(v) for v in row] for row in rows]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        print(f"\n--- {title} ---")
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rendered:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    return _print
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def timed(fn, *args, **kwargs):
+    """(wall seconds, result) of one call."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - started, result

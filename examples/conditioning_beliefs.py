@@ -1,0 +1,92 @@
+"""Conditioning a probabilistic database on new evidence.
+
+MayBMS's exact confidence engine comes from "Conditioning Probabilistic
+Databases" (reference [3] of the demo paper): besides asking P(query),
+one can *assert* that an event is known to hold and update the database.
+
+Scenario: the team doctor's noisy assessments induce a probabilistic
+database of player conditions.  Mid-week, new evidence arrives (a scan
+shows Bryant is definitely not seriously injured; a scout reports that at
+least one of two rookies trained at full intensity).  We condition on the
+evidence and watch the match-day probabilities shift.
+
+Run:  python examples/conditioning_beliefs.py
+"""
+
+from repro.core.conditions import Condition
+from repro.core.confidence.conditioning import (
+    condition,
+    conditional_confidence,
+    is_local_event,
+    restrict_variable,
+)
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.exact import exact_confidence
+from repro.core.variables import VariableRegistry
+
+FIT, SLIGHT, SERIOUS = 0, 1, 2
+STATE_NAMES = {FIT: "fit", SLIGHT: "slightly injured", SERIOUS: "seriously injured"}
+
+
+def main() -> None:
+    registry = VariableRegistry()
+    bryant = registry.fresh({FIT: 0.5, SLIGHT: 0.3, SERIOUS: 0.2}, name="bryant")
+    rookie_a = registry.fresh_boolean(0.6, name="rookie_a_trained")
+    rookie_b = registry.fresh_boolean(0.5, name="rookie_b_trained")
+
+    # The event the coach cares about: a competitive line-up, meaning
+    # Bryant is fit, or both rookies trained.
+    competitive = DNF(
+        [
+            Condition.atom(bryant, FIT),
+            Condition.of([(rookie_a, 1), (rookie_b, 1)]),
+        ]
+    )
+    prior = exact_confidence(competitive, registry)
+    print(f"P(competitive line-up) prior to any evidence: {prior:.4f}")
+
+    # -- Evidence 1 (local): the scan rules out a serious injury -------------
+    scan = DNF([Condition.atom(bryant, FIT), Condition.atom(bryant, SLIGHT)])
+    print(f"\nEvidence 1 is local to one variable: {is_local_event(scan)}")
+    conditioned_registry, _ = condition(registry, scan)
+    for state in (FIT, SLIGHT, SERIOUS):
+        print(
+            f"  P(Bryant {STATE_NAMES[state]:<18}) "
+            f"{registry.probability(bryant, state):.3f} -> "
+            f"{conditioned_registry.probability(bryant, state):.3f}"
+        )
+    posterior1 = exact_confidence(competitive, conditioned_registry)
+    print(f"P(competitive | scan) = {posterior1:.4f}")
+    check = conditional_confidence(competitive, scan, registry)
+    assert abs(posterior1 - check) < 1e-12
+    print(f"  (Bayes cross-check: {check:.4f})")
+
+    # -- Evidence 2 (non-local): at least one rookie trained ------------------
+    scout = DNF([Condition.atom(rookie_a, 1), Condition.atom(rookie_b, 1)])
+    print(f"\nEvidence 2 spans two variables: local={is_local_event(scout)}")
+    posterior2 = conditional_confidence(competitive, scout, conditioned_registry)
+    print(f"P(competitive | scan, scout report) = {posterior2:.4f}")
+
+    # The non-local evidence breaks variable independence: the posterior
+    # over (rookie_a, rookie_b) is not a product distribution.
+    _, world_table = condition(conditioned_registry, scout)
+    print("\nPosterior world table over the rookies (not a product!):")
+    for world, p in world_table:
+        a = world[rookie_a]
+        b = world[rookie_b]
+        print(f"  rookie_a={a} rookie_b={b}: {p:.4f}")
+    p_a = sum(p for world, p in world_table if world[rookie_a] == 1)
+    p_b = sum(p for world, p in world_table if world[rookie_b] == 1)
+    p_ab = sum(
+        p
+        for world, p in world_table
+        if world[rookie_a] == 1 and world[rookie_b] == 1
+    )
+    print(
+        f"  P(a)={p_a:.4f}, P(b)={p_b:.4f}, P(a)P(b)={p_a * p_b:.4f} "
+        f"!= P(a,b)={p_ab:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""The Section 3 demonstration: NBA what-if analysis of team dynamics.
+
+Reproduces all three decision-support scenarios of the paper's human
+resource management demo on synthetic NBA-shaped data (the substitute for
+www.nba.com -- see DESIGN.md):
+
+1. **Team management** -- for each skill, the probability that some player
+   with that skill is available, given injury status; plus the financial-
+   crisis what-if: can the most expensive player be laid off while keeping
+   shooting availability >= 90% and passing >= 95%?
+2. **Performance prediction** -- recency-weighted expected points for the
+   next game.
+3. **Fitness prediction** -- the three-day fitness distribution of each
+   player by a 3-step random walk on their injury-driven stochastic
+   matrix.
+
+Run:  python examples/nba_whatif.py
+"""
+
+from repro import MayBMS
+from repro.datagen.nba import NBADataGenerator
+
+SKILL_REQUIREMENTS = {"shooting": 0.90, "passing": 0.95}
+
+
+def load_team(db: MayBMS, gen: NBADataGenerator) -> None:
+    db.create_table_from_relation("roster", gen.roster_relation())
+    db.create_table_from_relation("skills", gen.skills_relation())
+    db.create_table_from_relation("availability", gen.availability_relation())
+    db.create_table_from_relation("ft", gen.fitness_transitions_relation())
+    db.create_table_from_relation("states", gen.initial_states_relation())
+    db.create_table_from_relation("points", gen.recent_points_relation())
+    db.create_table_from_relation("weights", gen.recency_weights_relation())
+
+
+def skill_availability(db: MayBMS):
+    """P(at least one available player has the skill), per skill."""
+    return db.query(
+        """
+        select s.skill, conf() as p
+        from (pick tuples from availability independently
+              with probability p) a, skills s
+        where a.player = s.player
+        group by s.skill
+        order by p desc
+        """
+    )
+
+
+def team_management(db: MayBMS, gen: NBADataGenerator) -> None:
+    print("== 1. Team management: skill availability ==")
+    availability = skill_availability(db)
+    print(availability.pretty())
+
+    # What-if: lay off the most expensive player.
+    expensive = max(gen.players, key=lambda p: p.salary_millions)
+    print(
+        f"\nFinancial crisis: consider laying off {expensive.name} "
+        f"(${expensive.salary_millions}M)."
+    )
+    db.execute("create table availability_backup as select * from availability")
+    db.execute(f"delete from availability where player = '{expensive.name}'")
+    reduced = skill_availability(db)
+    print(reduced.pretty())
+
+    verdict = []
+    reduced_by_skill = {row[0]: row[1] for row in reduced}
+    for skill, floor in SKILL_REQUIREMENTS.items():
+        actual = reduced_by_skill.get(skill, 0.0)
+        status = "OK" if actual >= floor else "VIOLATED"
+        verdict.append(f"  {skill}: need >= {floor:.2f}, have {actual:.3f}  [{status}]")
+    print("Requirements after layoff:")
+    print("\n".join(verdict))
+    feasible = all(
+        reduced_by_skill.get(skill, 0.0) >= floor
+        for skill, floor in SKILL_REQUIREMENTS.items()
+    )
+    print(
+        f"=> Laying off {expensive.name} is "
+        + ("acceptable." if feasible else "too risky; keep them.")
+    )
+    # Restore the full roster for the next scenarios.
+    db.execute("delete from availability")
+    db.execute("insert into availability select * from availability_backup")
+    db.execute("drop table availability_backup")
+
+
+def performance_prediction(db: MayBMS) -> None:
+    print("\n== 2. Performance prediction: expected next-game points ==")
+    print(
+        db.query(
+            """
+            select r.player, esum(r.points * w.w) as predicted_points
+            from points r, weights w
+            where r.game = w.game
+            group by r.player
+            order by predicted_points desc
+            limit 8
+            """
+        ).pretty()
+    )
+
+
+def fitness_prediction(db: MayBMS) -> None:
+    print("\n== 3. Fitness prediction: three-day outlook (3-step walk) ==")
+    db.execute(
+        """
+        create table walk2 as
+        select R1.Player, R1.Init, R2.Final, conf() as p from
+        (repair key Player, Init in FT weight by p) R1,
+        (repair key Player, Init in FT weight by p) R2, States S
+        where R1.Player = S.Player and R1.Init = S.State
+        and R1.Final = R2.Init and R1.Player = R2.Player
+        group by R1.Player, R1.Init, R2.Final
+        """
+    )
+    three_day = db.query(
+        """
+        select R1.Player, R2.Final as state, conf() as p from
+        (repair key Player, Init in walk2 weight by p) R1,
+        (repair key Player, Init in FT weight by p) R2
+        where R1.Final = R2.Init and R1.Player = R2.Player
+        group by R1.player, R2.Final
+        order by R1.player, p desc
+        """
+    )
+    print(three_day.pretty(max_rows=15))
+
+    fit = db.query(
+        """
+        select R1.Player, R2.Final as state, conf() as p from
+        (repair key Player, Init in walk2 weight by p) R1,
+        (repair key Player, Init in FT weight by p) R2
+        where R1.Final = R2.Init and R1.Player = R2.Player
+        group by R1.player, R2.Final
+        """
+    )
+    print("\nPlayers most likely to be fully fit (state F) for the match:")
+    fit_rows = sorted(
+        (row for row in fit.rows if row[1] == "F"),
+        key=lambda row: -row[2],
+    )
+    for player, _, p in fit_rows[:5]:
+        print(f"  {player:<22} P(fit in 3 days) = {p:.3f}")
+
+
+def main() -> None:
+    gen = NBADataGenerator(seed=2009, n_players=12)
+    db = MayBMS(seed=1)
+    load_team(db, gen)
+
+    print("Roster (status drives the fitness matrices):")
+    print(db.query("select * from roster order by salary desc").pretty(max_rows=8))
+    print()
+
+    team_management(db, gen)
+    performance_prediction(db)
+    fitness_prediction(db)
+
+
+if __name__ == "__main__":
+    main()

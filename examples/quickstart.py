@@ -1,0 +1,115 @@
+"""Quickstart: the MayBMS query language in five minutes.
+
+Creates a small uncertain database with ``repair key`` and ``pick
+tuples``, then walks through every uncertainty-aware construct of the
+paper's Section 2.2: conf, aconf, tconf, possible, esum, ecount, argmax.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MayBMS
+
+
+def main() -> None:
+    db = MayBMS(seed=42)
+
+    # -- 1. Certain data: plain SQL works as usual -------------------------
+    db.execute("create table sensors (site text, reading float, quality float)")
+    db.execute(
+        """
+        insert into sensors values
+            ('north', 21.5, 0.9), ('north', 19.0, 0.3),
+            ('south', 25.0, 0.8), ('south', 24.0, 0.8),
+            ('west', 30.0, 0.99)
+        """
+    )
+    print("== The raw (certain) sensor readings ==")
+    print(db.query("select * from sensors order by site, reading").pretty())
+
+    # -- 2. repair key: one true reading per site ---------------------------
+    # Each site reported several conflicting readings; exactly one is right.
+    # ``repair key site`` creates one possible world per way of choosing a
+    # reading for every site, weighted by the quality score.
+    print("\n== Marginal probability of each reading being the true one ==")
+    print(
+        db.query(
+            """
+            select site, reading, conf() as p
+            from (repair key site in sensors weight by quality) r
+            group by site, reading
+            order by site, reading
+            """
+        ).pretty()
+    )
+
+    # -- 3. Expected values across all worlds -------------------------------
+    print("\n== Expected sum / count of accepted readings per site ==")
+    print(
+        db.query(
+            """
+            select site, esum(reading) as expected_sum, ecount() as expected_count
+            from (repair key site in sensors weight by quality) r
+            group by site
+            order by site
+            """
+        ).pretty()
+    )
+
+    # -- 4. pick tuples: all subsets (unreliable transmission) ----------------
+    print("\n== Each reading independently arrives with probability 0.7 ==")
+    print(
+        db.query(
+            """
+            select site, tconf() as p_arrives
+            from (pick tuples from sensors independently
+                  with probability 0.7) s
+            """
+        ).pretty()
+    )
+
+    # -- 5. possible: which tuples can occur at all? --------------------------
+    print("\n== Possible distinct sites after a lossy transmission ==")
+    print(
+        db.query(
+            "select possible site from (pick tuples from sensors) s"
+        ).pretty()
+    )
+
+    # -- 6. Approximate confidence with an (epsilon, delta) guarantee ----------
+    print("\n== aconf(0.05, 0.05): approximation of the same confidences ==")
+    print(
+        db.query(
+            """
+            select site, aconf(0.05, 0.05) as p_approx
+            from (repair key site in sensors weight by quality) r
+            group by site
+            order by site
+            """
+        ).pretty()
+    )
+
+    # -- 7. argmax on certain data ---------------------------------------------
+    print("\n== argmax: the highest-quality reading per site ==")
+    print(
+        db.query(
+            """
+            select site, argmax(reading, quality) as best_reading
+            from sensors group by site order by site
+            """
+        ).pretty()
+    )
+
+    # -- 8. Storing uncertain tables -----------------------------------------
+    db.execute(
+        """
+        create table chosen as
+        select site, reading
+        from (repair key site in sensors weight by quality) r
+        """
+    )
+    print("\n== System catalog distinguishes U-relations ==")
+    print(db.sys_tables().pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Figure 1 of the paper, reproduced end to end.
+
+Builds Bryant's fitness stochastic matrix, its relational encoding FT, the
+U-relation R2 representing a 1-step random walk (printed in the same
+style as the figure), and then runs the paper's Section 3 SQL statements
+for the 3-step walk -- checking the result against the numpy matrix power.
+
+Run:  python examples/random_walk.py
+"""
+
+import numpy as np
+
+from repro import MayBMS
+from repro.datagen.markov import FIGURE1_MATRIX, FIGURE1_STATES, figure1_relation
+
+
+def main() -> None:
+    db = MayBMS()
+
+    print("== Fitness stochastic matrix for player Bryant (Figure 1) ==")
+    header = "      " + "  ".join(f"{s:>5}" for s in FIGURE1_STATES)
+    print(header)
+    for i, state in enumerate(FIGURE1_STATES):
+        cells = "  ".join(f"{FIGURE1_MATRIX[i, j]:5.2f}" for j in range(3))
+        print(f"{state:>4}  {cells}")
+
+    # -- FT: the relational encoding ----------------------------------------
+    db.create_table_from_relation("ft", figure1_relation())
+    print("\n== FT (FitnessTransition) ==")
+    print(db.query("select * from ft order by init, final").pretty())
+
+    # -- R2: the U-relation for a 1-step random walk -------------------------
+    r2 = db.uncertain_query(
+        "select * from (repair key player, init in ft weight by p) r2"
+    )
+    print("\n== U-relation R2 (1-step random walk on FT) ==")
+    print(r2.pretty())
+    print(
+        "\nNote the condition column: one fresh variable per Init state\n"
+        "(the figure's x, y, z), alternatives mutually exclusive within a\n"
+        "state and independent across states."
+    )
+
+    # -- The paper's Section 3 statements: a 3-step walk -----------------------
+    db.execute("create table states (player text, state text)")
+    db.execute("insert into states values ('Bryant', 'F')")
+
+    db.execute(
+        """
+        create table FT2 as
+        select R1.Player, R1.Init, R2.Final, conf() as p from
+        (repair key Player, Init in FT weight by p) R1,
+        (repair key Player, Init in FT weight by p) R2, States S
+        where R1.Player = S.Player and R1.Init = S.State
+        and R1.Final = R2.Init and R1.Player = R2.Player
+        group by R1.Player, R1.Init, R2.Final
+        """
+    )
+    print("\n== FT2: the 2-step walk from state F (M x M row) ==")
+    print(db.query("select * from ft2 order by final").pretty())
+
+    three_step = db.query(
+        """
+        select R1.Player, R2.Final as State, conf() as p from
+        (repair key Player, Init in FT2 weight by p) R1,
+        (repair key Player, Init in FT weight by p) R2
+        where R1.Final = R2.Init and R1.Player = R2.Player
+        group by R1.player, R2.Final
+        """
+    )
+    print("\n== Three-day fitness distribution (3-step walk) ==")
+    print(three_step.sorted_by(["state"]).pretty())
+
+    # -- Check against the matrix power ----------------------------------------
+    m3 = np.linalg.matrix_power(FIGURE1_MATRIX, 3)
+    index = {s: i for i, s in enumerate(FIGURE1_STATES)}
+    print("\n== numpy check: M^3 row for initial state F ==")
+    worst = 0.0
+    for _, state, p in three_step:
+        expected = m3[0, index[state]]
+        worst = max(worst, abs(p - expected))
+        print(f"  {state:>3}: query={p:.10f}  M^3={expected:.10f}")
+    print(f"  max abs deviation: {worst:.2e}")
+    assert worst < 1e-12, "query result must equal the matrix power exactly"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Analysis of social networks with uncertain edges.
+
+The paper lists "analysis of social networks" among the demonstration
+scenarios on the MayBMS website.  This example models a friendship graph
+whose edges are uncertain (observed interactions give each edge a
+confidence score) and asks connectivity questions that hard, deterministic
+edges cannot answer:
+
+- P(two people are connected through at least one mutual friend), via a
+  self-join of the uncertain edge table + conf();
+- the expected number of mutual friends, via ecount();
+- which potential introduction maximizes connection probability.
+
+Everything is cross-checked against brute-force enumeration over edge
+subsets at the bottom.
+
+Run:  python examples/social_network.py
+"""
+
+import itertools
+
+from repro import MayBMS
+
+# (person_a, person_b, edge probability): undirected, stored both ways.
+FRIENDSHIPS = [
+    ("alice", "bob", 0.9),
+    ("alice", "carol", 0.6),
+    ("bob", "carol", 0.5),
+    ("bob", "dave", 0.8),
+    ("carol", "dave", 0.4),
+    ("carol", "erin", 0.7),
+    ("dave", "erin", 0.3),
+]
+
+
+def main() -> None:
+    db = MayBMS(seed=3)
+    db.execute("create table observed (src text, dst text, p float)")
+    for a, b, p in FRIENDSHIPS:
+        db.execute(f"insert into observed values ('{a}', '{b}', {p})")
+        db.execute(f"insert into observed values ('{b}', '{a}', {p})")
+
+    # The probabilistic graph: each undirected edge exists independently.
+    # Note *no* 'independently' flag: the two directed copies of an edge
+    # share one variable, so they live or die together -- exactly the
+    # duplicate-sharing semantics of pick tuples.
+    db.execute(
+        """
+        create table friends as
+        select src, dst from
+        (pick tuples from observed with probability p) e
+        """
+    )
+    print("== The uncertain friendship graph (marginal per direction) ==")
+    print(
+        db.query(
+            "select src, dst, conf() as p from friends "
+            "where src < dst group by src, dst order by src, dst"
+        ).pretty()
+    )
+
+    # -- mutual-friend connectivity -----------------------------------------
+    print("\n== P(connected via >= 1 mutual friend), for non-adjacent pairs ==")
+    two_hop = db.query(
+        """
+        select e1.src as a, e2.dst as b, conf() as p
+        from friends e1, friends e2
+        where e1.dst = e2.src and e1.src < e2.dst
+          and e1.src <> e2.dst
+        group by e1.src, e2.dst
+        order by p desc
+        """
+    )
+    print(two_hop.pretty())
+
+    print("\n== Expected number of mutual friends per pair ==")
+    mutual = db.query(
+        """
+        select e1.src as a, e2.dst as b, ecount() as expected_mutuals
+        from friends e1, friends e2
+        where e1.dst = e2.src and e1.src < e2.dst and e1.src <> e2.dst
+        group by e1.src, e2.dst
+        order by expected_mutuals desc
+        """
+    )
+    print(mutual.pretty())
+
+    # -- what-if: which introduction helps most? --------------------------------
+    print("\n== What-if: P(alice ~ erin via a mutual friend) today ==")
+    baseline = {
+        (row[0], row[1]): row[2] for row in two_hop
+    }.get(("alice", "erin"), 0.0)
+    print(f"  baseline: {baseline:.4f}")
+
+    # -- brute-force cross-check over all edge subsets ----------------------------
+    print("\n== Brute-force check (enumerate all edge subsets) ==")
+    edges = [(a, b) for a, b, _ in FRIENDSHIPS]
+    probabilities = {e: p for (a, b, p), e in zip(FRIENDSHIPS, edges)}
+
+    def mutual_friend_probability(x, y):
+        total = 0.0
+        for present in itertools.product([0, 1], repeat=len(edges)):
+            mass = 1.0
+            alive = set()
+            for bit, edge in zip(present, edges):
+                mass *= probabilities[edge] if bit else 1 - probabilities[edge]
+                if bit:
+                    alive.add(edge)
+                    alive.add((edge[1], edge[0]))
+            if any(
+                (x, m) in alive and (m, y) in alive
+                for m in {"alice", "bob", "carol", "dave", "erin"}
+                if m not in (x, y)
+            ):
+                total += mass
+        return total
+
+    worst = 0.0
+    for a, b, p in two_hop:
+        expected = mutual_friend_probability(a, b)
+        worst = max(worst, abs(p - expected))
+        print(f"  {a:>6} ~ {b:<6} query={p:.6f}  brute-force={expected:.6f}")
+    print(f"  max abs deviation: {worst:.2e}")
+    assert worst < 1e-9
+
+
+if __name__ == "__main__":
+    main()

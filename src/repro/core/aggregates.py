@@ -1,0 +1,203 @@
+"""The uncertainty-aware aggregates of Section 2.2.
+
+- ``conf`` / ``aconf(ε,δ)``: per group of result tuples, the exact or
+  (ε,δ)-approximate probability that the group's tuple appears;
+- ``tconf``: per *row*, the marginal probability of its own condition, in
+  isolation from duplicates;
+- ``possible``: the distinct possible tuples (probability > 0);
+- ``esum`` / ``ecount``: expected sum / count across the worlds.  These
+  are efficient despite confidence being #P-hard: by linearity of
+  expectation, E[Σ_t v(t)·1(t present)] = Σ_t v(t)·P(t present), one
+  marginal per row, no DNF combination at all;
+- ``argmax`` is a certain-data aggregate and lives in the engine
+  (:class:`repro.engine.algebra.AggregateSpec`).
+
+Standard SQL aggregates on uncertain inputs are rejected by the SQL
+analyzer (see :class:`repro.errors.UncertainAggregateError`), matching the
+paper: "these aggregates will produce exponentially many different
+numerical results in the various possible worlds".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conditions import Condition
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.dklr import approximate_confidence
+from repro.core.confidence.exact import ExactConfidenceEngine
+from repro.core.urelation import URelation
+from repro.engine.physical import group_key
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import FLOAT, INTEGER
+from repro.errors import ConfidenceError
+
+
+def _group_rows(
+    urel: URelation, group_columns: Sequence[str]
+) -> Tuple[List[int], Dict[tuple, Tuple[tuple, List[int]]], List[tuple]]:
+    """Group row indexes by the projection onto ``group_columns``.
+
+    Returns (positions, key -> (projected row, row indexes), key order).
+    """
+    positions = [urel.relation.schema.resolve(name) for name in group_columns]
+    groups: Dict[tuple, Tuple[tuple, List[int]]] = {}
+    order: List[tuple] = []
+    for index, row in enumerate(urel.relation):
+        projected = tuple(row[p] for p in positions)
+        key = group_key(projected)
+        if key not in groups:
+            groups[key] = (projected, [])
+            order.append(key)
+        groups[key][1].append(index)
+    return positions, groups, order
+
+
+def _group_schema(
+    urel: URelation, group_columns: Sequence[str], result_name: str, result_type
+) -> Schema:
+    columns = [
+        Column(
+            urel.relation.schema[urel.relation.schema.resolve(name)].name,
+            urel.relation.schema[urel.relation.schema.resolve(name)].type,
+        )
+        for name in group_columns
+    ]
+    columns.append(Column(result_name, result_type))
+    return Schema(columns)
+
+
+def conf(
+    urel: URelation,
+    group_columns: Sequence[str] = (),
+    result_name: str = "conf",
+    engine: Optional[ExactConfidenceEngine] = None,
+) -> Relation:
+    """Exact confidence computation (the ``conf()`` aggregate).
+
+    For each distinct value of ``group_columns``, the probability that at
+    least one tuple with that value is present: the exact probability of
+    the DNF of the group's row conditions.  With no group columns the
+    result is a single row -- the probability that the relation is
+    non-empty.
+    """
+    engine = engine if engine is not None else ExactConfidenceEngine(urel.registry)
+    conditions = urel.conditions()
+    _, groups, order = _group_rows(urel, group_columns)
+    rows = []
+    for key in order:
+        projected, indexes = groups[key]
+        clauses = [conditions[i] for i in indexes if conditions[i] is not None]
+        probability = engine.probability(DNF(clauses))
+        rows.append(projected + (probability,))
+    if not group_columns and not rows:
+        rows.append((0.0,))
+    return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)
+
+
+def aconf(
+    urel: URelation,
+    epsilon: float,
+    delta: float,
+    group_columns: Sequence[str] = (),
+    result_name: str = "aconf",
+    rng: Optional[random.Random] = None,
+) -> Relation:
+    """Approximate confidence: ``aconf(ε, δ)``.
+
+    Per group, an estimate p̂ with P(|p̂ − p| > ε·p) < δ, via the
+    Karp-Luby estimator under the DKLR optimal Monte-Carlo driver.
+    """
+    conditions = urel.conditions()
+    _, groups, order = _group_rows(urel, group_columns)
+    rows = []
+    for key in order:
+        projected, indexes = groups[key]
+        clauses = [conditions[i] for i in indexes if conditions[i] is not None]
+        result = approximate_confidence(
+            DNF(clauses), urel.registry, epsilon, delta, rng
+        )
+        rows.append(projected + (result.estimate,))
+    if not group_columns and not rows:
+        rows.append((0.0,))
+    return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)
+
+
+def tconf(urel: URelation, result_name: str = "tconf") -> Relation:
+    """Per-row marginal probability ("in isolation from the other
+    (possibly duplicate) tuples"): payload columns plus the probability of
+    the row's own condition."""
+    columns = list(urel.payload_schema) + [Column(result_name, FLOAT)]
+    rows = []
+    for payload, condition in urel.rows_with_conditions():
+        probability = (
+            0.0 if condition is None else condition.probability(urel.registry)
+        )
+        rows.append(payload + (probability,))
+    return Relation(Schema(columns), rows)
+
+
+def possible(urel: URelation) -> Relation:
+    """The ``possible`` construct: distinct tuples with probability > 0.
+
+    Equivalent to filtering ``tconf > 0`` and deduplicating, which is how
+    MayBMS implements it by rewriting (Section 2.4).
+    """
+    return urel.possible_payloads()
+
+
+def esum(
+    urel: URelation,
+    value_column: str,
+    group_columns: Sequence[str] = (),
+    result_name: str = "esum",
+) -> Relation:
+    """Expected sum: Σ_rows value(row) · P(condition(row)) per group.
+
+    Linear in the input -- no #P-hard machinery -- by linearity of
+    expectation (Section 2.2's justification for allowing esum/ecount
+    while forbidding plain sum/count on uncertain data).  NULL values
+    contribute nothing, mirroring SQL's sum.
+    """
+    value_position = urel.relation.schema.resolve(value_column)
+    return _expectation(urel, value_position, group_columns, result_name)
+
+
+def ecount(
+    urel: URelation,
+    group_columns: Sequence[str] = (),
+    result_name: str = "ecount",
+) -> Relation:
+    """Expected count: Σ_rows P(condition(row)) per group."""
+    return _expectation(urel, None, group_columns, result_name)
+
+
+def _expectation(
+    urel: URelation,
+    value_position: Optional[int],
+    group_columns: Sequence[str],
+    result_name: str,
+) -> Relation:
+    conditions = urel.conditions()
+    _, groups, order = _group_rows(urel, group_columns)
+    rows = []
+    for key in order:
+        projected, indexes = groups[key]
+        total = 0.0
+        for i in indexes:
+            condition = conditions[i]
+            if condition is None:
+                continue
+            weight = condition.probability(urel.registry)
+            if value_position is None:
+                total += weight
+            else:
+                value = urel.relation.rows[i][value_position]
+                if value is not None:
+                    total += weight * value
+        rows.append(projected + (total,))
+    if not group_columns and not rows:
+        rows.append((0.0,))
+    return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)

@@ -1,0 +1,39 @@
+"""Confidence computation (Section 2.3).
+
+Computing ``conf`` of a result tuple means computing the probability of a
+DNF over independent finite random variables, where each clause is the
+conjunctive local condition of one duplicate of the tuple.  This is
+#P-hard in general; MayBMS ships several engines:
+
+- :mod:`repro.core.confidence.naive` -- exponential oracles (enumeration,
+  inclusion-exclusion) used for testing;
+- :mod:`repro.core.confidence.exact` -- the Koch-Olteanu exact algorithm:
+  variable elimination + decomposition into independent clause subsets,
+  with cost-estimation heuristics [3];
+- :mod:`repro.core.confidence.karp_luby` -- the Karp-Luby unbiased
+  estimator adapted to confidence computation;
+- :mod:`repro.core.confidence.dklr` -- the Dagum-Karp-Luby-Ross optimal
+  Monte Carlo driver giving the ``aconf(ε,δ)`` guarantee [2];
+- :mod:`repro.core.confidence.sprout` -- SPROUT-style safe (lazy/eager)
+  plans for hierarchical queries on tuple-independent tables [5].
+"""
+
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.exact import exact_confidence, ExactConfidenceEngine
+from repro.core.confidence.karp_luby import KarpLubyEstimator
+from repro.core.confidence.dklr import aconf, approximate_confidence
+from repro.core.confidence.naive import (
+    confidence_by_enumeration,
+    confidence_by_inclusion_exclusion,
+)
+
+__all__ = [
+    "DNF",
+    "exact_confidence",
+    "ExactConfidenceEngine",
+    "KarpLubyEstimator",
+    "aconf",
+    "approximate_confidence",
+    "confidence_by_enumeration",
+    "confidence_by_inclusion_exclusion",
+]

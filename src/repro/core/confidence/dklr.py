@@ -1,0 +1,186 @@
+"""The Dagum-Karp-Luby-Ross optimal Monte Carlo algorithm [2].
+
+Implements the two algorithms of "An Optimal Algorithm for Monte Carlo
+Estimation" (SIAM J. Comput. 29(5), 2000) over an arbitrary [0,1]-valued
+sampler, and glues them to the Karp-Luby estimator to provide MayBMS's
+``aconf(ε, δ)``: an estimate p̂ with
+
+    P( |p̂ − p| > ε·p ) < δ            (relative (ε,δ)-approximation).
+
+**Stopping Rule Algorithm (SRA).**  With Υ = 4(e−2)·ln(2/δ)/ε² and
+Υ₁ = 1 + (1+ε)·Υ, draw samples until their running sum S first exceeds
+Υ₁ and output Υ₁ / N, where N is the number of samples drawn.  The paper
+proves this is an (ε,δ)-approximation of the mean μ using an *optimal*
+expected number of samples up to constants: the count adapts to μ itself
+(≈ Υ₁/μ), without needing a lower bound on μ in advance.
+
+**Approximation Algorithm (AA).**  Wraps three phases ("sequential
+analysis": a small pilot run estimates the mean and variance, which then
+size the main run):
+
+1. a pilot SRA with loosened parameters (√ε, δ/3) giving μ̂;
+2. a variance run of N = Υ₂·ε/μ̂ sample *pairs*, estimating
+   ρ̂ = max(S/N, ε·μ̂) where S sums (Z₂ᵢ₋₁ − Z₂ᵢ)²/2 -- an unbiased
+   variance estimator that needs no mean subtraction;
+3. a main run of N = Υ₂·ρ̂/μ̂² samples whose mean is the output,
+
+with Υ₂ = 2·(1 + √ε)·(1 + 2√ε)·(1 + ln(3/2)/ln(3/δ))·Υ (and Υ evaluated
+at δ/3).  AA's expected sample count is within a constant factor of the
+optimum ≈ ρ/(μ²ε²)·ln(1/δ) for *every* (μ, ρ), which is why the paper is
+titled "optimal": the naive bound μ/(ε²μ²) overshoots when the variance
+is small, and MayBMS inherits the saving.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.karp_luby import KarpLubyEstimator
+from repro.core.variables import VariableRegistry
+from repro.errors import ConfidenceError
+
+Sampler = Callable[[], float]
+
+_E_MINUS_2 = math.e - 2.0
+
+
+@dataclass
+class ApproximationResult:
+    """An estimate plus the number of samples each phase consumed."""
+
+    estimate: float
+    pilot_samples: int
+    variance_samples: int
+    main_samples: int
+
+    @property
+    def total_samples(self) -> int:
+        return self.pilot_samples + self.variance_samples + self.main_samples
+
+
+def _upsilon(epsilon: float, delta: float) -> float:
+    """Υ = 4(e−2)·ln(2/δ)/ε², the base sample-count constant."""
+    return 4.0 * _E_MINUS_2 * math.log(2.0 / delta) / (epsilon * epsilon)
+
+
+def _check_parameters(epsilon: float, delta: float) -> None:
+    if not (0.0 < epsilon < 1.0):
+        raise ConfidenceError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not (0.0 < delta < 1.0):
+        raise ConfidenceError(f"delta must be in (0, 1), got {delta}")
+
+
+def stopping_rule_estimate(
+    sampler: Sampler,
+    epsilon: float,
+    delta: float,
+    max_samples: int = 100_000_000,
+) -> Tuple[float, int]:
+    """The DKLR Stopping Rule Algorithm.
+
+    Returns (μ̂, samples used).  Requires the sampler's mean to be
+    positive; ``max_samples`` guards against a zero-mean sampler looping
+    forever (the Karp-Luby variable always has mean ≥ 1/#clauses, so the
+    guard never triggers for well-formed lineage).
+    """
+    _check_parameters(epsilon, delta)
+    upsilon1 = 1.0 + (1.0 + epsilon) * _upsilon(epsilon, delta)
+    total = 0.0
+    count = 0
+    while total < upsilon1:
+        if count >= max_samples:
+            raise ConfidenceError(
+                f"stopping rule drew {count} samples without reaching "
+                f"Υ₁ = {upsilon1:.3g}; sampler mean is (near) zero"
+            )
+        total += sampler()
+        count += 1
+    return upsilon1 / count, count
+
+
+def aa_estimate(
+    sampler: Sampler,
+    epsilon: float,
+    delta: float,
+) -> ApproximationResult:
+    """The DKLR Approximation Algorithm AA (pilot / variance / main runs)."""
+    _check_parameters(epsilon, delta)
+
+    # Step 1: pilot estimate with loosened accuracy min(1/2, √ε), confidence δ/3.
+    pilot_epsilon = min(0.5, math.sqrt(epsilon))
+    mu_hat, pilot_samples = stopping_rule_estimate(sampler, pilot_epsilon, delta / 3.0)
+
+    # Υ₂ as in the paper, with Υ evaluated at (ε, δ/3).
+    upsilon = _upsilon(epsilon, delta / 3.0)
+    upsilon2 = (
+        2.0
+        * (1.0 + math.sqrt(epsilon))
+        * (1.0 + 2.0 * math.sqrt(epsilon))
+        * (1.0 + math.log(1.5) / math.log(3.0 / delta))
+        * upsilon
+    )
+
+    # Step 2: variance estimation from sample pairs.
+    pair_count = max(1, math.ceil(upsilon2 * epsilon / mu_hat))
+    s = 0.0
+    for _ in range(pair_count):
+        z1 = sampler()
+        z2 = sampler()
+        d = z1 - z2
+        s += d * d / 2.0
+    rho_hat = max(s / pair_count, epsilon * mu_hat)
+    variance_samples = 2 * pair_count
+
+    # Step 3: main run sized by the variance estimate.
+    main_count = max(1, math.ceil(upsilon2 * rho_hat / (mu_hat * mu_hat)))
+    total = 0.0
+    for _ in range(main_count):
+        total += sampler()
+    estimate = total / main_count
+
+    return ApproximationResult(
+        estimate=estimate,
+        pilot_samples=pilot_samples,
+        variance_samples=variance_samples,
+        main_samples=main_count,
+    )
+
+
+def approximate_confidence(
+    dnf: DNF,
+    registry: VariableRegistry,
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> ApproximationResult:
+    """``aconf(ε, δ)``: DKLR-driven Karp-Luby approximation of P(dnf).
+
+    The AA guarantee on the Bernoulli mean μ_Z = p/U transfers to
+    p = U·μ_Z because U is a known constant: relative error is preserved
+    under scaling.
+    """
+    estimator = KarpLubyEstimator(dnf, registry, rng)
+    if estimator.is_trivial:
+        return ApproximationResult(estimator.trivial_probability, 0, 0, 0)
+    result = aa_estimate(estimator.sample, epsilon, delta)
+    return ApproximationResult(
+        estimate=estimator.total_weight * result.estimate,
+        pilot_samples=result.pilot_samples,
+        variance_samples=result.variance_samples,
+        main_samples=result.main_samples,
+    )
+
+
+def aconf(
+    dnf: DNF,
+    registry: VariableRegistry,
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """The scalar form of :func:`approximate_confidence`."""
+    return approximate_confidence(dnf, registry, epsilon, delta, rng).estimate

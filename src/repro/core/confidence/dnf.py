@@ -1,0 +1,215 @@
+"""Lineage DNFs.
+
+The lineage of a (distinct) result tuple of a query over a U-relational
+database is a DNF whose clauses are the conjunctive local conditions of
+the tuple's duplicates.  ``conf`` is the probability that at least one
+clause holds.  This module holds the DNF data structure shared by all
+confidence engines, plus normalization (dropping inconsistent and
+zero-probability clauses, absorbing subsumed clauses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.errors import ConfidenceError
+
+
+class DNF:
+    """A disjunction of conjunctive conditions over independent variables.
+
+    Clauses are kept in insertion order (the Karp-Luby estimator's
+    "smallest satisfied clause" tie-break needs a fixed order).  The empty
+    DNF is identically false; a DNF containing the empty clause is
+    identically true.
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Condition] = ()):
+        self.clauses: List[Condition] = list(clauses)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def from_urelation(
+        urel: URelation, payload: Optional[tuple] = None
+    ) -> "DNF":
+        """Lineage of a payload tuple (or of the whole relation's event
+        "at least one tuple present" when payload is None)."""
+        clauses = []
+        for row, condition in urel.rows_with_conditions():
+            if condition is None:
+                continue
+            if payload is None or row == payload:
+                clauses.append(condition)
+        return DNF(clauses)
+
+    # -- protocol -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Condition]:
+        return iter(self.clauses)
+
+    def __repr__(self) -> str:
+        if not self.clauses:
+            return "⊥"
+        return " ∨ ".join(f"({c!r})" for c in self.clauses)
+
+    # -- classification ---------------------------------------------------------
+    @property
+    def is_false(self) -> bool:
+        return not self.clauses
+
+    @property
+    def is_true(self) -> bool:
+        return any(clause.is_true for clause in self.clauses)
+
+    def variables(self) -> FrozenSet[int]:
+        out: Set[int] = set()
+        for clause in self.clauses:
+            out.update(clause.variables())
+        return frozenset(out)
+
+    def variable_count(self) -> int:
+        return len(self.variables())
+
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+    def variable_to_clause_ratio(self) -> float:
+        """The paper's crossover statistic: #variables / #clauses."""
+        if not self.clauses:
+            raise ConfidenceError("ratio undefined for an empty DNF")
+        return self.variable_count() / self.clause_count()
+
+    def occurrence_counts(self) -> Dict[int, int]:
+        """How many clauses each variable occurs in (elimination heuristic)."""
+        counts: Dict[int, int] = {}
+        for clause in self.clauses:
+            for var in clause.variables():
+                counts[var] = counts.get(var, 0) + 1
+        return counts
+
+    # -- normalization ----------------------------------------------------------
+    #: Clauses wider than this fall back to a linear absorption scan;
+    #: below it, enumerating the 2^k atom subsets is cheaper than scanning
+    #: all previously kept clauses.
+    _SUBSET_ENUMERATION_WIDTH = 12
+
+    def normalized(self, registry: Optional[VariableRegistry] = None) -> "DNF":
+        """Drop duplicate clauses and clauses absorbed by a weaker clause;
+        with a registry, also drop clauses of probability zero.
+
+        Absorption: if clause c ⊆ c' (as atom sets), then c' is redundant
+        (whenever c' holds, c holds).  Processing in length order, a clause
+        is absorbed iff some subset of its atoms was already kept -- checked
+        by enumerating its 2^k atom subsets against a hash set, so the
+        whole pass is near-linear in the clause count for the short clauses
+        real lineage produces (wide clauses fall back to a linear scan).
+        """
+        import itertools
+
+        kept: List[Condition] = []
+        kept_keys: Set[Tuple] = set()
+        for clause in sorted(self.clauses, key=len):
+            if clause.atoms in kept_keys:
+                continue
+            if registry is not None and clause.probability(registry) <= 0.0:
+                continue
+            absorbed = False
+            width = len(clause.atoms)
+            if width <= self._SUBSET_ENUMERATION_WIDTH:
+                for size in range(0, width):  # proper subsets only
+                    for subset in itertools.combinations(clause.atoms, size):
+                        if subset in kept_keys:
+                            absorbed = True
+                            break
+                    if absorbed:
+                        break
+            else:
+                absorbed = any(k.subsumes(clause) for k in kept)
+            if absorbed:
+                continue
+            kept.append(clause)
+            kept_keys.add(clause.atoms)
+        return DNF(kept)
+
+    # -- semantics ----------------------------------------------------------------
+    def satisfied_by(self, assignment) -> bool:
+        return any(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def first_satisfied_clause(self, assignment) -> Optional[int]:
+        """Index of the first clause the assignment satisfies (Karp-Luby's
+        canonical-witness test), or None."""
+        for i, clause in enumerate(self.clauses):
+            if clause.satisfied_by(assignment):
+                return i
+        return None
+
+    def clause_probabilities(self, registry: VariableRegistry) -> List[float]:
+        return [clause.probability(registry) for clause in self.clauses]
+
+    # -- operations used by the exact algorithm --------------------------------------
+    def restrict(self, var: int, value: int) -> "DNF":
+        """Condition the DNF on ``var = value``: clauses disagreeing on
+        ``var`` disappear, agreeing atoms are consumed."""
+        clauses = []
+        for clause in self.clauses:
+            restricted = clause.restrict(var, value)
+            if restricted is not None:
+                clauses.append(restricted)
+        return DNF(clauses)
+
+    def independent_components(self) -> List["DNF"]:
+        """Partition clauses into groups sharing no variables (union-find).
+
+        Clauses in different components are independent events, so the
+        probability of the disjunction factorizes across components.
+        Clauses with the empty condition each form their own component
+        (they are independently always-true).
+        """
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for clause in self.clauses:
+            for var in clause.variables():
+                if var not in parent:
+                    parent[var] = var
+
+        for clause in self.clauses:
+            vs = list(clause.variables())
+            for other in vs[1:]:
+                union(vs[0], other)
+
+        components: Dict[Optional[int], List[Condition]] = {}
+        trivial: List[Condition] = []
+        for clause in self.clauses:
+            vs = clause.variables()
+            if not vs:
+                trivial.append(clause)
+                continue
+            root = find(next(iter(vs)))
+            components.setdefault(root, []).append(clause)
+
+        out = [DNF(clauses) for _, clauses in sorted(components.items())]
+        out.extend(DNF([c]) for c in trivial)
+        return out
+
+    def canonical_key(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """A hashable canonical form (sorted clause atom tuples) for
+        memoization in the exact engine."""
+        return tuple(sorted(clause.atoms for clause in self.clauses))

@@ -1,0 +1,128 @@
+"""The Karp-Luby unbiased estimator, adapted to confidence computation.
+
+Section 2.3: "The approximation algorithm used by MayBMS is a combination
+of the Karp-Luby unbiased estimator for DNF counting in a modified version
+adapted to confidence computation in probabilistic databases, and the
+Dagum-Karp-Luby-Ross optimal algorithm for Monte Carlo estimation."
+
+The classical estimator targets P(⋁ᵢ Cᵢ) for events Cᵢ with easily
+computable probabilities pᵢ = P(Cᵢ) and easy conditional sampling.  For
+confidence computation the Cᵢ are conjunctions of assignments of
+independent finite random variables, so both are immediate:
+
+- pᵢ is the product of the atom probabilities;
+- sampling a world conditioned on Cᵢ fixes Cᵢ's atoms and samples every
+  other variable of the DNF from its marginal distribution.
+
+With U = Σᵢ pᵢ, sample a clause index i with probability pᵢ/U and then a
+world θ ~ P(· | Cᵢ).  The Bernoulli variable
+
+    Z = 1  iff  i is the *first* clause of the DNF satisfied by θ
+
+has expectation P(⋁ᵢ Cᵢ) / U: each satisfying world θ is generated via
+exactly one (clause, world) pair that counts -- its first satisfied
+clause -- with probability P(θ)/U.  Therefore U·mean(Z) is an unbiased
+estimator of the confidence, and Z ∈ {0,1} is exactly the [0,1]-valued
+random variable the DKLR driver (:mod:`repro.core.confidence.dklr`)
+expects.  Note μ_Z = p/U ≥ 1/m (m = clause count), so DKLR's stopping
+rule terminates after O(m·ln(1/δ)/ε²) samples in the worst case.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.confidence.dnf import DNF
+from repro.core.variables import VariableRegistry
+from repro.errors import ConfidenceError
+
+
+class KarpLubyEstimator:
+    """Sampler for the Karp-Luby Bernoulli variable of a lineage DNF.
+
+    Construction normalizes the DNF (drops inconsistent / zero-probability
+    clauses).  ``is_trivial`` reports DNFs whose probability is 0 or 1
+    outright; callers must check it before sampling.
+    """
+
+    def __init__(self, dnf: DNF, registry: VariableRegistry, rng: Optional[random.Random] = None):
+        self.registry = registry
+        self.rng = rng if rng is not None else random.Random()
+        self.dnf = dnf.normalized(registry)
+        self.clause_probabilities = self.dnf.clause_probabilities(registry)
+        self.total_weight = sum(self.clause_probabilities)  # U = Σ pᵢ
+        self.variables = sorted(self.dnf.variables())
+        self._cumulative = list(itertools.accumulate(self.clause_probabilities))
+        self.samples_drawn = 0
+
+    # -- trivial cases ------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        return self.dnf.is_false or self.dnf.is_true
+
+    @property
+    def trivial_probability(self) -> float:
+        if self.dnf.is_false:
+            return 0.0
+        if self.dnf.is_true:
+            return 1.0
+        raise ConfidenceError("DNF is not trivial")
+
+    # -- sampling -------------------------------------------------------------
+    def _sample_clause_index(self) -> int:
+        u = self.rng.random() * self.total_weight
+        # Linear scan with early exit; clause counts here are query-result
+        # duplicate counts, typically small.  Bisect would also work.
+        for i, acc in enumerate(self._cumulative):
+            if u < acc:
+                return i
+        return len(self._cumulative) - 1
+
+    def sample(self) -> int:
+        """Draw one Bernoulli sample Z (see module docstring)."""
+        if self.is_trivial:
+            raise ConfidenceError("sampling a trivial DNF; use trivial_probability")
+        self.samples_drawn += 1
+        index = self._sample_clause_index()
+        clause = self.dnf.clauses[index]
+        fixed = {var: value for var, value in clause}
+        world: Dict[int, int] = {}
+        for var in self.variables:
+            if var in fixed:
+                world[var] = fixed[var]
+            else:
+                world[var] = self.registry.sample_value(var, self.rng)
+        first = self.dnf.first_satisfied_clause(world)
+        # ``clause`` is satisfied by construction, so first is not None and
+        # first <= index.
+        return 1 if first == index else 0
+
+    def estimate(self, samples: int) -> float:
+        """Fixed-sample-count estimate U · mean(Z) of the confidence."""
+        if self.is_trivial:
+            return self.trivial_probability
+        if samples <= 0:
+            raise ConfidenceError(f"need a positive sample count, got {samples}")
+        hits = sum(self.sample() for _ in range(samples))
+        return self.total_weight * hits / samples
+
+    def mean_lower_bound(self) -> float:
+        """μ_Z ≥ max pᵢ / U ≥ 1/m: guarantees estimator progress."""
+        if not self.clause_probabilities:
+            return 0.0
+        return max(self.clause_probabilities) / self.total_weight
+
+
+def karp_luby_confidence(
+    dnf: DNF,
+    registry: VariableRegistry,
+    samples: int,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Convenience wrapper: fixed-budget Karp-Luby estimate of P(dnf)."""
+    estimator = KarpLubyEstimator(dnf, registry, rng)
+    if estimator.is_trivial:
+        return estimator.trivial_probability
+    return estimator.estimate(samples)

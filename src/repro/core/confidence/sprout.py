@@ -1,0 +1,572 @@
+"""SPROUT: scalable confidence computation for tractable queries [5].
+
+Section 2.3: "For tractable queries on probabilistic databases, MayBMS
+uses the SPROUT codebase for scalable query processing by reduction of
+confidence computation to a sequence of SQL-like aggregations."
+
+The tractable class (for conjunctive queries without self-joins over
+*tuple-independent* tables) is the class of **hierarchical** queries: for
+any two non-head variables x, y, the sets of subgoals containing them are
+nested or disjoint.  For those, confidence computation reduces to a *safe
+plan* of ordinary joins and two aggregation flavours:
+
+- **independent join**: events touching disjoint table sets are
+  independent, so probabilities multiply;
+- **independent project**: distinct values of a *root variable* (one that
+  occurs in every subgoal of a connected component) select disjoint tuple
+  sets, so the "exists some value" probability is 1 − ∏(1 − pᵥ).
+
+Two execution strategies, following the lazy-vs-eager study of [5]:
+
+- **eager** plans interleave the probability aggregations with the joins
+  (aggregate as early as the hierarchy allows, shrinking intermediates);
+- **lazy** plans first materialize the full join with per-subgoal
+  probability columns (pure relational work), then compute all
+  confidences in one aggregation pass over the sorted result.
+
+Both produce identical probabilities (tested against exact DNF lineage
+computation); their run-time trade-off is the subject of benchmark
+C-SPROUT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.conditions import Condition
+from repro.core.confidence.dnf import DNF
+from repro.core.variables import VariableRegistry
+from repro.engine.physical import group_key
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import FLOAT
+from repro.errors import (
+    ConfidenceError,
+    NotTupleIndependentError,
+    UnsafeQueryError,
+)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable (as opposed to a constant term)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[Var, Any]  # a Var or a constant
+
+
+@dataclass(frozen=True)
+class Subgoal:
+    """One atom of a conjunctive query: ``table(term, term, ...)``."""
+
+    table: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, table: str, terms: Sequence[Term]):
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(t.name for t in self.terms if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.table}({inner})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query without self-joins over tuple-independent tables.
+
+    ``head`` lists the distinguished (group-by) variables; the confidence
+    of each head binding is the probability that the binding is an answer.
+    """
+
+    head: Tuple[str, ...]
+    subgoals: Tuple[Subgoal, ...]
+
+    def __init__(self, head: Sequence[str], subgoals: Sequence[Subgoal]):
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "subgoals", tuple(subgoals))
+        tables = [sg.table for sg in subgoals]
+        if len(set(tables)) != len(tables):
+            raise UnsafeQueryError(
+                "self-joins are outside SPROUT's tractable class: "
+                f"duplicate table in {tables}"
+            )
+        head_set = set(head)
+        all_vars = set().union(*(sg.variables() for sg in subgoals)) if subgoals else set()
+        missing = head_set - all_vars
+        if missing:
+            raise ConfidenceError(f"head variables {sorted(missing)} not used in any subgoal")
+
+    def variables(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for sg in self.subgoals:
+            out.update(sg.variables())
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(sg) for sg in self.subgoals)
+        return f"q({', '.join(self.head)}) :- {body}"
+
+
+class TupleIndependentTable:
+    """A tuple-independent probabilistic table: payload rows with a
+    per-tuple presence probability (and, lazily, a fresh Boolean variable
+    per tuple for lineage construction)."""
+
+    def __init__(self, name: str, relation: Relation, probabilities: Sequence[float]):
+        if len(probabilities) != len(relation):
+            raise NotTupleIndependentError(
+                f"{len(probabilities)} probabilities for {len(relation)} rows"
+            )
+        for p in probabilities:
+            if not (0.0 <= float(p) <= 1.0):
+                raise NotTupleIndependentError(f"tuple probability {p} outside [0, 1]")
+        self.name = name
+        self.relation = relation
+        self.probabilities = [float(p) for p in probabilities]
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    @staticmethod
+    def from_prob_column(name: str, relation: Relation, prob_column: str = "_p") -> "TupleIndependentTable":
+        position = relation.schema.resolve(prob_column)
+        payload_positions = [i for i in range(len(relation.schema)) if i != position]
+        payload = relation.project_positions(payload_positions)
+        probabilities = [row[position] for row in relation]
+        return TupleIndependentTable(name, payload, probabilities)
+
+    def rows(self) -> Iterable[Tuple[tuple, float]]:
+        return zip(self.relation.rows, self.probabilities)
+
+
+Database = Mapping[str, TupleIndependentTable]
+
+
+# ---------------------------------------------------------------------------
+# Hierarchy analysis.
+# ---------------------------------------------------------------------------
+
+
+def subgoals_of_variable(query: ConjunctiveQuery) -> Dict[str, FrozenSet[int]]:
+    """sg(x): the indices of subgoals mentioning each variable."""
+    out: Dict[str, Set[int]] = {}
+    for i, sg in enumerate(query.subgoals):
+        for v in sg.variables():
+            out.setdefault(v, set()).add(i)
+    return {v: frozenset(s) for v, s in out.items()}
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """The Dalvi-Suciu tractability test: for all non-head variables x, y,
+    sg(x) and sg(y) are nested or disjoint."""
+    sg = subgoals_of_variable(query)
+    non_head = [v for v in sg if v not in query.head]
+    for i, x in enumerate(non_head):
+        for y in non_head[i + 1:]:
+            a, b = sg[x], sg[y]
+            if not (a <= b or b <= a or not (a & b)):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Shared join machinery.
+# ---------------------------------------------------------------------------
+
+
+def _match_row(sg: Subgoal, row: tuple, binding: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Try to extend ``binding`` by matching ``row`` against the subgoal's
+    terms; None on mismatch (constant differs or variable bound elsewhere)."""
+    arity = len(sg.terms)
+    if len(row) != arity:
+        raise ConfidenceError(
+            f"subgoal {sg!r} has arity {arity} but table rows have {len(row)}"
+        )
+    out = dict(binding)
+    for term, value in zip(sg.terms, row):
+        if isinstance(term, Var):
+            if term.name in out:
+                if out[term.name] != value:
+                    return None
+            else:
+                out[term.name] = value
+        else:
+            if term != value:
+                return None
+    return out
+
+
+def _join_bindings(
+    subgoals: Sequence[Subgoal], db: Database
+) -> List[Tuple[Dict[str, Any], Tuple[Tuple[int, int], ...]]]:
+    """All satisfying assignments of the subgoals, with the (subgoal index,
+    tuple index) pairs that produced them.  Backtracking join with a
+    most-bound-first subgoal order."""
+    results: List[Tuple[Dict[str, Any], Tuple[Tuple[int, int], ...]]] = []
+
+    def recurse(remaining: List[int], binding: Dict[str, Any], used: List[Tuple[int, int]]):
+        if not remaining:
+            results.append((dict(binding), tuple(used)))
+            return
+        # Choose the subgoal with the most variables already bound.
+        best = max(
+            remaining,
+            key=lambda i: sum(
+                1 for v in subgoals[i].variables() if v in binding
+            ),
+        )
+        sg = subgoals[best]
+        table = db[sg.table]
+        rest = [i for i in remaining if i != best]
+        for tuple_index, (row, _) in enumerate(table.rows()):
+            extended = _match_row(sg, row, binding)
+            if extended is not None:
+                used.append((best, tuple_index))
+                recurse(rest, extended, used)
+                used.pop()
+
+    recurse(list(range(len(subgoals))), {}, [])
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Lineage construction (the exact baseline SPROUT is compared against).
+# ---------------------------------------------------------------------------
+
+
+def query_lineage(
+    query: ConjunctiveQuery, db: Database, registry: Optional[VariableRegistry] = None
+) -> Tuple[Dict[tuple, DNF], VariableRegistry]:
+    """Per-head-binding lineage DNFs over fresh Boolean variables (one per
+    base tuple).  This is the general-purpose path: handing the DNFs to
+    the exact or Karp-Luby engines works for *any* conjunctive query,
+    hierarchical or not."""
+    registry = registry if registry is not None else VariableRegistry()
+    table_vars: Dict[str, List[int]] = {}
+    for sg in query.subgoals:
+        table = db[sg.table]
+        if sg.table not in table_vars:
+            table_vars[sg.table] = [
+                registry.fresh_boolean(p, name=f"{sg.table}[{i}]")
+                for i, (_, p) in enumerate(table.rows())
+            ]
+
+    lineages: Dict[tuple, List[Condition]] = {}
+    for binding, used in _join_bindings(query.subgoals, db):
+        key = tuple(binding[v] for v in query.head)
+        atoms = []
+        for sg_index, tuple_index in used:
+            table_name = query.subgoals[sg_index].table
+            atoms.append((table_vars[table_name][tuple_index], 1))
+        clause = Condition.of(atoms)
+        if clause is not None:
+            lineages.setdefault(key, []).append(clause)
+    return {key: DNF(clauses) for key, clauses in lineages.items()}, registry
+
+
+# ---------------------------------------------------------------------------
+# Safe-plan evaluation: eager strategy.
+# ---------------------------------------------------------------------------
+
+
+def _eager_evaluate(
+    subgoals: List[int],
+    head_vars: Tuple[str, ...],
+    query: ConjunctiveQuery,
+    db: Database,
+) -> Dict[tuple, float]:
+    """Recursive safe-plan evaluation; returns head-binding -> probability.
+
+    Aggregations run as soon as the hierarchy allows: every independent
+    project materializes its (smaller) aggregated result before the
+    enclosing join proceeds.
+    """
+    # Split into connected components via shared non-head variables.
+    components = _components(subgoals, head_vars, query)
+    if len(components) > 1:
+        partials = [
+            _eager_evaluate(comp, head_vars, query, db) for comp in components
+        ]
+        return _independent_join(partials, components, head_vars, query)
+
+    component = components[0]
+    free = _free_variables(component, head_vars, query)
+    if not free:
+        # All terms determined by head vars / constants: or-combine per
+        # binding within each subgoal, multiply across subgoals.
+        partials = []
+        for index in component:
+            partials.append(_single_subgoal(index, head_vars, query, db))
+        return _independent_join(partials, [[i] for i in component], head_vars, query)
+
+    root = _root_variable(component, free, query)
+    if root is None:
+        raise UnsafeQueryError(
+            f"query {query!r} is not hierarchical: component "
+            f"{[repr(query.subgoals[i]) for i in component]} has no root variable"
+        )
+    extended = head_vars + (root,)
+    inner = _eager_evaluate(component, extended, query, db)
+    # Independent project: group by the original head vars, or-combine
+    # across root-variable values.
+    out: Dict[tuple, float] = {}
+    for key, p in inner.items():
+        outer_key = key[:-1]
+        out[outer_key] = 1.0 - (1.0 - out.get(outer_key, 0.0)) * (1.0 - p)
+    return out
+
+
+def _components(
+    subgoals: List[int], head_vars: Tuple[str, ...], query: ConjunctiveQuery
+) -> List[List[int]]:
+    head_set = set(head_vars)
+    parent = {i: i for i in subgoals}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    var_home: Dict[str, int] = {}
+    for i in subgoals:
+        for v in query.subgoals[i].variables():
+            if v in head_set:
+                continue
+            if v in var_home:
+                ra, rb = find(var_home[v]), find(i)
+                if ra != rb:
+                    parent[rb] = ra
+            else:
+                var_home[v] = i
+    groups: Dict[int, List[int]] = {}
+    for i in subgoals:
+        groups.setdefault(find(i), []).append(i)
+    return [sorted(g) for _, g in sorted(groups.items())]
+
+
+def _free_variables(
+    component: List[int], head_vars: Tuple[str, ...], query: ConjunctiveQuery
+) -> Set[str]:
+    head_set = set(head_vars)
+    out: Set[str] = set()
+    for i in component:
+        out.update(v for v in query.subgoals[i].variables() if v not in head_set)
+    return out
+
+
+def _root_variable(
+    component: List[int], free: Set[str], query: ConjunctiveQuery
+) -> Optional[str]:
+    """A non-head variable occurring in every subgoal of the component."""
+    candidates = set(free)
+    for i in component:
+        candidates &= query.subgoals[i].variables()
+        if not candidates:
+            return None
+    # Deterministic choice.
+    return sorted(candidates)[0]
+
+
+def _single_subgoal(
+    index: int, head_vars: Tuple[str, ...], query: ConjunctiveQuery, db: Database
+) -> Dict[tuple, float]:
+    """Evaluate one subgoal whose variables are all head vars: per binding
+    of the head vars *it mentions*, or-combine the probabilities of the
+    matching tuples.  The enclosing independent join aligns partial
+    bindings across subgoals."""
+    sg = query.subgoals[index]
+    bound = tuple(v for v in head_vars if v in sg.variables())
+    table = db[sg.table]
+    out: Dict[tuple, float] = {}
+    for row, p in table.rows():
+        binding = _match_row(sg, row, {})
+        if binding is None:
+            continue
+        key = tuple(binding[v] for v in bound)
+        out[key] = 1.0 - (1.0 - out.get(key, 0.0)) * (1.0 - p)
+    return out
+
+
+def _independent_join(
+    partials: List[Dict[tuple, float]],
+    components: List[List[int]],
+    head_vars: Tuple[str, ...],
+    query: ConjunctiveQuery,
+) -> Dict[tuple, float]:
+    """Combine per-component results: a head binding is an answer iff it is
+    an answer in every component, and the events are independent.
+
+    Components may bind different subsets of the head variables; bindings
+    join on their shared variables (hash join on the common projection).
+    """
+    bound_vars: List[Tuple[str, ...]] = []
+    for comp in components:
+        vs: Set[str] = set()
+        for i in comp:
+            vs.update(query.subgoals[i].variables())
+        bound_vars.append(tuple(v for v in head_vars if v in vs))
+
+    # Start from the first component and fold the rest in.
+    acc: Dict[tuple, float] = {}
+    acc_vars = bound_vars[0]
+    for key, p in partials[0].items():
+        acc[key] = p
+
+    for partial, vs in zip(partials[1:], bound_vars[1:]):
+        shared = tuple(v for v in acc_vars if v in vs)
+        new_vars = acc_vars + tuple(v for v in vs if v not in acc_vars)
+        index: Dict[tuple, List[Tuple[tuple, float]]] = {}
+        for key, p in partial.items():
+            shared_key = tuple(key[vs.index(v)] for v in shared)
+            index.setdefault(shared_key, []).append((key, p))
+        next_acc: Dict[tuple, float] = {}
+        for key, p in acc.items():
+            shared_key = tuple(key[acc_vars.index(v)] for v in shared)
+            for other_key, q in index.get(shared_key, ()):
+                merged = key + tuple(
+                    other_key[vs.index(v)] for v in vs if v not in acc_vars
+                )
+                next_acc[merged] = p * q
+        acc = next_acc
+        acc_vars = new_vars
+
+    # Results are keyed over the head variables this subgoal set binds, in
+    # head-variable order; callers with wider head lists align partials on
+    # their shared variables.
+    overall = tuple(v for v in head_vars if any(v in vs for vs in bound_vars))
+    if acc_vars != overall:
+        positions = [acc_vars.index(v) for v in overall]
+        acc = {tuple(k[i] for i in positions): p for k, p in acc.items()}
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Safe-plan evaluation: lazy strategy.
+# ---------------------------------------------------------------------------
+
+
+def _lazy_evaluate(query: ConjunctiveQuery, db: Database) -> Dict[tuple, float]:
+    """Materialize the full join first (pure relational phase), then run
+    the whole confidence computation as one aggregation pass over the
+    join result, grouped along the hierarchy.
+
+    Join rows carry (binding, per-subgoal tuple ids and probabilities);
+    the aggregation recursion mirrors the eager plan's structure but never
+    touches base tables again.
+    """
+    rows = _join_bindings(query.subgoals, db)
+    annotated = []
+    for binding, used in rows:
+        probs = {}
+        for sg_index, tuple_index in used:
+            table = db[query.subgoals[sg_index].table]
+            probs[sg_index] = (tuple_index, table.probabilities[tuple_index])
+        annotated.append((binding, probs))
+
+    all_indices = list(range(len(query.subgoals)))
+
+    def aggregate(
+        row_subset: List[Tuple[Dict[str, Any], Dict[int, Tuple[int, float]]]],
+        subgoals: List[int],
+        head_vars: Tuple[str, ...],
+    ) -> Dict[tuple, float]:
+        components = _components(subgoals, head_vars, query)
+        if len(components) > 1:
+            partials = [aggregate(row_subset, comp, head_vars) for comp in components]
+            return _independent_join(partials, components, head_vars, query)
+        component = components[0]
+        free = _free_variables(component, head_vars, query)
+        if not free:
+            out: Dict[tuple, float] = {}
+            component_vars: Set[str] = set()
+            for i in component:
+                component_vars.update(query.subgoals[i].variables())
+            bound = tuple(v for v in head_vars if v in component_vars)
+            # Dedup per subgoal: the same base tuple appears in many join
+            # rows; each base tuple's probability must count once.
+            per_key: Dict[tuple, Dict[int, Dict[int, float]]] = {}
+            for binding, probs in row_subset:
+                key = tuple(binding[v] for v in bound)
+                bucket = per_key.setdefault(key, {i: {} for i in component})
+                for i in component:
+                    tuple_index, p = probs[i]
+                    bucket[i][tuple_index] = p
+            for key, buckets in per_key.items():
+                probability = 1.0
+                for i in component:
+                    or_p = 0.0
+                    for p in buckets[i].values():
+                        or_p = 1.0 - (1.0 - or_p) * (1.0 - p)
+                    probability *= or_p
+                out[key] = probability
+            return out
+        root = _root_variable(component, free, query)
+        if root is None:
+            raise UnsafeQueryError(
+                f"query {query!r} is not hierarchical (lazy plan)"
+            )
+        inner = aggregate(row_subset, component, head_vars + (root,))
+        out: Dict[tuple, float] = {}
+        for key, p in inner.items():
+            outer = key[:-1]
+            out[outer] = 1.0 - (1.0 - out.get(outer, 0.0)) * (1.0 - p)
+        return out
+
+    return aggregate(annotated, all_indices, query.head)
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+
+def sprout_confidence(
+    query: ConjunctiveQuery,
+    db: Database,
+    strategy: str = "eager",
+) -> Relation:
+    """Confidence of every answer of a hierarchical query.
+
+    Returns a relation with one column per head variable plus ``p``.
+    Raises :class:`UnsafeQueryError` for non-hierarchical queries (use
+    :func:`query_lineage` + an exact/approximate engine for those).
+    """
+    if strategy not in ("eager", "lazy"):
+        raise ConfidenceError(f"unknown SPROUT strategy {strategy!r}")
+    if not is_hierarchical(query):
+        raise UnsafeQueryError(
+            f"query {query!r} is not hierarchical; SPROUT's safe plans do not apply"
+        )
+    if strategy == "eager":
+        result = _eager_evaluate(
+            list(range(len(query.subgoals))), query.head, query, db
+        )
+    else:
+        result = _lazy_evaluate(query, db)
+
+    columns = [
+        Column(name, _column_type(name, query, db)) for name in query.head
+    ]
+    columns.append(Column("p", FLOAT))
+    schema = Schema(columns)
+    rows = [key + (p,) for key, p in sorted(result.items(), key=lambda kv: group_key(kv[0]))]
+    return Relation(schema, rows)
+
+
+def _column_type(var_name: str, query: ConjunctiveQuery, db: Database):
+    for sg in query.subgoals:
+        for position, term in enumerate(sg.terms):
+            if isinstance(term, Var) and term.name == var_name:
+                return db[sg.table].relation.schema[position].type
+    raise ConfidenceError(f"variable {var_name!r} not found in any subgoal")

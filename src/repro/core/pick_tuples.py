@@ -1,0 +1,110 @@
+"""The ``pick tuples`` construct (Section 2.2, construct 2).
+
+``pick tuples from R [independently] [with probability e]`` creates a
+probabilistic relation representing *all possible subsets* of the input
+table: every tuple is independently kept (with the given probability,
+default 0.5 -- the uniform distribution over subsets) or dropped.
+
+Interpretation choice (documented in DESIGN.md): the paper says only that
+the ``independently`` flag "ensures that the output probabilistic relation
+is tuple-independent".  We read the default as sharing one Boolean
+variable among *duplicate* tuples -- duplicates live or die together, so
+with duplicates present the result is not tuple-independent -- while
+``independently`` gives every tuple occurrence its own fresh variable,
+which guarantees tuple-independence unconditionally.  On duplicate-free
+inputs the two modes coincide (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.conditions import Condition
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.engine.expressions import Expr
+from repro.engine.physical import group_key
+from repro.engine.relation import Relation
+from repro.errors import PickTuplesError
+
+ProbabilitySpec = Union[None, float, str, Expr, Callable[[tuple], float]]
+
+#: Keeping or dropping each tuple uniformly at random yields the uniform
+#: distribution over all subsets of the input.
+DEFAULT_PICK_PROBABILITY = 0.5
+
+
+def pick_tuples(
+    relation: Relation,
+    registry: VariableRegistry,
+    probability: ProbabilitySpec = None,
+    independently: bool = False,
+    name_hint: Optional[str] = None,
+) -> URelation:
+    """Apply ``pick tuples`` to a (t-certain) relation.
+
+    Parameters
+    ----------
+    relation:
+        The input t-certain relation.
+    registry:
+        The registry in which fresh Boolean variables are created.
+    probability:
+        ``None`` (default 0.5), a constant, a column name, an engine
+        expression, or a callable on rows.  Must evaluate into [0, 1].
+    independently:
+        Fresh variable per tuple occurrence (guarantees a
+        tuple-independent result) instead of one per distinct tuple value.
+    """
+    prob_fn = _probability_function(relation, probability)
+
+    rows: List[tuple] = []
+    conditions: List[Condition] = []
+    shared: Dict[tuple, int] = {}
+
+    for position, row in enumerate(relation):
+        p = prob_fn(row)
+        if p is None:
+            raise PickTuplesError(f"probability evaluated to NULL on row {row!r}")
+        p = float(p)
+        if not (0.0 <= p <= 1.0):
+            raise PickTuplesError(
+                f"probability {p} outside [0, 1] on row {row!r}"
+            )
+        if independently:
+            label = f"{name_hint}[{position}]" if name_hint else None
+            var = registry.fresh_boolean(p, name=label)
+        else:
+            key = group_key(row)
+            if key in shared:
+                var = shared[key]
+            else:
+                label = f"{name_hint}[{','.join(map(str, row))}]" if name_hint else None
+                var = registry.fresh_boolean(p, name=label)
+                shared[key] = var
+        rows.append(row)
+        conditions.append(Condition.atom(var, 1))
+
+    return URelation.from_conditions(
+        relation.schema, rows, conditions, registry,
+        cond_arity=1 if rows else 0,
+    )
+
+
+def _probability_function(
+    relation: Relation, probability: ProbabilitySpec
+) -> Callable[[tuple], Optional[float]]:
+    """Resolve the ``with probability`` argument into a row -> p callable."""
+    if probability is None:
+        return lambda row: DEFAULT_PICK_PROBABILITY
+    if isinstance(probability, (int, float)) and not isinstance(probability, bool):
+        constant = float(probability)
+        return lambda row: constant
+    if isinstance(probability, str):
+        position = relation.schema.resolve(probability)
+        return lambda row: row[position]
+    if isinstance(probability, Expr):
+        return probability.compile(relation.schema)
+    if callable(probability):
+        return probability
+    raise PickTuplesError(f"unsupported probability specification {probability!r}")

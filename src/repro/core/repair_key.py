@@ -1,0 +1,128 @@
+"""The ``repair key`` construct (Section 2.2, construct 2).
+
+``repair key K in R weight by w`` nondeterministically chooses a *maximal
+repair* of the key ``K`` in the t-certain relation ``R``: a minimal set of
+tuples is removed so that ``K`` becomes a key, i.e. exactly one tuple
+survives per key group (groups are never dropped entirely -- that would
+not be minimal).  The worlds are all combinations of per-group choices;
+the optional ``weight by`` expression assigns non-uniform probabilities,
+normalized within each group.
+
+Representation: one fresh independent random variable per key group, with
+one alternative per candidate tuple of positive weight; each output tuple
+is conditioned on its group's variable taking its alternative.  This is
+exactly how Figure 1 encodes the one-step random walk: variables x, y, z
+for key groups (Bryant, F), (Bryant, SE), (Bryant, SL).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.conditions import Condition
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.engine.expressions import Expr
+from repro.engine.physical import group_key
+from repro.engine.relation import Relation
+from repro.errors import RepairKeyError
+
+WeightSpec = Union[None, str, Expr, Callable[[tuple], float]]
+
+
+def repair_key(
+    relation: Relation,
+    key_columns: Sequence[str],
+    registry: VariableRegistry,
+    weight_by: WeightSpec = None,
+    name_hint: Optional[str] = None,
+) -> URelation:
+    """Apply ``repair key`` to a (t-certain) relation.
+
+    Parameters
+    ----------
+    relation:
+        The input; must be certain data (the construct maps t-certain
+        tables to uncertain ones).
+    key_columns:
+        The attributes ``K`` to repair into a key.  May be empty: then the
+        whole relation is one group and exactly one tuple survives
+        (a categorical choice among all tuples).
+    registry:
+        The variable registry to create fresh variables in.
+    weight_by:
+        ``None`` for uniform weights, a column name, an engine expression,
+        or a Python callable on row tuples.  Weights must be non-negative
+        and each group must have positive total weight; zero-weight tuples
+        appear in no repair and are dropped from the hypothesis space.
+    name_hint:
+        Optional prefix for the generated variable names (diagnostics).
+    """
+    weight_fn = _weight_function(relation, weight_by)
+    key_positions = [relation.schema.resolve(c) for c in key_columns]
+
+    # Group rows by key, preserving first-seen order for determinism.
+    groups: dict = {}
+    order: List[tuple] = []
+    for row in relation:
+        key = group_key(row[p] for p in key_positions)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    rows: List[tuple] = []
+    conditions: List[Condition] = []
+    for key in order:
+        group_rows = groups[key]
+        weights = []
+        for row in group_rows:
+            w = weight_fn(row)
+            if w is None:
+                raise RepairKeyError(f"weight expression evaluated to NULL on {row!r}")
+            w = float(w)
+            if w < 0:
+                raise RepairKeyError(f"negative weight {w} on row {row!r}")
+            weights.append(w)
+        total = sum(weights)
+        if total <= 0:
+            raise RepairKeyError(
+                f"key group {key!r} has total weight 0; no repair can choose a tuple"
+            )
+
+        survivors = [(row, w) for row, w in zip(group_rows, weights) if w > 0]
+        if len(survivors) == 1:
+            # A single candidate is chosen with certainty: no variable needed.
+            rows.append(survivors[0][0])
+            conditions.append(Condition.true())
+            continue
+
+        distribution = {i: w / total for i, (_, w) in enumerate(survivors)}
+        label = None
+        if name_hint is not None:
+            label = f"{name_hint}[{','.join(map(str, key))}]"
+        var = registry.fresh(distribution, name=label)
+        for alternative, (row, _) in enumerate(survivors):
+            rows.append(row)
+            conditions.append(Condition.atom(var, alternative))
+
+    return URelation.from_conditions(
+        relation.schema, rows, conditions, registry,
+        cond_arity=1 if rows else 0,
+    )
+
+
+def _weight_function(
+    relation: Relation, weight_by: WeightSpec
+) -> Callable[[tuple], Optional[float]]:
+    """Resolve the ``weight by`` argument into a row -> weight callable."""
+    if weight_by is None:
+        return lambda row: 1.0
+    if isinstance(weight_by, str):
+        position = relation.schema.resolve(weight_by)
+        return lambda row: row[position]
+    if isinstance(weight_by, Expr):
+        return weight_by.compile(relation.schema)
+    if callable(weight_by):
+        return weight_by
+    raise RepairKeyError(f"unsupported weight specification {weight_by!r}")

@@ -1,0 +1,441 @@
+"""U-relations: the representation system of MayBMS (Section 2.1).
+
+A U-relation is a standard relation extended with *condition columns*
+(pairs of integers: variable id, assigned value) and *probability columns*
+(floats caching the marginal probability of each assignment).  This module
+stores exactly that wide relational encoding -- payload columns followed
+by ``cond_arity`` triples ``(_v{i}, _d{i}, _p{i})`` -- the same layout the
+paper describes for the PostgreSQL implementation ("storing the variables
+and their possible assignments as pairs of integers, and probabilities as
+floating-point numbers", Section 2.4).
+
+Typed-certain (t-certain) tables are the ``cond_arity = 0`` case.
+
+Attribute-level uncertainty is achieved by *vertical decomposition*: a
+relation with uncertain attributes is split into one U-relation per
+attribute keyed by a tuple id, and re-assembled ("undoing the vertical
+decomposition on demand") by joining on the tuple id and conjoining
+conditions; see :func:`vertical_decompose` / :func:`vertical_recompose`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.variables import TOP_VARIABLE, VariableRegistry
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import FLOAT, INTEGER, NULL
+from repro.errors import ConditionError, SchemaError
+
+#: Column-name prefixes of the wide encoding's condition triples.
+VAR_PREFIX = "_v"
+VAL_PREFIX = "_d"
+PROB_PREFIX = "_p"
+
+
+def condition_columns(cond_arity: int, qualifier: Optional[str] = None) -> List[Column]:
+    """The schema columns of ``cond_arity`` condition triples."""
+    cols: List[Column] = []
+    for i in range(cond_arity):
+        cols.append(Column(f"{VAR_PREFIX}{i}", INTEGER, qualifier))
+        cols.append(Column(f"{VAL_PREFIX}{i}", INTEGER, qualifier))
+        cols.append(Column(f"{PROB_PREFIX}{i}", FLOAT, qualifier))
+    return cols
+
+
+def encode_condition(condition: Condition, cond_arity: int, registry: VariableRegistry) -> tuple:
+    """Flatten a condition into ``cond_arity`` (var, val, prob) triples,
+    padding with the reserved always-true atom."""
+    if len(condition) > cond_arity:
+        raise ConditionError(
+            f"condition {condition!r} needs {len(condition)} triples, "
+            f"encoding has {cond_arity}"
+        )
+    flat: List = []
+    for var, value in condition:
+        flat.extend((var, value, registry.probability(var, value)))
+    for _ in range(cond_arity - len(condition)):
+        flat.extend((TOP_VARIABLE, 0, 1.0))
+    return tuple(flat)
+
+
+def decode_condition(row: tuple, payload_arity: int, cond_arity: int) -> Optional[Condition]:
+    """Read the condition triples out of a wide-encoded row.
+
+    Returns None when the row's atoms are contradictory (possible only for
+    rows produced by a join before its consistency filter runs).
+    """
+    atoms = []
+    base = payload_arity
+    for i in range(cond_arity):
+        var = row[base + 3 * i]
+        value = row[base + 3 * i + 1]
+        atoms.append((var, value))
+    return Condition.of(atoms)
+
+
+class URelation:
+    """A U-relation in the wide relational encoding.
+
+    ``relation`` holds payload columns followed by condition triples;
+    ``registry`` is the variable table the conditions refer to.
+    """
+
+    __slots__ = ("relation", "payload_arity", "cond_arity", "registry")
+
+    def __init__(
+        self,
+        relation: Relation,
+        payload_arity: int,
+        cond_arity: int,
+        registry: VariableRegistry,
+    ):
+        expected = payload_arity + 3 * cond_arity
+        if len(relation.schema) != expected:
+            raise SchemaError(
+                f"U-relation schema has {len(relation.schema)} columns, "
+                f"expected {payload_arity} payload + {3 * cond_arity} condition"
+            )
+        self.relation = relation
+        self.payload_arity = payload_arity
+        self.cond_arity = cond_arity
+        self.registry = registry
+
+    # -- constructors -----------------------------------------------------------
+    @staticmethod
+    def from_conditions(
+        payload_schema: Schema,
+        rows: Sequence[tuple],
+        conditions: Sequence[Condition],
+        registry: VariableRegistry,
+        cond_arity: Optional[int] = None,
+    ) -> "URelation":
+        """Build a U-relation from payload rows and parallel conditions."""
+        if len(rows) != len(conditions):
+            raise SchemaError(
+                f"{len(rows)} rows but {len(conditions)} conditions"
+            )
+        if cond_arity is None:
+            cond_arity = max((len(c) for c in conditions), default=0)
+        schema = Schema(tuple(payload_schema) + tuple(condition_columns(cond_arity)))
+        wide_rows = [
+            tuple(row) + encode_condition(cond, cond_arity, registry)
+            for row, cond in zip(rows, conditions)
+        ]
+        return URelation(
+            Relation(schema, wide_rows), len(payload_schema), cond_arity, registry
+        )
+
+    @staticmethod
+    def t_certain(relation: Relation, registry: VariableRegistry) -> "URelation":
+        """Wrap a standard relation as a t-certain table (no conditions)."""
+        return URelation(relation, len(relation.schema), 0, registry)
+
+    @staticmethod
+    def from_wide(
+        relation: Relation, payload_arity: int, registry: VariableRegistry
+    ) -> "URelation":
+        """Adopt an already wide-encoded relation (e.g. a translated query
+        result); the condition arity is inferred from the column count."""
+        extra = len(relation.schema) - payload_arity
+        if extra < 0 or extra % 3 != 0:
+            raise SchemaError(
+                f"cannot infer condition arity: {extra} non-payload columns"
+            )
+        return URelation(relation, payload_arity, extra // 3, registry)
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def is_t_certain(self) -> bool:
+        return self.cond_arity == 0
+
+    @property
+    def payload_schema(self) -> Schema:
+        return self.relation.schema.project(range(self.payload_arity))
+
+    def payload_row(self, row: tuple) -> tuple:
+        return row[: self.payload_arity]
+
+    def payload_relation(self) -> Relation:
+        """The payload columns only (conditions dropped, duplicates kept)."""
+        return self.relation.project_positions(list(range(self.payload_arity)))
+
+    def condition_of(self, row: tuple) -> Optional[Condition]:
+        return decode_condition(row, self.payload_arity, self.cond_arity)
+
+    def rows_with_conditions(self) -> Iterator[Tuple[tuple, Optional[Condition]]]:
+        for row in self.relation:
+            yield self.payload_row(row), self.condition_of(row)
+
+    def conditions(self) -> List[Optional[Condition]]:
+        return [self.condition_of(row) for row in self.relation]
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:
+        return (
+            f"<URelation payload={self.payload_schema.names} "
+            f"cond_arity={self.cond_arity} rows={len(self.relation)}>"
+        )
+
+    # -- possible-worlds semantics ---------------------------------------------------
+    def in_world(self, assignment: Mapping[int, int], distinct: bool = False) -> Relation:
+        """Instantiate this U-relation in the world given by a total
+        assignment: the payload rows whose condition is satisfied."""
+        rows = []
+        for row in self.relation:
+            condition = self.condition_of(row)
+            if condition is not None and condition.satisfied_by(assignment):
+                rows.append(self.payload_row(row))
+        result = Relation(self.payload_schema, rows)
+        return result.distinct() if distinct else result
+
+    def possible_payloads(self) -> Relation:
+        """Distinct payload tuples possible in at least one world with
+        positive probability (the core of the ``possible`` construct)."""
+        seen = set()
+        rows = []
+        for row in self.relation:
+            condition = self.condition_of(row)
+            if condition is None:
+                continue
+            if condition.probability(self.registry) <= 0.0:
+                continue
+            payload = self.payload_row(row)
+            if payload not in seen:
+                seen.add(payload)
+                rows.append(payload)
+        return Relation(self.payload_schema, rows)
+
+    # -- representation maintenance -------------------------------------------------
+    def pad_to(self, cond_arity: int) -> "URelation":
+        """Widen the condition columns to ``cond_arity`` with ⊤ padding."""
+        if cond_arity < self.cond_arity:
+            raise SchemaError(
+                f"cannot narrow condition arity {self.cond_arity} -> {cond_arity}"
+            )
+        if cond_arity == self.cond_arity:
+            return self
+        extra = cond_arity - self.cond_arity
+        padding = (TOP_VARIABLE, 0, 1.0) * extra
+        schema = Schema(
+            tuple(self.relation.schema)
+            + tuple(
+                Column(f"{prefix}{i}", typ)
+                for i in range(self.cond_arity, cond_arity)
+                for prefix, typ in (
+                    (VAR_PREFIX, INTEGER),
+                    (VAL_PREFIX, INTEGER),
+                    (PROB_PREFIX, FLOAT),
+                )
+            )
+        )
+        rows = [row + padding for row in self.relation]
+        return URelation(Relation(schema, rows), self.payload_arity, cond_arity, self.registry)
+
+    def normalized(self) -> "URelation":
+        """Drop rows with contradictory or zero-probability conditions and
+        re-encode each condition minimally (sorted, deduplicated, padded)."""
+        payload_schema = self.payload_schema
+        rows, conditions = [], []
+        for row in self.relation:
+            condition = self.condition_of(row)
+            if condition is None:
+                continue
+            if condition.probability(self.registry) <= 0.0:
+                continue
+            rows.append(self.payload_row(row))
+            conditions.append(condition)
+        return URelation.from_conditions(payload_schema, rows, conditions, self.registry)
+
+    def refresh_probabilities(self) -> "URelation":
+        """Recompute the cached probability columns from the registry."""
+        rows = []
+        base = self.payload_arity
+        for row in self.relation:
+            out = list(row)
+            for i in range(self.cond_arity):
+                var = row[base + 3 * i]
+                value = row[base + 3 * i + 1]
+                out[base + 3 * i + 2] = self.registry.probability(var, value)
+            rows.append(tuple(out))
+        return URelation(
+            Relation(self.relation.schema, rows),
+            self.payload_arity,
+            self.cond_arity,
+            self.registry,
+        )
+
+    # -- presentation ----------------------------------------------------------
+    def pretty(self, max_rows: Optional[int] = None) -> str:
+        """Figure-1 style rendering: payload columns, a symbolic
+        ``condition`` column (``x3 ↦ 1``), and a probability column."""
+        header = list(self.payload_schema.names) + ["condition", "P"]
+        body = []
+        rows = self.relation.rows if max_rows is None else self.relation.rows[:max_rows]
+        for row in rows:
+            condition = self.condition_of(row)
+            if condition is None:
+                text, prob = "⊥", 0.0
+            else:
+                text = repr(condition)
+                prob = condition.probability(self.registry)
+            cells = ["NULL" if v is NULL else str(v) for v in self.payload_row(row)]
+            body.append(cells + [text, f"{prob:.6g}"])
+        widths = [len(h) for h in header]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+        out = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for line in body:
+            out.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+        out.append(f"({len(self.relation)} rows)")
+        return "\n".join(out)
+
+
+def rebuild_registry(
+    urelations: Iterable[URelation],
+    registry: Optional[VariableRegistry] = None,
+) -> VariableRegistry:
+    """Reconstruct variable distributions from the inline probability
+    columns of stored U-relations.
+
+    This is why the wide encoding carries probability columns at all: the
+    representation is self-describing, so a catalog recovered from the
+    write-ahead log (which persists only tables) can restore its world
+    table.  Observed ``(variable, value) -> probability`` triples become
+    the distribution; when the observed values of a variable do not
+    exhaust its probability mass, the remainder goes to a sink value (one
+    past the largest observed value) -- those are the alternatives no
+    surviving tuple references.
+    """
+    observed: Dict[int, Dict[int, float]] = {}
+    for urel in urelations:
+        base = urel.payload_arity
+        for row in urel.relation:
+            for i in range(urel.cond_arity):
+                var = row[base + 3 * i]
+                value = row[base + 3 * i + 1]
+                probability = row[base + 3 * i + 2]
+                if var == TOP_VARIABLE:
+                    continue
+                slot = observed.setdefault(var, {})
+                previous = slot.get(value)
+                if previous is not None and abs(previous - probability) > 1e-9:
+                    raise ConditionError(
+                        f"inconsistent stored probabilities for variable "
+                        f"{var} value {value}: {previous} vs {probability}"
+                    )
+                slot[value] = probability
+
+    rebuilt = registry if registry is not None else VariableRegistry()
+    for var in sorted(observed):
+        distribution = dict(observed[var])
+        mass = sum(distribution.values())
+        if mass > 1.0 + 1e-9:
+            raise ConditionError(
+                f"stored probabilities for variable {var} sum to {mass} > 1"
+            )
+        if mass < 1.0 - 1e-9:
+            sink = max(distribution) + 1
+            distribution[sink] = 1.0 - mass
+        # Install under the original id; fresh() would renumber, so write
+        # the internal tables directly (ids must survive recovery).
+        rebuilt._distributions[var] = {
+            int(v): float(p) for v, p in distribution.items()
+        }
+        rebuilt._names.setdefault(var, f"x{var}")
+        rebuilt._next_id = max(rebuilt._next_id, var + 1)
+    return rebuilt
+
+
+# ---------------------------------------------------------------------------
+# Vertical decomposition (attribute-level uncertainty).
+# ---------------------------------------------------------------------------
+
+TID_COLUMN = "_tid"
+
+
+def vertical_decompose(urel: URelation) -> Dict[str, URelation]:
+    """Split a U-relation into one U-relation per payload attribute.
+
+    Each part has schema ``(_tid, attribute)`` plus the original row's
+    condition.  The tuple id is the row's position, mirroring the paper's
+    "additional (system) column ... for storing tuple ids".
+    """
+    parts: Dict[str, URelation] = {}
+    payload_schema = urel.payload_schema
+    all_conditions = [c if c is not None else None for c in urel.conditions()]
+    for position, column in enumerate(payload_schema):
+        schema = Schema([Column(TID_COLUMN, INTEGER), Column(column.name, column.type)])
+        rows, conditions = [], []
+        for tid, (row, condition) in enumerate(zip(urel.relation, all_conditions)):
+            if condition is None:
+                continue
+            rows.append((tid, row[position]))
+            conditions.append(condition)
+        parts[column.name] = URelation.from_conditions(
+            schema, rows, conditions, urel.registry
+        )
+    return parts
+
+
+def vertical_recompose(
+    parts: Mapping[str, URelation], column_order: Sequence[str]
+) -> URelation:
+    """Undo a vertical decomposition: join the per-attribute U-relations on
+    the tuple id, conjoining their conditions.
+
+    An attribute may have *several alternative values* per tuple id (that
+    is what attribute-level uncertainty means), so the join takes the
+    cross product of alternatives per tid; combinations with contradictory
+    conditions represent no world and are dropped, exactly as the
+    translated join's consistency filter would drop them.
+    """
+    if not column_order:
+        raise SchemaError("recompose needs at least one column")
+    first = parts[column_order[0]]
+    registry = first.registry
+
+    # Per attribute: tid -> list of (value, condition) alternatives.
+    alternatives: List[Dict[int, List[Tuple[object, Condition]]]] = []
+    for name in column_order:
+        per_tid: Dict[int, List[Tuple[object, Condition]]] = {}
+        for payload, condition in parts[name].rows_with_conditions():
+            if condition is None:
+                continue
+            per_tid.setdefault(payload[0], []).append((payload[1], condition))
+        alternatives.append(per_tid)
+
+    columns = []
+    for name in column_order:
+        part_schema = parts[name].payload_schema
+        columns.append(Column(name, part_schema[1].type))
+    schema = Schema(columns)
+
+    shared_tids = set(alternatives[0])
+    for per_tid in alternatives[1:]:
+        shared_tids &= set(per_tid)
+
+    rows: List[tuple] = []
+    conditions: List[Condition] = []
+    for tid in sorted(shared_tids):
+        combos: List[Tuple[List, Condition]] = [([], TRUE_CONDITION)]
+        for per_tid in alternatives:
+            extended: List[Tuple[List, Condition]] = []
+            for values, acc in combos:
+                for value, condition in per_tid[tid]:
+                    merged = acc.conjoin(condition)
+                    if merged is not None:
+                        extended.append((values + [value], merged))
+            combos = extended
+        for values, condition in combos:
+            rows.append(tuple(values))
+            conditions.append(condition)
+    return URelation.from_conditions(schema, rows, conditions, registry)

@@ -1,0 +1,28 @@
+"""Workload generators for the examples, tests, and benchmarks.
+
+Everything is seeded and deterministic.  :mod:`repro.datagen.nba`
+substitutes for the paper's www.nba.com data (see DESIGN.md);
+:mod:`repro.datagen.markov` builds stochastic matrices and their relational
+encodings (Figure 1); :mod:`repro.datagen.random_dnf` drives the
+exact-vs-approximate crossover study; :mod:`repro.datagen.tpch` is the
+scaled-down TPC-H-like generator for the SPROUT and translation benches.
+"""
+
+from repro.datagen.markov import (
+    random_stochastic_matrix,
+    transition_relation,
+    matrix_power_distribution,
+)
+from repro.datagen.nba import NBADataGenerator
+from repro.datagen.random_dnf import random_dnf, random_registry
+from repro.datagen.tpch import TpchGenerator
+
+__all__ = [
+    "random_stochastic_matrix",
+    "transition_relation",
+    "matrix_power_distribution",
+    "NBADataGenerator",
+    "random_dnf",
+    "random_registry",
+    "TpchGenerator",
+]

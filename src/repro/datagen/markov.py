@@ -1,0 +1,95 @@
+"""Stochastic matrices and their relational encodings (Figure 1).
+
+The paper encodes a per-player fitness stochastic matrix as a relation
+``FT(Player, Init, Final, P)`` and performs random walks on it with
+``repair key`` + ``conf``.  This module generates such matrices (the
+figure's own matrix included), converts them to relations, and computes
+ground-truth k-step distributions with numpy matrix powers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, TEXT
+
+#: The exact stochastic matrix of Figure 1 (states F, SE, SL).
+FIGURE1_STATES = ("F", "SE", "SL")
+FIGURE1_MATRIX = np.array(
+    [
+        [0.8, 0.05, 0.15],
+        [0.1, 0.6, 0.3],
+        [0.8, 0.0, 0.2],
+    ]
+)
+
+
+def random_stochastic_matrix(
+    n_states: int, rng: random.Random, sparsity: float = 0.0
+) -> np.ndarray:
+    """A random row-stochastic matrix.
+
+    ``sparsity`` is the probability of zeroing an off-diagonal entry before
+    normalization (the diagonal is kept positive so every row normalizes).
+    """
+    matrix = np.zeros((n_states, n_states))
+    for i in range(n_states):
+        for j in range(n_states):
+            weight = rng.random()
+            if i != j and rng.random() < sparsity:
+                weight = 0.0
+            matrix[i, j] = weight
+        if matrix[i].sum() == 0.0:
+            matrix[i, i] = 1.0
+        matrix[i] /= matrix[i].sum()
+    return matrix
+
+
+def state_names(n_states: int) -> List[str]:
+    if n_states <= len(FIGURE1_STATES):
+        return list(FIGURE1_STATES[:n_states])
+    return [f"s{i}" for i in range(n_states)]
+
+
+def transition_relation(
+    matrices: Dict[str, np.ndarray],
+    states: Optional[Sequence[str]] = None,
+) -> Relation:
+    """The relational encoding FT(Player, Init, Final, P) of a family of
+    per-player stochastic matrices, zero entries omitted (as in Figure 1,
+    where (SL, SE) with probability 0.0 appears in the matrix but not in
+    the U-relation's hypothesis space)."""
+    schema = Schema.of(
+        ("player", TEXT), ("init", TEXT), ("final", TEXT), ("p", FLOAT)
+    )
+    rows = []
+    for player, matrix in matrices.items():
+        names = list(states) if states is not None else state_names(matrix.shape[0])
+        for i, init in enumerate(names):
+            for j, final in enumerate(names):
+                probability = float(matrix[i, j])
+                if probability > 0.0:
+                    rows.append((player, init, final, probability))
+    return Relation(schema, rows)
+
+
+def matrix_power_distribution(
+    matrix: np.ndarray,
+    initial_state: int,
+    steps: int,
+    states: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Ground truth: the k-step distribution from ``initial_state``."""
+    power = np.linalg.matrix_power(matrix, steps)
+    names = list(states) if states is not None else state_names(matrix.shape[0])
+    return {names[j]: float(power[initial_state, j]) for j in range(matrix.shape[0])}
+
+
+def figure1_relation() -> Relation:
+    """Bryant's FT relation exactly as printed in Figure 1."""
+    return transition_relation({"Bryant": FIGURE1_MATRIX}, FIGURE1_STATES)

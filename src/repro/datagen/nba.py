@@ -1,0 +1,213 @@
+"""Synthetic NBA-shaped data (the www.nba.com substitute).
+
+The demo's three scenarios (Section 3) need: a roster with salaries and
+injury status, a player-skill relation, per-player fitness stochastic
+matrices driven by injury severity, and recent per-game points for the
+performance predictor.  This generator produces all of them with a seeded
+PRNG; shapes and magnitudes are NBA-plausible (rosters of ~15, salaries in
+millions, 0-40 point games), which is all the scenarios depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.markov import random_stochastic_matrix
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, INTEGER, TEXT
+
+SKILLS = (
+    "defense",
+    "three_point",
+    "free_shooting",
+    "shooting",
+    "passing",
+    "rebounding",
+)
+
+FITNESS_STATES = ("F", "SE", "SL")  # fit, seriously injured, slightly injured
+
+_FIRST_NAMES = (
+    "Kobe", "LeBron", "Tim", "Kevin", "Dirk", "Steve", "Dwyane", "Chris",
+    "Paul", "Tony", "Manu", "Ray", "Vince", "Tracy", "Carmelo", "Dwight",
+    "Rajon", "Russell", "Derrick", "Blake",
+)
+_LAST_NAMES = (
+    "Bryant", "James", "Duncan", "Garnett", "Nowitzki", "Nash", "Wade",
+    "Paul", "Pierce", "Parker", "Ginobili", "Allen", "Carter", "McGrady",
+    "Anthony", "Howard", "Rondo", "Westbrook", "Rose", "Griffin",
+)
+
+
+@dataclass
+class Player:
+    name: str
+    salary_millions: float
+    status: str  # "fit" | "slightly_injured" | "seriously_injured"
+    skills: Tuple[str, ...]
+    fitness_matrix: np.ndarray
+    recent_points: Tuple[int, ...]
+
+
+class NBADataGenerator:
+    """Deterministic generator of one team's data."""
+
+    def __init__(self, seed: int = 2009, n_players: int = 15, n_recent_games: int = 8):
+        self.rng = random.Random(seed)
+        self.n_players = n_players
+        self.n_recent_games = n_recent_games
+        self.players = self._generate_players()
+
+    # -- raw generation ------------------------------------------------------
+    def _generate_players(self) -> List[Player]:
+        names = []
+        used = set()
+        while len(names) < self.n_players:
+            name = (
+                f"{self.rng.choice(_FIRST_NAMES)} {self.rng.choice(_LAST_NAMES)}"
+            )
+            if name not in used:
+                used.add(name)
+                names.append(name)
+
+        players = []
+        for name in names:
+            status = self.rng.choices(
+                ["fit", "slightly_injured", "seriously_injured"],
+                weights=[0.6, 0.25, 0.15],
+            )[0]
+            skill_count = self.rng.randint(1, 4)
+            skills = tuple(self.rng.sample(SKILLS, skill_count))
+            salary = round(self.rng.uniform(1.0, 30.0), 2)
+            matrix = self._fitness_matrix(status)
+            points = tuple(
+                max(0, int(self.rng.gauss(18, 8))) for _ in range(self.n_recent_games)
+            )
+            players.append(Player(name, salary, status, skills, matrix, points))
+        return players
+
+    def _fitness_matrix(self, status: str) -> np.ndarray:
+        """A per-player fitness transition matrix whose recovery speed
+        depends on injury severity (the team doctor's report)."""
+        base = random_stochastic_matrix(len(FITNESS_STATES), self.rng)
+        # Bias the matrix: fit players tend to stay fit; injured players
+        # recover slowly when seriously injured, quickly when slightly.
+        bias = {
+            "fit": np.array([[0.8, 0.05, 0.15], [0.3, 0.4, 0.3], [0.6, 0.05, 0.35]]),
+            "slightly_injured": np.array(
+                [[0.7, 0.1, 0.2], [0.2, 0.5, 0.3], [0.5, 0.1, 0.4]]
+            ),
+            "seriously_injured": np.array(
+                [[0.6, 0.2, 0.2], [0.1, 0.7, 0.2], [0.3, 0.3, 0.4]]
+            ),
+        }[status]
+        matrix = 0.5 * base + 0.5 * bias
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        return matrix
+
+    # -- relational views -------------------------------------------------------
+    def roster_relation(self) -> Relation:
+        """players(name, salary, status)."""
+        schema = Schema.of(("name", TEXT), ("salary", FLOAT), ("status", TEXT))
+        return Relation(
+            schema,
+            [(p.name, p.salary_millions, p.status) for p in self.players],
+        )
+
+    def skills_relation(self) -> Relation:
+        """skills(player, skill)."""
+        schema = Schema.of(("player", TEXT), ("skill", TEXT))
+        rows = [(p.name, s) for p in self.players for s in p.skills]
+        return Relation(schema, rows)
+
+    def availability_relation(self) -> Relation:
+        """availability(player, p): probability the player can play, from
+        current status (the what-if hypothesis space for team management)."""
+        probability = {"fit": 0.95, "slightly_injured": 0.6, "seriously_injured": 0.2}
+        schema = Schema.of(("player", TEXT), ("p", FLOAT))
+        return Relation(
+            schema, [(p.name, probability[p.status]) for p in self.players]
+        )
+
+    def fitness_transitions_relation(self) -> Relation:
+        """ft(player, init, final, p): all players' stochastic matrices."""
+        schema = Schema.of(
+            ("player", TEXT), ("init", TEXT), ("final", TEXT), ("p", FLOAT)
+        )
+        rows = []
+        for player in self.players:
+            for i, init in enumerate(FITNESS_STATES):
+                for j, final in enumerate(FITNESS_STATES):
+                    probability = float(player.fitness_matrix[i, j])
+                    if probability > 0.0:
+                        rows.append((player.name, init, final, probability))
+        return Relation(schema, rows)
+
+    def initial_states_relation(self) -> Relation:
+        """states(player, state): current fitness state per player."""
+        state_of = {
+            "fit": "F",
+            "seriously_injured": "SE",
+            "slightly_injured": "SL",
+        }
+        schema = Schema.of(("player", TEXT), ("state", TEXT))
+        return Relation(
+            schema, [(p.name, state_of[p.status]) for p in self.players]
+        )
+
+    def recent_points_relation(self) -> Relation:
+        """points(player, game, points): game 1 is the most recent."""
+        schema = Schema.of(("player", TEXT), ("game", INTEGER), ("points", INTEGER))
+        rows = []
+        for player in self.players:
+            for game, points in enumerate(player.recent_points, start=1):
+                rows.append((player.name, game, points))
+        return Relation(schema, rows)
+
+    def recency_weights_relation(self, half_life: float = 3.0) -> Relation:
+        """weights(game, w): exponentially decaying, normalized weights --
+        "higher weights to the more recent performance" (Section 3)."""
+        raw = [0.5 ** ((game - 1) / half_life) for game in range(1, self.n_recent_games + 1)]
+        total = sum(raw)
+        schema = Schema.of(("game", INTEGER), ("w", FLOAT))
+        return Relation(
+            schema, [(game, w / total) for game, w in enumerate(raw, start=1)]
+        )
+
+    # -- ground truths for tests -------------------------------------------------
+    def skill_availability_ground_truth(self) -> Dict[str, float]:
+        """P(at least one available player has the skill), per skill."""
+        probability = {"fit": 0.95, "slightly_injured": 0.6, "seriously_injured": 0.2}
+        out: Dict[str, float] = {}
+        for skill in SKILLS:
+            q = 1.0
+            for player in self.players:
+                if skill in player.skills:
+                    q *= 1.0 - probability[player.status]
+            out[skill] = 1.0 - q
+        return out
+
+    def expected_points_ground_truth(self, half_life: float = 3.0) -> Dict[str, float]:
+        """Recency-weighted expected next-game points, per player."""
+        raw = [0.5 ** ((game - 1) / half_life) for game in range(1, self.n_recent_games + 1)]
+        total = sum(raw)
+        weights = [w / total for w in raw]
+        return {
+            p.name: sum(w * pts for w, pts in zip(weights, p.recent_points))
+            for p in self.players
+        }
+
+    def fitness_ground_truth(self, player: Player, steps: int) -> Dict[str, float]:
+        """The k-step fitness distribution for one player."""
+        state_of = {"fit": 0, "seriously_injured": 1, "slightly_injured": 2}
+        initial = state_of[player.status]
+        power = np.linalg.matrix_power(player.fitness_matrix, steps)
+        return {
+            FITNESS_STATES[j]: float(power[initial, j])
+            for j in range(len(FITNESS_STATES))
+        }

@@ -1,0 +1,196 @@
+"""The MayBMS session facade.
+
+A :class:`MayBMS` object is "the database": a catalog of tables (standard
+and U-relations), the registry of independent random variables (the world
+table), a SQL executor, and transaction machinery (undo log + write-ahead
+log + table locks).  Typical use::
+
+    db = MayBMS()
+    db.execute("create table ft (player text, init text, final text, p float)")
+    db.execute("insert into ft values ('Bryant', 'F', 'F', 0.8), ...")
+    result = db.query('''
+        select player, final, conf() as p
+        from (repair key player, init in ft weight by p) r
+        group by player, final
+    ''')
+    print(result.pretty())
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
+from repro.engine.relation import Relation
+from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
+from repro.errors import AnalysisError, TransactionError
+from repro.sql import ast_nodes as ast
+from repro.sql.executor import Executor, StatementResult
+from repro.sql.parser import parse_statement, parse_statements
+
+QueryOutput = Union[Relation, URelation]
+
+
+class MayBMS:
+    """A probabilistic database session."""
+
+    def __init__(self, seed: int = 0):
+        self.catalog = Catalog()
+        self.registry = VariableRegistry()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self.executor = Executor(self.catalog, self.registry, random.Random(seed))
+        self._transaction: Optional[Transaction] = None
+
+    # -- SQL entry points ------------------------------------------------------
+    def execute(self, sql: str) -> StatementResult:
+        """Execute a single SQL statement (any kind)."""
+        statement = parse_statement(sql)
+        return self._dispatch(statement)
+
+    def execute_script(self, sql: str) -> List[StatementResult]:
+        """Execute a semicolon-separated batch."""
+        return [self._dispatch(s) for s in parse_statements(sql)]
+
+    def query(self, sql: str) -> Relation:
+        """Execute a query that must produce a t-certain relation."""
+        result = self.execute(sql)
+        if not isinstance(result.output, Relation):
+            raise AnalysisError(
+                "query did not produce a t-certain relation; use "
+                "uncertain_query() for U-relation results"
+            )
+        return result.output
+
+    def uncertain_query(self, sql: str) -> URelation:
+        """Execute a query that must produce an uncertain relation."""
+        result = self.execute(sql)
+        if not isinstance(result.output, URelation):
+            raise AnalysisError(
+                "query produced a t-certain relation; use query() instead"
+            )
+        return result.output
+
+    def _dispatch(self, statement: ast.Statement) -> StatementResult:
+        if isinstance(statement, ast.TransactionStatement):
+            action = statement.action
+            if action == "begin":
+                self.begin()
+            elif action == "commit":
+                self.commit()
+            else:
+                self.rollback()
+            return StatementResult()
+        return self.executor.execute(statement)
+
+    # -- transactions -------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None and self._transaction.is_active
+
+    def begin(self) -> Transaction:
+        if self.in_transaction:
+            raise TransactionError("a transaction is already in progress")
+        self._transaction = Transaction(self.catalog, self.wal)
+        return self._transaction
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        assert self._transaction is not None
+        self._transaction.commit()
+        self._transaction = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        assert self._transaction is not None
+        self._transaction.rollback()
+        self._transaction = None
+
+    @property
+    def transaction(self) -> Transaction:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        assert self._transaction is not None
+        return self._transaction
+
+    # -- programmatic table management ------------------------------------------------
+    def create_table_from_relation(self, name: str, relation: Relation) -> None:
+        """Register a standard table holding a copy of ``relation``."""
+        entry = self.catalog.create_table(
+            name, relation.schema.unqualified(), KIND_STANDARD
+        )
+        for row in relation:
+            entry.table.insert(row)
+
+    def create_table_from_urelation(self, name: str, urel: URelation) -> None:
+        """Register a U-relation (wide encoding) as a catalog table."""
+        entry = self.catalog.create_table(
+            name,
+            urel.relation.schema.unqualified(),
+            KIND_URELATION,
+            properties={
+                "payload_arity": urel.payload_arity,
+                "cond_arity": urel.cond_arity,
+            },
+        )
+        for row in urel.relation:
+            entry.table.insert(row)
+
+    def table(self, name: str) -> Relation:
+        """Snapshot of a standard table's contents."""
+        return self.catalog.entry(name).table.snapshot()
+
+    def urelation(self, name: str) -> URelation:
+        """A stored U-relation, reconstructed with this session's registry."""
+        entry = self.catalog.entry(name)
+        if not entry.is_urelation:
+            raise AnalysisError(f"table {name!r} is not a U-relation")
+        return URelation(
+            entry.table.snapshot(),
+            int(entry.properties["payload_arity"]),
+            int(entry.properties["cond_arity"]),
+            self.registry,
+        )
+
+    def tables(self) -> List[str]:
+        return self.catalog.table_names()
+
+    # -- recovery ----------------------------------------------------------------
+    def recover(self) -> "MayBMS":
+        """Crash recovery: a fresh session rebuilt from this session's
+        write-ahead log.
+
+        Tables are replayed from the WAL; the variable registry (which the
+        WAL does not persist) is reconstructed from the inline probability
+        columns of the recovered U-relations -- the wide encoding is
+        self-describing (see :func:`repro.core.urelation.rebuild_registry`).
+        """
+        from repro.core.urelation import rebuild_registry
+
+        recovered = MayBMS()
+        self.wal.replay(recovered.catalog)
+        urelations = []
+        for entry in recovered.catalog.entries():
+            if entry.is_urelation:
+                urelations.append(
+                    URelation(
+                        entry.table.snapshot(),
+                        int(entry.properties["payload_arity"]),
+                        int(entry.properties["cond_arity"]),
+                        recovered.registry,
+                    )
+                )
+        rebuild_registry(urelations, recovered.registry)
+        return recovered
+
+    # -- introspection ----------------------------------------------------------------
+    def sys_tables(self) -> Relation:
+        return self.catalog.sys_tables()
+
+    def sys_columns(self) -> Relation:
+        return self.catalog.sys_columns()

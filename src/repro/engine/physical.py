@@ -1,0 +1,326 @@
+"""Physical operators (iterator model).
+
+Each operator is a callable that yields row tuples.  The planner wires
+logical plans into trees of these; :func:`execute` materializes the result
+into a :class:`~repro.engine.relation.Relation`.
+
+The operator set mirrors a textbook executor: sequential scan, values
+scan, filter, projection, nested-loop and hash joins, hash aggregation,
+sort, limit, union-all, distinct.  Hash-based operators key rows with NULL-safe keys so
+NULL groups correctly (SQL GROUP BY treats NULLs as equal).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import Evaluator
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Schema
+from repro.engine.types import NULL, sort_key
+from repro.errors import PlanError
+
+RowIterator = Iterator[Row]
+PhysicalOp = Callable[[], RowIterator]
+
+# A sentinel used in hash keys so that NULL == NULL for grouping purposes
+# while staying distinct from any real value.
+_NULL_KEY = ("__null__",)
+
+
+def group_key(values: Iterable[Any]) -> tuple:
+    """Hashable grouping key where NULLs compare equal to each other."""
+    return tuple(_NULL_KEY if v is NULL else v for v in values)
+
+
+def seq_scan(relation: Relation) -> PhysicalOp:
+    def run() -> RowIterator:
+        return iter(relation.rows)
+
+    return run
+
+
+def values_scan(rows: Sequence[Row]) -> PhysicalOp:
+    def run() -> RowIterator:
+        return iter(rows)
+
+    return run
+
+
+def filter_op(child: PhysicalOp, predicate: Evaluator) -> PhysicalOp:
+    """Keep rows for which the predicate is SQL TRUE (not NULL)."""
+
+    def run() -> RowIterator:
+        for row in child():
+            if predicate(row) is True:
+                yield row
+
+    return run
+
+
+def project_op(child: PhysicalOp, evaluators: Sequence[Evaluator]) -> PhysicalOp:
+    def run() -> RowIterator:
+        for row in child():
+            yield tuple(e(row) for e in evaluators)
+
+    return run
+
+
+def nested_loop_join(
+    left: PhysicalOp,
+    right: PhysicalOp,
+    predicate: Optional[Evaluator],
+) -> PhysicalOp:
+    """Materializes the right input and loops.  Used for non-equi joins and
+    cross products."""
+
+    def run() -> RowIterator:
+        right_rows = list(right())
+        for lrow in left():
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if predicate is None or predicate(combined) is True:
+                    yield combined
+
+    return run
+
+
+def hash_join(
+    left: PhysicalOp,
+    right: PhysicalOp,
+    left_key: Sequence[Evaluator],
+    right_key: Sequence[Evaluator],
+    residual: Optional[Evaluator] = None,
+) -> PhysicalOp:
+    """Equi-join: build a hash table on the right input, probe with the left.
+
+    SQL equality semantics: rows whose key contains NULL never match, so
+    they are simply not inserted / probed.
+    """
+
+    def run() -> RowIterator:
+        table: Dict[tuple, List[Row]] = {}
+        for rrow in right():
+            key = tuple(e(rrow) for e in right_key)
+            if any(v is NULL for v in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        for lrow in left():
+            key = tuple(e(lrow) for e in left_key)
+            if any(v is NULL for v in key):
+                continue
+            bucket = table.get(key)
+            if not bucket:
+                continue
+            for rrow in bucket:
+                combined = lrow + rrow
+                if residual is None or residual(combined) is True:
+                    yield combined
+
+    return run
+
+
+def union_all(left: PhysicalOp, right: PhysicalOp) -> PhysicalOp:
+    def run() -> RowIterator:
+        yield from left()
+        yield from right()
+
+    return run
+
+
+def distinct_op(child: PhysicalOp) -> PhysicalOp:
+    def run() -> RowIterator:
+        seen = set()
+        for row in child():
+            key = group_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    return run
+
+
+def sort_op(
+    child: PhysicalOp,
+    key_evaluators: Sequence[Evaluator],
+    ascendings: Sequence[bool],
+) -> PhysicalOp:
+    """Stable multi-key sort; NULLs last in ascending order (PostgreSQL
+    default), first in descending."""
+
+    def run() -> RowIterator:
+        rows = list(child())
+        # Stable sorts compose: apply keys right-to-left.
+        for evaluator, ascending in reversed(list(zip(key_evaluators, ascendings))):
+            rows.sort(key=lambda r: sort_key(evaluator(r)), reverse=not ascending)
+        return iter(rows)
+
+    return run
+
+
+def limit_op(child: PhysicalOp, count: Optional[int], offset: int) -> PhysicalOp:
+    def run() -> RowIterator:
+        it = child()
+        for _ in range(offset):
+            try:
+                next(it)
+            except StopIteration:
+                return
+        if count is None:
+            yield from it
+            return
+        for _, row in zip(range(count), it):
+            yield row
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Aggregation.
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Accumulator for one aggregate over one group."""
+
+    __slots__ = ("function", "count", "total", "extreme", "argmax_pairs", "seen")
+
+    def __init__(self, function: str, distinct: bool):
+        self.function = function
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self.argmax_pairs: List[Tuple[Any, Any]] = []
+        self.seen: Optional[set] = set() if distinct else None
+
+    def update(self, value: Any, second: Any = None) -> None:
+        if self.function == "count_star":
+            self.count += 1
+            return
+        if value is NULL:
+            return  # SQL aggregates ignore NULLs
+        if self.seen is not None:
+            key = value if value is not NULL else _NULL_KEY
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        self.count += 1
+        if self.function == "sum" or self.function == "avg":
+            self.total = value if self.total is None else self.total + value
+        elif self.function == "min":
+            if self.extreme is None or sort_key(value) < sort_key(self.extreme):
+                self.extreme = value
+        elif self.function == "max":
+            if self.extreme is None or sort_key(value) > sort_key(self.extreme):
+                self.extreme = value
+        elif self.function == "argmax":
+            self.argmax_pairs.append((value, second))
+
+    def result(self) -> Any:
+        if self.function in ("count", "count_star"):
+            return self.count
+        if self.function == "sum":
+            return self.total if self.total is not None else NULL
+        if self.function == "avg":
+            if self.count == 0:
+                return NULL
+            return self.total / self.count
+        if self.function in ("min", "max"):
+            return self.extreme if self.extreme is not None else NULL
+        if self.function == "argmax":
+            # Handled specially by hash_aggregate (may emit several rows).
+            raise AssertionError("argmax result is multi-valued")
+        raise AssertionError(self.function)
+
+    def argmax_results(self) -> List[Any]:
+        """All arg values whose paired value attains the group maximum."""
+        best = None
+        for _, v in self.argmax_pairs:
+            if v is NULL:
+                continue
+            if best is None or sort_key(v) > sort_key(best):
+                best = v
+        if best is None:
+            return [NULL]
+        return [a for a, v in self.argmax_pairs if v is not NULL and v == best]
+
+
+def hash_aggregate(
+    child: PhysicalOp,
+    group_evaluators: Sequence[Evaluator],
+    agg_functions: Sequence[str],
+    agg_arg_evaluators: Sequence[Optional[Evaluator]],
+    agg_second_evaluators: Sequence[Optional[Evaluator]],
+    agg_distinct: Sequence[bool],
+) -> PhysicalOp:
+    """Hash grouping with accumulation.
+
+    With no group expressions and no input rows, emits the SQL-mandated
+    single row of "empty" aggregates (count = 0, sum = NULL, ...).
+
+    If an ``argmax`` aggregate is present it may multiply rows: the group
+    emits one row per maximizing argument (the paper: "outputs *all* the
+    arg values").  Several argmax aggregates produce a cross product of
+    their maximizer lists, though in practice queries use one.
+    """
+
+    def run() -> RowIterator:
+        groups: Dict[tuple, Tuple[Row, List[_AggState]]] = {}
+        order: List[tuple] = []
+        for row in child():
+            key_values = tuple(e(row) for e in group_evaluators)
+            key = group_key(key_values)
+            entry = groups.get(key)
+            if entry is None:
+                states = [
+                    _AggState(fn, dis)
+                    for fn, dis in zip(agg_functions, agg_distinct)
+                ]
+                groups[key] = (key_values, states)
+                order.append(key)
+                entry = groups[key]
+            _, states = entry
+            for state, arg_eval, second_eval in zip(
+                states, agg_arg_evaluators, agg_second_evaluators
+            ):
+                value = arg_eval(row) if arg_eval is not None else None
+                second = second_eval(row) if second_eval is not None else None
+                state.update(value, second)
+
+        if not groups and not group_evaluators:
+            # Scalar aggregate over an empty input.
+            states = [
+                _AggState(fn, dis) for fn, dis in zip(agg_functions, agg_distinct)
+            ]
+            groups[()] = ((), states)
+            order.append(())
+
+        for key in order:
+            key_values, states = groups[key]
+            multi_positions = [
+                i for i, s in enumerate(states) if s.function == "argmax"
+            ]
+            if not multi_positions:
+                yield key_values + tuple(s.result() for s in states)
+                continue
+            # Expand argmax maximizer lists (cross product if several).
+            def expand(i: int, acc: List[Any]):
+                if i == len(states):
+                    yield tuple(acc)
+                    return
+                state = states[i]
+                if state.function == "argmax":
+                    for arg in state.argmax_results():
+                        yield from expand(i + 1, acc + [arg])
+                else:
+                    yield from expand(i + 1, acc + [state.result()])
+
+            for agg_row in expand(0, []):
+                yield key_values + agg_row
+
+    return run
+
+
+def execute(op: PhysicalOp, schema: Schema) -> Relation:
+    """Drain a physical operator into a relation."""
+    return Relation(schema, list(op()))

@@ -1,0 +1,216 @@
+"""In-memory relations.
+
+A :class:`Relation` is a schema plus a list of rows (plain Python tuples).
+Relations are *multisets*: duplicates are kept, as required by SQL semantics
+and, crucially, by U-relations, where duplicate payload tuples with
+different conditions encode disjunction of their lineages.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.schema import Column, Schema
+from repro.engine.types import NULL, sort_key
+from repro.errors import SchemaError
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A schema and a multiset of rows.
+
+    Rows are stored as tuples whose arity matches the schema.  Construction
+    validates arity (not per-value types, which would be too slow on hot
+    paths; the storage layer validates types on insert instead).
+    """
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        self.rows: List[Row] = [tuple(r) for r in rows]
+        arity = len(schema)
+        for row in self.rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"row {row!r} has arity {len(row)}, schema expects {arity}"
+                )
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Multiset equality: same schema types/names and same rows up to
+        order.  Qualifiers are ignored, as two equivalent queries may tag
+        their outputs differently."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if [c.name.lower() for c in self.schema] != [c.name.lower() for c in other.schema]:
+            return False
+        return sorted(map(_row_key, self.rows)) == sorted(map(_row_key, other.rows))
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.schema.names} with {len(self.rows)} rows>"
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def from_dicts(schema: Schema, dicts: Iterable[dict]) -> "Relation":
+        """Build a relation from dicts keyed by (case-insensitive) column name."""
+        rows = []
+        lower_names = [c.name.lower() for c in schema]
+        for d in dicts:
+            lowered = {k.lower(): v for k, v in d.items()}
+            rows.append(tuple(lowered.get(name, NULL) for name in lower_names))
+        return Relation(schema, rows)
+
+    def to_dicts(self) -> List[dict]:
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    # -- common manipulations ---------------------------------------------------
+    def copy(self) -> "Relation":
+        return Relation(self.schema, list(self.rows))
+
+    def with_schema(self, schema: Schema) -> "Relation":
+        if len(schema) != len(self.schema):
+            raise SchemaError("with_schema requires equal arity")
+        return Relation(schema, self.rows)
+
+    def project_positions(self, positions: Sequence[int]) -> "Relation":
+        schema = self.schema.project(positions)
+        rows = [tuple(row[i] for i in positions) for row in self.rows]
+        return Relation(schema, rows)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        return self.project_positions([self.schema.resolve(n) for n in names])
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
+        return Relation(self.schema, [r for r in self.rows if predicate(r)])
+
+    def sorted_by(self, names: Sequence[str], descending: bool = False) -> "Relation":
+        positions = [self.schema.resolve(n) for n in names]
+        rows = sorted(
+            self.rows,
+            key=lambda r: tuple(sort_key(r[i]) for i in positions),
+            reverse=descending,
+        )
+        return Relation(self.schema, rows)
+
+    def distinct(self) -> "Relation":
+        seen = set()
+        rows = []
+        for row in self.rows:
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return Relation(self.schema, rows)
+
+    def column(self, name: str) -> List[Any]:
+        i = self.schema.resolve(name)
+        return [row[i] for row in self.rows]
+
+    def single_value(self) -> Any:
+        """The value of a 1x1 relation (e.g. a scalar aggregate query)."""
+        if len(self.rows) != 1 or len(self.schema) != 1:
+            raise SchemaError(
+                f"expected a 1x1 relation, got {len(self.rows)} rows x "
+                f"{len(self.schema)} columns"
+            )
+        return self.rows[0][0]
+
+    # -- presentation ----------------------------------------------------------
+    def pretty(self, max_rows: Optional[int] = None, floatfmt: str = "{:.6g}") -> str:
+        """An aligned, psql-style rendering of the relation."""
+        header = [c.name for c in self.schema]
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        body = [
+            [_render(v, floatfmt) for v in row]
+            for row in shown
+        ]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            sep,
+        ]
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        omitted = len(self.rows) - len(shown)
+        if omitted > 0:
+            lines.append(f"... ({omitted} more rows)")
+        lines.append(f"({len(self.rows)} rows)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.schema.names)
+        for row in self.rows:
+            writer.writerow(["" if v is NULL else v for v in row])
+        return buf.getvalue()
+
+    @staticmethod
+    def from_csv(schema: Schema, text: str) -> "Relation":
+        """Parse CSV (with a header row that is ignored) into typed rows."""
+        reader = csv.reader(io.StringIO(text))
+        rows = []
+        for line_no, raw in enumerate(reader):
+            if line_no == 0:
+                continue
+            if not raw:
+                continue
+            row = []
+            for cell, col in zip(raw, schema):
+                if cell == "":
+                    row.append(NULL)
+                elif col.type.name == "INTEGER":
+                    row.append(int(cell))
+                elif col.type.name == "FLOAT":
+                    row.append(float(cell))
+                elif col.type.name == "BOOLEAN":
+                    row.append(cell.strip().lower() in ("t", "true", "1"))
+                else:
+                    row.append(cell)
+            rows.append(tuple(row))
+        return Relation(schema, rows)
+
+
+def _render(value: Any, floatfmt: str) -> str:
+    if value is NULL:
+        return "NULL"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
+def _row_key(row: Row) -> tuple:
+    """A total-order sort key for whole rows (NULL-safe)."""
+    return tuple(sort_key(v) for v in row)
+
+
+def empty_like(relation: Relation) -> Relation:
+    return Relation(relation.schema, [])
+
+
+def single_row_relation(names_values: Sequence[Tuple[str, Any]]) -> Relation:
+    """Build a one-row relation from (name, value) pairs, inferring types."""
+    from repro.engine.types import type_of_literal
+
+    schema = Schema(
+        Column(name, type_of_literal(value)) for name, value in names_values
+    )
+    return Relation(schema, [tuple(v for _, v in names_values)])

@@ -1,0 +1,184 @@
+"""Columns and schemas.
+
+A :class:`Schema` is an ordered list of :class:`Column` objects.  Columns
+carry an optional *qualifier* (the table alias they came from), so the
+name-resolution rules of SQL -- unqualified names must be unambiguous,
+qualified names must match exactly -- live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.types import SqlType
+from repro.errors import (
+    AmbiguousColumnError,
+    DuplicateColumnError,
+    UnknownColumnError,
+)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column, optionally qualified by a table alias."""
+
+    name: str
+    type: SqlType
+    qualifier: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Column":
+        return replace(self, qualifier=qualifier)
+
+    def with_name(self, name: str) -> "Column":
+        return replace(self, name=name)
+
+    def matches(self, name: str, qualifier: Optional[str] = None) -> bool:
+        """Does this column answer to ``[qualifier.]name``?
+
+        Matching is case-insensitive, like PostgreSQL's folded identifiers.
+        """
+        if name.lower() != self.name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return self.qualifier is not None and qualifier.lower() == self.qualifier.lower()
+
+    def __repr__(self) -> str:
+        return f"{self.qualified_name}:{self.type.name}"
+
+
+class Schema:
+    """An ordered collection of columns with SQL name resolution.
+
+    Duplicate *qualified* names are rejected at construction; duplicate bare
+    names under different qualifiers are legal (as after a join) and simply
+    make the bare name ambiguous.
+    """
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        seen = set()
+        for col in self.columns:
+            key = (col.qualifier.lower() if col.qualifier else None, col.name.lower())
+            if key in seen:
+                raise DuplicateColumnError(
+                    f"duplicate column {col.qualified_name!r} in schema"
+                )
+            seen.add(key)
+        self._index = {}
+        for i, col in enumerate(self.columns):
+            self._index.setdefault(col.name.lower(), []).append(i)
+
+    # -- basic container protocol -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, i: int) -> Column:
+        return self.columns[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(repr(c) for c in self.columns) + ")"
+
+    # -- derived views --------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def types(self) -> List[SqlType]:
+        return [c.type for c in self.columns]
+
+    def positions(self) -> range:
+        return range(len(self.columns))
+
+    # -- name resolution --------------------------------------------------------
+    def resolve(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Return the position of ``[qualifier.]name``.
+
+        Raises :class:`UnknownColumnError` if no column matches and
+        :class:`AmbiguousColumnError` if several do.
+        """
+        candidates = [
+            i for i in self._index.get(name.lower(), []) if self.columns[i].matches(name, qualifier)
+        ]
+        if not candidates:
+            target = f"{qualifier}.{name}" if qualifier else name
+            raise UnknownColumnError(
+                f"column {target!r} not found in schema {self.names}"
+            )
+        if len(candidates) > 1:
+            raise AmbiguousColumnError(
+                f"column reference {name!r} is ambiguous in schema "
+                f"{[c.qualified_name for c in self.columns]}"
+            )
+        return candidates[0]
+
+    def column_of(self, name: str, qualifier: Optional[str] = None) -> Column:
+        return self.columns[self.resolve(name, qualifier)]
+
+    def has(self, name: str, qualifier: Optional[str] = None) -> bool:
+        try:
+            self.resolve(name, qualifier)
+            return True
+        except (UnknownColumnError, AmbiguousColumnError):
+            return False
+
+    # -- construction helpers ----------------------------------------------------
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a cross product / join: columns of self then other."""
+        return Schema(self.columns + other.columns)
+
+    def project(self, positions: Sequence[int]) -> "Schema":
+        return Schema(self.columns[i] for i in positions)
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Schema":
+        """Re-qualify every column (used when aliasing a table or subquery)."""
+        return Schema(c.with_qualifier(qualifier) for c in self.columns)
+
+    def unqualified(self) -> "Schema":
+        return self.with_qualifier(None)
+
+    def rename(self, names: Sequence[str]) -> "Schema":
+        if len(names) != len(self.columns):
+            raise DuplicateColumnError(
+                f"rename expects {len(self.columns)} names, got {len(names)}"
+            )
+        return Schema(
+            c.with_name(n) for c, n in zip(self.columns, names)
+        )
+
+    @staticmethod
+    def of(*pairs: Tuple[str, SqlType], qualifier: Optional[str] = None) -> "Schema":
+        """Convenience constructor: ``Schema.of(("a", INTEGER), ("b", TEXT))``."""
+        return Schema(Column(name, typ, qualifier) for name, typ in pairs)
+
+    def union_compatible_with(self, other: "Schema") -> bool:
+        """UNION compatibility: same arity and pairwise compatible types
+        (identical, or INTEGER/FLOAT mixtures)."""
+        if len(self) != len(other):
+            return False
+        for a, b in zip(self.types, other.types):
+            if a == b:
+                continue
+            if {a.name, b.name} == {"INTEGER", "FLOAT"}:
+                continue
+            return False
+        return True

@@ -1,0 +1,185 @@
+"""Base table storage.
+
+A :class:`Table` stores rows in a dict keyed by a stable tuple id, so
+deletes and updates do not disturb other tuples' ids -- mirroring heap
+tuple ids in PostgreSQL, which MayBMS relies on for the vertical
+decomposition of attribute-level uncertainty ("an additional (system)
+column is used for storing tuple ids", Section 2.1).
+
+Type checking happens here, on insert, so relations flowing through query
+plans do not pay per-row validation costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.indexes import HashIndex, SortedIndex
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.errors import StorageError
+
+
+class Table:
+    """A mutable base table with stable tuple ids and optional indexes."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._rows: Dict[int, tuple] = {}
+        self._next_tid = 1
+        self._indexes: Dict[str, Any] = {}
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def tids(self) -> List[int]:
+        return list(self._rows)
+
+    def get(self, tid: int) -> tuple:
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise StorageError(f"table {self.name!r} has no tuple id {tid}") from None
+
+    def rows(self) -> Iterator[tuple]:
+        return iter(self._rows.values())
+
+    def items(self) -> Iterator[Tuple[int, tuple]]:
+        return iter(self._rows.items())
+
+    def snapshot(self, alias: Optional[str] = None) -> Relation:
+        """An immutable relation copy of the current contents."""
+        schema = self.schema.with_qualifier(alias) if alias else self.schema
+        return Relation(schema, list(self._rows.values()))
+
+    # -- mutation ----------------------------------------------------------------
+    def _coerce(self, row: Sequence[Any]) -> tuple:
+        if len(row) != len(self.schema):
+            raise StorageError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}"
+            )
+        return tuple(
+            column.type.coerce(value) for column, value in zip(self.schema, row)
+        )
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Insert a row (after type coercion); returns its new tuple id."""
+        coerced = self._coerce(row)
+        tid = self._next_tid
+        self._next_tid += 1
+        self._rows[tid] = coerced
+        for index in self._indexes.values():
+            index.insert(tid, coerced)
+        return tid
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> List[int]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, tid: int) -> tuple:
+        """Delete by tuple id; returns the removed row (for undo logs)."""
+        row = self.get(tid)
+        for index in self._indexes.values():
+            index.delete(tid, row)
+        del self._rows[tid]
+        return row
+
+    def update(self, tid: int, row: Sequence[Any]) -> tuple:
+        """Replace the row at ``tid``; returns the old row (for undo logs)."""
+        old = self.get(tid)
+        coerced = self._coerce(row)
+        for index in self._indexes.values():
+            index.delete(tid, old)
+            index.insert(tid, coerced)
+        self._rows[tid] = coerced
+        return old
+
+    def restore(self, tid: int, row: Sequence[Any]) -> None:
+        """Re-insert a row under a specific tuple id (transaction rollback)."""
+        if tid in self._rows:
+            raise StorageError(f"tuple id {tid} already present in {self.name!r}")
+        coerced = self._coerce(row)
+        self._rows[tid] = coerced
+        self._next_tid = max(self._next_tid, tid + 1)
+        for index in self._indexes.values():
+            index.insert(tid, coerced)
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> List[Tuple[int, tuple]]:
+        """Delete all rows satisfying ``predicate``; returns (tid, row) pairs."""
+        victims = [(tid, row) for tid, row in self._rows.items() if predicate(row)]
+        for tid, _ in victims:
+            self.delete(tid)
+        return victims
+
+    def update_where(
+        self,
+        predicate: Callable[[tuple], bool],
+        transform: Callable[[tuple], Sequence[Any]],
+    ) -> List[Tuple[int, tuple]]:
+        """Update all rows satisfying ``predicate``; returns (tid, old row)."""
+        touched = []
+        for tid in list(self._rows):
+            row = self._rows[tid]
+            if predicate(row):
+                old = self.update(tid, transform(row))
+                touched.append((tid, old))
+        return touched
+
+    def truncate(self) -> List[Tuple[int, tuple]]:
+        removed = list(self._rows.items())
+        self._rows.clear()
+        for index in self._indexes.values():
+            for tid, row in removed:
+                index.delete(tid, row)
+        return removed
+
+    # -- indexes ---------------------------------------------------------------
+    def create_hash_index(
+        self, index_name: str, column_names: Sequence[str], unique: bool = False
+    ) -> HashIndex:
+        positions = [self.schema.resolve(n) for n in column_names]
+        index = HashIndex(index_name, positions, unique)
+        for tid, row in self._rows.items():
+            index.insert(tid, row)
+        self._register_index(index_name, index)
+        return index
+
+    def create_sorted_index(
+        self, index_name: str, column_names: Sequence[str]
+    ) -> SortedIndex:
+        positions = [self.schema.resolve(n) for n in column_names]
+        index = SortedIndex(index_name, positions)
+        for tid, row in self._rows.items():
+            index.insert(tid, row)
+        self._register_index(index_name, index)
+        return index
+
+    def _register_index(self, index_name: str, index: Any) -> None:
+        if index_name in self._indexes:
+            raise StorageError(f"index {index_name!r} already exists on {self.name!r}")
+        self._indexes[index_name] = index
+
+    def drop_index(self, index_name: str) -> None:
+        if index_name not in self._indexes:
+            raise StorageError(f"no index {index_name!r} on table {self.name!r}")
+        del self._indexes[index_name]
+
+    def index(self, index_name: str):
+        try:
+            return self._indexes[index_name]
+        except KeyError:
+            raise StorageError(
+                f"no index {index_name!r} on table {self.name!r}"
+            ) from None
+
+    def index_names(self) -> List[str]:
+        return list(self._indexes)
+
+    def lookup(self, index_name: str, key_values: Sequence[Any]) -> List[tuple]:
+        """Fetch rows via a hash index."""
+        index = self.index(index_name)
+        if not isinstance(index, HashIndex):
+            raise StorageError(f"index {index_name!r} is not a hash index")
+        return [self._rows[tid] for tid in sorted(index.lookup(key_values))]

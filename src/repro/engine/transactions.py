@@ -1,0 +1,304 @@
+"""Transactions: undo logging, table locks, and a write-ahead log.
+
+The paper's Section 2.3 observes that because U-relations are ordinary
+tables, "updates, concurrency control, and recovery cause surprisingly
+little difficulty": an update to a probabilistic database is just an
+update to its representation tables.  This module supplies the standard
+machinery so that the claim can be exercised:
+
+- :class:`Transaction` -- an undo journal over catalog tables; rollback
+  replays inverse operations in reverse order.
+- :class:`LockManager` -- table-granularity reader/writer locks (MayBMS
+  inherits PostgreSQL's concurrency control; table locks are the simplest
+  faithful equivalent for an in-memory engine).
+- :class:`WriteAheadLog` -- a redo log of committed logical operations
+  that can be replayed into an empty catalog to recover state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.schema import Column, Schema
+from repro.engine.storage import Table
+from repro.engine.types import type_from_name
+from repro.errors import TransactionError
+
+
+# -- undo records --------------------------------------------------------------
+
+
+@dataclass
+class _UndoInsert:
+    table: Table
+    tid: int
+
+    def undo(self) -> None:
+        self.table.delete(self.tid)
+
+
+@dataclass
+class _UndoDelete:
+    table: Table
+    tid: int
+    row: tuple
+
+    def undo(self) -> None:
+        self.table.restore(self.tid, self.row)
+
+
+@dataclass
+class _UndoUpdate:
+    table: Table
+    tid: int
+    old_row: tuple
+
+    def undo(self) -> None:
+        self.table.update(self.tid, self.old_row)
+
+
+@dataclass
+class _UndoCreateTable:
+    catalog: Catalog
+    name: str
+
+    def undo(self) -> None:
+        self.catalog.drop_table(self.name)
+
+
+@dataclass
+class _UndoDropTable:
+    catalog: Catalog
+    entry: CatalogEntry
+
+    def undo(self) -> None:
+        self.catalog.register(self.entry)
+
+
+class Transaction:
+    """An explicit transaction over catalog tables.
+
+    All mutations must flow through the transaction's methods to be
+    undoable.  ``commit`` publishes redo records to the WAL (if any);
+    ``rollback`` applies the undo journal in reverse.
+    """
+
+    def __init__(self, catalog: Catalog, wal: Optional["WriteAheadLog"] = None):
+        self.catalog = catalog
+        self.wal = wal
+        self._undo: List[Any] = []
+        self._redo: List[Tuple[Any, ...]] = []
+        self._state = "active"
+
+    # -- state ------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self._state == "active"
+
+    def _require_active(self) -> None:
+        if self._state != "active":
+            raise TransactionError(f"transaction is {self._state}, not active")
+
+    # -- mutations ----------------------------------------------------------
+    def insert(self, table_name: str, row: Sequence[Any]) -> int:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        tid = table.insert(row)
+        self._undo.append(_UndoInsert(table, tid))
+        self._redo.append(("insert", table_name, tuple(row)))
+        return tid
+
+    def delete(self, table_name: str, tid: int) -> tuple:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        row = table.delete(tid)
+        self._undo.append(_UndoDelete(table, tid, row))
+        self._redo.append(("delete_row", table_name, row))
+        return row
+
+    def update(self, table_name: str, tid: int, row: Sequence[Any]) -> tuple:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        old = table.update(tid, row)
+        self._undo.append(_UndoUpdate(table, tid, old))
+        self._redo.append(("update_row", table_name, old, tuple(row)))
+        return old
+
+    def delete_where(self, table_name: str, predicate: Callable[[tuple], bool]) -> int:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        victims = table.delete_where(predicate)
+        for tid, row in victims:
+            self._undo.append(_UndoDelete(table, tid, row))
+            self._redo.append(("delete_row", table_name, row))
+        return len(victims)
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        kind: str = "standard",
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> CatalogEntry:
+        self._require_active()
+        entry = self.catalog.create_table(name, schema, kind, properties)
+        self._undo.append(_UndoCreateTable(self.catalog, name))
+        self._redo.append(
+            (
+                "create_table",
+                name,
+                [(c.name, c.type.name) for c in schema],
+                kind,
+                dict(properties or {}),
+            )
+        )
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        self._require_active()
+        entry = self.catalog.drop_table(name)
+        assert entry is not None
+        self._undo.append(_UndoDropTable(self.catalog, entry))
+        self._redo.append(("drop_table", name))
+
+    # -- termination ---------------------------------------------------------
+    def commit(self) -> None:
+        self._require_active()
+        if self.wal is not None:
+            self.wal.append_committed(self._redo)
+        self._undo.clear()
+        self._redo.clear()
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        self._require_active()
+        for record in reversed(self._undo):
+            record.undo()
+        self._undo.clear()
+        self._redo.clear()
+        self._state = "aborted"
+
+
+class LockManager:
+    """Table-granularity shared/exclusive locks.
+
+    A minimal multiple-readers / single-writer scheme with a condition
+    variable per manager.  Lock requests are granted in arrival order per
+    table; no deadlock detection (callers should acquire in a consistent
+    order, as the tests do).
+    """
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._readers: Dict[str, int] = {}
+        self._writer: Dict[str, Optional[int]] = {}
+
+    def acquire_shared(self, table_name: str, timeout: Optional[float] = None) -> None:
+        key = table_name.lower()
+        me = threading.get_ident()
+        with self._condition:
+            granted = self._condition.wait_for(
+                lambda: self._writer.get(key) in (None, me), timeout=timeout
+            )
+            if not granted:
+                raise TransactionError(f"timeout acquiring shared lock on {table_name!r}")
+            self._readers[key] = self._readers.get(key, 0) + 1
+
+    def release_shared(self, table_name: str) -> None:
+        key = table_name.lower()
+        with self._condition:
+            count = self._readers.get(key, 0)
+            if count <= 0:
+                raise TransactionError(f"shared lock on {table_name!r} not held")
+            if count == 1:
+                del self._readers[key]
+            else:
+                self._readers[key] = count - 1
+            self._condition.notify_all()
+
+    def acquire_exclusive(self, table_name: str, timeout: Optional[float] = None) -> None:
+        key = table_name.lower()
+        me = threading.get_ident()
+        with self._condition:
+            granted = self._condition.wait_for(
+                lambda: self._readers.get(key, 0) == 0
+                and self._writer.get(key) in (None, me),
+                timeout=timeout,
+            )
+            if not granted:
+                raise TransactionError(
+                    f"timeout acquiring exclusive lock on {table_name!r}"
+                )
+            self._writer[key] = me
+
+    def release_exclusive(self, table_name: str) -> None:
+        key = table_name.lower()
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer.get(key) != me:
+                raise TransactionError(f"exclusive lock on {table_name!r} not held")
+            self._writer[key] = None
+            self._condition.notify_all()
+
+
+class WriteAheadLog:
+    """A redo log of committed logical operations.
+
+    Records are (op, *args) tuples using only plain Python values, so the
+    log could be serialized; :meth:`replay` rebuilds catalog state from
+    scratch, which is what crash recovery amounts to for this engine.
+    """
+
+    def __init__(self):
+        self._records: List[Tuple[Any, ...]] = []
+
+    def append_committed(self, records: Sequence[Tuple[Any, ...]]) -> None:
+        self._records.append(("begin",))
+        self._records.extend(records)
+        self._records.append(("commit",))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[Tuple[Any, ...]]:
+        return list(self._records)
+
+    def replay(self, catalog: Optional[Catalog] = None) -> Catalog:
+        """Rebuild a catalog by replaying every committed operation."""
+        catalog = catalog if catalog is not None else Catalog()
+        for record in self._records:
+            op = record[0]
+            if op in ("begin", "commit"):
+                continue
+            if op == "create_table":
+                _, name, columns, kind, properties = record
+                schema = Schema(
+                    Column(col_name, type_from_name(type_name))
+                    for col_name, type_name in columns
+                )
+                catalog.create_table(name, schema, kind, properties)
+            elif op == "drop_table":
+                catalog.drop_table(record[1])
+            elif op == "insert":
+                catalog.table(record[1]).insert(record[2])
+            elif op == "delete_row":
+                _, name, row = record
+                table = catalog.table(name)
+                for tid, existing in list(table.items()):
+                    if existing == row:
+                        table.delete(tid)
+                        break
+            elif op == "update_row":
+                _, name, old, new = record
+                table = catalog.table(name)
+                for tid, existing in list(table.items()):
+                    if existing == old:
+                        table.update(tid, new)
+                        break
+            else:
+                raise TransactionError(f"unknown WAL record {record!r}")
+        return catalog

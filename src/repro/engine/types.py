@@ -1,0 +1,240 @@
+"""SQL type system for the relational substrate.
+
+Four scalar types are enough to represent everything MayBMS stores:
+``INTEGER`` (variables and their assignments are "pairs of integers"),
+``FLOAT`` (probabilities are "floating-point numbers"), ``TEXT``, and
+``BOOLEAN``.  SQL ``NULL`` is represented by Python ``None`` and follows
+three-valued logic in comparisons and boolean connectives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import TypeMismatchError
+
+#: Python-side representation of SQL NULL.
+NULL = None
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A scalar SQL type.
+
+    Instances are interned as module-level singletons (:data:`INTEGER`,
+    :data:`FLOAT`, :data:`TEXT`, :data:`BOOLEAN`); equality is by name.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    # -- classification helpers -------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("INTEGER", "FLOAT")
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.name == "BOOLEAN"
+
+    @property
+    def is_text(self) -> bool:
+        return self.name == "TEXT"
+
+    # -- value checking ----------------------------------------------------
+    def accepts(self, value: Any) -> bool:
+        """Return True if ``value`` (a Python object) inhabits this type.
+
+        NULL inhabits every type.
+        """
+        if value is NULL:
+            return True
+        if self.name == "INTEGER":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.name == "FLOAT":
+            return (
+                isinstance(value, float)
+                or (isinstance(value, int) and not isinstance(value, bool))
+            )
+        if self.name == "TEXT":
+            return isinstance(value, str)
+        if self.name == "BOOLEAN":
+            return isinstance(value, bool)
+        raise AssertionError(f"unknown type {self.name}")
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a Python value to this type, or raise TypeMismatchError.
+
+        The only implicit widening is INTEGER -> FLOAT; everything else must
+        already inhabit the type.
+        """
+        if value is NULL:
+            return NULL
+        if self.name == "FLOAT" and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not self.accepts(value):
+            raise TypeMismatchError(
+                f"value {value!r} of Python type {type(value).__name__} "
+                f"does not inhabit SQL type {self.name}"
+            )
+        if self.name == "FLOAT":
+            return float(value)
+        return value
+
+
+INTEGER = SqlType("INTEGER")
+FLOAT = SqlType("FLOAT")
+TEXT = SqlType("TEXT")
+BOOLEAN = SqlType("BOOLEAN")
+
+_TYPES_BY_NAME = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": INTEGER,
+    "SMALLINT": INTEGER,
+    "FLOAT": FLOAT,
+    "REAL": FLOAT,
+    "DOUBLE": FLOAT,
+    "DOUBLE PRECISION": FLOAT,
+    "NUMERIC": FLOAT,
+    "DECIMAL": FLOAT,
+    "TEXT": TEXT,
+    "VARCHAR": TEXT,
+    "CHAR": TEXT,
+    "STRING": TEXT,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> SqlType:
+    """Resolve a SQL type name (case-insensitive, common aliases) to a type."""
+    try:
+        return _TYPES_BY_NAME[name.strip().upper()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown SQL type name {name!r}") from None
+
+
+def type_of_literal(value: Any) -> SqlType:
+    """Infer the SQL type of a Python literal value.
+
+    NULL has no type of its own; callers must supply context.  We default
+    NULL literals to TEXT, which matches PostgreSQL's fallback for untyped
+    NULLs in most positions.
+    """
+    if value is NULL:
+        return TEXT
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return TEXT
+    raise TypeMismatchError(f"no SQL type for Python value {value!r}")
+
+
+def common_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of combining two operand types (e.g. in arithmetic,
+    CASE branches, or UNION columns).  INTEGER widens to FLOAT; any other
+    mixture is an error."""
+    if left == right:
+        return left
+    if {left, right} == {INTEGER, FLOAT}:
+        return FLOAT
+    raise TypeMismatchError(f"no common type for {left} and {right}")
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic.
+#
+# SQL booleans take values TRUE, FALSE, UNKNOWN (NULL).  ``and3``/``or3``/
+# ``not3`` implement the Kleene truth tables used by every WHERE clause in
+# the engine.
+# ---------------------------------------------------------------------------
+
+
+def and3(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene conjunction: FALSE dominates, NULL is 'unknown'."""
+    if left is False or right is False:
+        return False
+    if left is NULL or right is NULL:
+        return NULL
+    return True
+
+
+def or3(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene disjunction: TRUE dominates, NULL is 'unknown'."""
+    if left is True or right is True:
+        return True
+    if left is NULL or right is NULL:
+        return NULL
+    return False
+
+
+def not3(value: Optional[bool]) -> Optional[bool]:
+    """Kleene negation: NOT NULL is NULL."""
+    if value is NULL:
+        return NULL
+    return not value
+
+
+def compare_values(left: Any, right: Any) -> Optional[int]:
+    """SQL comparison: returns -1/0/+1, or NULL if either side is NULL.
+
+    Numeric values compare numerically across INTEGER/FLOAT; text compares
+    lexicographically; booleans with FALSE < TRUE.  Comparing values of
+    incompatible kinds raises TypeMismatchError (the analyzer prevents this
+    for well-typed queries; the check guards ad-hoc callers).
+    """
+    if left is NULL or right is NULL:
+        return NULL
+    lnum = isinstance(left, (int, float)) and not isinstance(left, bool)
+    rnum = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if lnum and rnum:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+    if isinstance(left, str) and isinstance(right, str):
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+    if isinstance(left, bool) and isinstance(right, bool):
+        if left == right:
+            return 0
+        return -1 if (not left and right) else 1
+    raise TypeMismatchError(
+        f"cannot compare {left!r} ({type(left).__name__}) with "
+        f"{right!r} ({type(right).__name__})"
+    )
+
+
+def values_equal(left: Any, right: Any) -> Optional[bool]:
+    """SQL equality with NULL propagation (NULL = anything is NULL)."""
+    cmp = compare_values(left, right)
+    if cmp is NULL:
+        return NULL
+    return cmp == 0
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order key for sorting mixed NULL/non-NULL column values.
+
+    NULLs sort last (PostgreSQL's default for ascending order).  Within
+    non-NULLs the value must be self-comparable; the (kind, value) pair keeps
+    bools, numbers and strings from colliding.
+    """
+    if value is NULL:
+        return (2, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return (1, math.inf)
+        return (0, value)
+    return (1, value)

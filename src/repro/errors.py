@@ -1,0 +1,137 @@
+"""Exception hierarchy for the MayBMS reproduction.
+
+All errors raised by the library derive from :class:`MayBMSError`, so a
+caller can catch a single exception type at an API boundary.  The hierarchy
+mirrors the stages of the system: catalog and storage errors come from the
+relational substrate, parse/analysis errors from the SQL front-end, and
+semantic errors from the probabilistic layer.
+"""
+
+from __future__ import annotations
+
+
+class MayBMSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EngineError(MayBMSError):
+    """Base class for errors raised by the relational engine substrate."""
+
+
+class TypeMismatchError(EngineError):
+    """An expression or comparison was applied to incompatible SQL types."""
+
+
+class SchemaError(EngineError):
+    """A schema is malformed, or a column reference cannot be resolved."""
+
+
+class DuplicateColumnError(SchemaError):
+    """Two columns in one schema share a (qualified) name."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema in scope."""
+
+
+class AmbiguousColumnError(SchemaError):
+    """An unqualified column name matches more than one column in scope."""
+
+
+class CatalogError(EngineError):
+    """A catalog operation failed (missing table, duplicate table, ...)."""
+
+
+class TableNotFoundError(CatalogError):
+    """The named table does not exist in the catalog."""
+
+
+class TableExistsError(CatalogError):
+    """A table with that name already exists in the catalog."""
+
+
+class StorageError(EngineError):
+    """A storage-level operation failed (bad tuple id, index violation)."""
+
+
+class TransactionError(EngineError):
+    """Illegal transaction state transition (commit without begin, ...)."""
+
+
+class ExpressionError(EngineError):
+    """An expression could not be evaluated (bad function, arity, ...)."""
+
+
+class PlanError(EngineError):
+    """A logical plan is malformed or cannot be compiled to physical ops."""
+
+
+class SqlError(MayBMSError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """The input text contains a token the lexer does not recognize."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """The token stream does not match the MayBMS SQL grammar."""
+
+
+class AnalysisError(SqlError):
+    """The query is grammatical but semantically invalid."""
+
+
+class UncertainAggregateError(AnalysisError):
+    """A standard SQL aggregate (sum, count, ...) was applied to an
+    uncertain relation.  The paper forbids this: the aggregate would have
+    exponentially many distinct answers across the possible worlds
+    (Section 2.2).  Use ``esum``/``ecount`` or confidence computation."""
+
+
+class UncertainDistinctError(AnalysisError):
+    """``SELECT DISTINCT`` was applied to an uncertain relation; the paper
+    only supports duplicate elimination on uncertain data through the
+    ``possible`` construct (Section 2.2)."""
+
+
+class ProbabilisticError(MayBMSError):
+    """Base class for errors in the probabilistic layer."""
+
+
+class VariableError(ProbabilisticError):
+    """A random variable is undefined or its distribution is invalid."""
+
+
+class InvalidDistributionError(VariableError):
+    """Probabilities are negative, or do not sum to one."""
+
+
+class ConditionError(ProbabilisticError):
+    """A condition (conjunction of atoms) is malformed."""
+
+
+class RepairKeyError(ProbabilisticError):
+    """``repair key`` failed: bad weights or an all-zero weight group."""
+
+
+class PickTuplesError(ProbabilisticError):
+    """``pick tuples`` failed: probability outside [0, 1]."""
+
+
+class ConfidenceError(ProbabilisticError):
+    """Confidence computation failed."""
+
+
+class NotTupleIndependentError(ConfidenceError):
+    """A SPROUT plan was requested for data that is not tuple-independent."""
+
+
+class UnsafeQueryError(ConfidenceError):
+    """A SPROUT safe plan was requested for a non-hierarchical query."""

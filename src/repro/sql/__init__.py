@@ -1,0 +1,17 @@
+"""The MayBMS query language front-end (Section 2.2).
+
+SQL extended with the uncertainty-aware constructs: ``repair key``,
+``pick tuples``, ``possible``, and the aggregates ``conf``, ``aconf``,
+``tconf``, ``esum``, ``ecount``, ``argmax``.
+
+Pipeline: :mod:`repro.sql.lexer` tokenizes, :mod:`repro.sql.parser` builds
+the AST (:mod:`repro.sql.ast_nodes`), :mod:`repro.sql.analyzer` checks the
+paper's restrictions (no plain aggregates / DISTINCT on uncertain data),
+and :mod:`repro.sql.executor` runs statements against a catalog, using the
+parsimonious translation and the confidence engines.
+"""
+
+from repro.sql.parser import parse_statement, parse_statements
+from repro.sql.executor import Executor
+
+__all__ = ["parse_statement", "parse_statements", "Executor"]

@@ -1,0 +1,272 @@
+"""AST node definitions for the MayBMS SQL dialect.
+
+Plain dataclasses, no behaviour: the parser builds them, the analyzer
+validates them, the executor interprets them.  Expression nodes here are
+*syntactic*; the executor lowers them to engine expressions
+(:mod:`repro.engine.expressions`) once schemas are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+
+class SqlExpr:
+    """Base class for syntactic expressions."""
+
+
+@dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    value: Any  # int, float, str, bool, or None
+    #: Explicit SQL type name for typed NULLs (set when a scalar subquery
+    #: with a known output type produced no row).
+    type_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SqlColumn(SqlExpr):
+    name: str
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SqlStar(SqlExpr):
+    """``*`` or ``alias.*`` in a select list or inside count(*)."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SqlUnary(SqlExpr):
+    op: str  # "-" | "+" | "not"
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlBinary(SqlExpr):
+    op: str  # arithmetic, comparison, "and", "or", "||"
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlIsNull(SqlExpr):
+    operand: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlInList(SqlExpr):
+    operand: SqlExpr
+    items: Tuple[SqlExpr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlInQuery(SqlExpr):
+    """``expr IN (SELECT ...)``; the paper permits uncertain subqueries
+    only in positively occurring IN conditions."""
+
+    operand: SqlExpr
+    query: "SqlQuery"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlScalarSubquery(SqlExpr):
+    """A parenthesized t-certain subquery used as a scalar value
+    ("the select-from-where queries may use any t-certain subqueries in
+    the conditions", Section 2.2).  Must evaluate to at most one row of
+    one column; an empty result is NULL."""
+
+    query: "SqlQuery"
+
+
+@dataclass(frozen=True)
+class SqlBetween(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlCase(SqlExpr):
+    branches: Tuple[Tuple[SqlExpr, SqlExpr], ...]
+    default: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class SqlCast(SqlExpr):
+    operand: SqlExpr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class SqlFunction(SqlExpr):
+    """A function or aggregate call.  The analyzer decides which it is
+    (``conf``/``aconf``/``tconf``/``esum``/``ecount``/``argmax`` and the
+    standard aggregates are resolved by name)."""
+
+    name: str
+    args: Tuple[SqlExpr, ...]
+    distinct: bool = False
+    star: bool = False  # count(*)
+
+
+# ---------------------------------------------------------------------------
+# Queries.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """FROM item: a named table."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """FROM item: a parenthesized subquery with an alias."""
+
+    query: "SqlQuery"
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RepairKeyRef:
+    """FROM item (or standalone query): ``repair key <attrs> in <query>
+    [weight by <expr>]``."""
+
+    key_columns: Tuple[SqlColumn, ...]
+    source: Union[TableRef, "SqlQuery"]
+    weight: Optional[SqlExpr] = None
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PickTuplesRef:
+    """FROM item (or standalone query): ``pick tuples from <query>
+    [independently] [with probability <expr>]``."""
+
+    source: Union[TableRef, "SqlQuery"]
+    independently: bool = False
+    probability: Optional[SqlExpr] = None
+    alias: Optional[str] = None
+
+
+FromItem = Union[TableRef, SubqueryRef, RepairKeyRef, PickTuplesRef]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...] = ()
+    where: Optional[SqlExpr] = None
+    group_by: Tuple[SqlExpr, ...] = ()
+    having: Optional[SqlExpr] = None
+    order_by: Tuple[Tuple[SqlExpr, bool], ...] = ()  # (expr, ascending)
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+    possible: bool = False  # SELECT POSSIBLE ...
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    left: "SqlQuery"
+    right: "SqlQuery"
+    # SQL UNION (distinct) vs UNION ALL; the paper's language uses the
+    # multiset union.  Plain UNION on uncertain data is rejected by the
+    # analyzer (duplicate elimination), UNION ALL always works.
+    all: bool = True
+
+
+SqlQuery = Union[SelectQuery, UnionQuery, RepairKeyRef, PickTuplesRef]
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[Tuple[str, str], ...]  # (column name, type name)
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableAs:
+    name: str
+    query: SqlQuery
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    table: str
+    rows: Tuple[Tuple[SqlExpr, ...], ...]
+    columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertQuery:
+    table: str
+    query: SqlQuery
+    columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, SqlExpr], ...]
+    where: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class TransactionStatement:
+    action: str  # "begin" | "commit" | "rollback"
+
+
+Statement = Union[
+    CreateTable,
+    CreateTableAs,
+    DropTable,
+    InsertValues,
+    InsertQuery,
+    Update,
+    Delete,
+    TransactionStatement,
+    SelectQuery,
+    UnionQuery,
+    RepairKeyRef,
+    PickTuplesRef,
+]

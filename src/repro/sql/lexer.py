@@ -1,0 +1,196 @@
+"""Tokenizer for the MayBMS SQL dialect.
+
+Hand-rolled single-pass lexer.  Keywords are recognized case-insensitively
+and include the uncertainty extensions (``REPAIR``, ``PICK``, ``TUPLES``,
+``WEIGHT``, ``INDEPENDENTLY``, ``PROBABILITY``, ``POSSIBLE``).  Quoted
+identifiers (``"Weird Name"``) preserve case; bare identifiers fold to
+lowercase, as in PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    """
+    select from where group by order limit offset as union all distinct
+    and or not null true false is in between case when then else end cast
+    create table drop if exists insert into values update set delete
+    repair key weight pick tuples independently with probability possible
+    having asc desc begin commit rollback
+    """.split()
+)
+
+# Token kinds.
+KEYWORD = "KEYWORD"
+IDENTIFIER = "IDENTIFIER"
+INTEGER_LITERAL = "INTEGER"
+FLOAT_LITERAL = "FLOAT"
+STRING_LITERAL = "STRING"
+OPERATOR = "OPERATOR"
+PUNCTUATION = "PUNCTUATION"
+END = "END"
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == KEYWORD and self.text in words
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a statement (or batch); raises LexerError on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(sql)
+
+    def here(offset: int = 0) -> tuple:
+        return (i + offset, line, i + offset - line_start + 1)
+
+    while i < n:
+        ch = sql[i]
+
+        # Whitespace and newlines.
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+
+        # Comments: -- to end of line, /* ... */ nested not supported.
+        if sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", *here())
+            for j in range(i, end):
+                if sql[j] == "\n":
+                    line += 1
+                    line_start = j + 1
+            i = end + 2
+            continue
+
+        # String literal (single quotes, '' escapes a quote).
+        if ch == "'":
+            position, token_line, column = here()
+            i += 1
+            buf = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", position, token_line, column)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        buf.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                if sql[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                buf.append(sql[i])
+                i += 1
+            tokens.append(Token(STRING_LITERAL, "".join(buf), position, token_line, column))
+            continue
+
+        # Quoted identifier.
+        if ch == '"':
+            position, token_line, column = here()
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", position, token_line, column)
+            tokens.append(Token(IDENTIFIER, sql[i + 1 : end], position, token_line, column))
+            i = end + 1
+            continue
+
+        # Numbers: 123, 1.5, .5, 1e-3.
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            position, token_line, column = here()
+            j = i
+            saw_dot = False
+            saw_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not saw_dot and not saw_exp:
+                    saw_dot = True
+                    j += 1
+                elif c in "eE" and not saw_exp and j > i:
+                    # Exponent must be followed by digits (optionally signed).
+                    k = j + 1
+                    if k < n and sql[k] in "+-":
+                        k += 1
+                    if k < n and sql[k].isdigit():
+                        saw_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            text = sql[i:j]
+            kind = FLOAT_LITERAL if (saw_dot or saw_exp) else INTEGER_LITERAL
+            tokens.append(Token(kind, text, position, token_line, column))
+            i = j
+            continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            position, token_line, column = here()
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, position, token_line, column))
+            else:
+                tokens.append(Token(IDENTIFIER, lowered, position, token_line, column))
+            i = j
+            continue
+
+        # Operators (longest match first).
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                position, token_line, column = here()
+                tokens.append(Token(OPERATOR, op, position, token_line, column))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if ch in _PUNCTUATION:
+            position, token_line, column = here()
+            tokens.append(Token(PUNCTUATION, ch, position, token_line, column))
+            i += 1
+            continue
+
+        raise LexerError(f"unexpected character {ch!r}", *here())
+
+    tokens.append(Token(END, "", n, line, n - line_start + 1))
+    return tokens

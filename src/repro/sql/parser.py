@@ -1,0 +1,634 @@
+"""Recursive-descent parser for the MayBMS SQL dialect.
+
+The grammar is the SQL subset of Section 2.2 plus the uncertainty
+constructs, with their syntax exactly as the paper gives it:
+
+    repair key <attributes> in <t-certain-query> [weight by <expression>]
+    pick tuples from <t-certain-query> [independently]
+                                       [with probability <expression>]
+
+both usable as FROM items (parenthesized, optionally aliased -- as in the
+random-walk queries of Section 3) and as standalone queries; ``possible``
+attaches to SELECT; ``conf``/``aconf``/``tconf``/``esum``/``ecount``/
+``argmax`` parse as aggregate function calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import (
+    END,
+    FLOAT_LITERAL,
+    IDENTIFIER,
+    INTEGER_LITERAL,
+    KEYWORD,
+    OPERATOR,
+    PUNCTUATION,
+    STRING_LITERAL,
+    Token,
+    tokenize,
+)
+
+_COMPARISONS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+#: Keywords that may still be used as table/column names (PostgreSQL calls
+#: these non-reserved).  ``weight``, ``key``, ``probability`` etc. are
+#: natural column names in the paper's own examples.
+NONRESERVED_KEYWORDS = frozenset(
+    {"weight", "key", "probability", "tuples", "independently", "begin",
+     "commit", "rollback", "set", "values", "with"}
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != END:
+            self.position += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.peek().is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, *words: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*words):
+            raise ParseError(
+                f"expected {' or '.join(w.upper() for w in words)}, "
+                f"got {token.text!r} at line {token.line}"
+            )
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token.kind == PUNCTUATION and token.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not (token.kind == PUNCTUATION and token.text == text):
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r} at line {token.line}"
+            )
+        return self.advance()
+
+    def accept_operator(self, *ops: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind == OPERATOR and token.text in ops:
+            self.advance()
+            return token.text
+        return None
+
+    def _is_name(self, token: Token) -> bool:
+        return token.kind == IDENTIFIER or (
+            token.kind == KEYWORD and token.text in NONRESERVED_KEYWORDS
+        )
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if not self._is_name(token):
+            raise ParseError(
+                f"expected {what}, got {token.text!r} at line {token.line}"
+            )
+        self.advance()
+        return token.text
+
+    # -- statements -----------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("create"):
+            return self._parse_create()
+        if token.is_keyword("drop"):
+            return self._parse_drop()
+        if token.is_keyword("insert"):
+            return self._parse_insert()
+        if token.is_keyword("update"):
+            return self._parse_update()
+        if token.is_keyword("delete"):
+            return self._parse_delete()
+        if token.is_keyword("begin", "commit", "rollback"):
+            self.advance()
+            return ast.TransactionStatement(token.text)
+        return self.parse_query()
+
+    def _parse_create(self) -> ast.Statement:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        if_not_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("not")
+            self.expect_keyword("exists")
+            if_not_exists = True
+        name = self.expect_identifier("table name")
+        if self.accept_keyword("as"):
+            return ast.CreateTableAs(name, self.parse_query(), if_not_exists)
+        self.expect_punct("(")
+        columns: List[Tuple[str, str]] = []
+        while True:
+            column_name = self.expect_identifier("column name")
+            type_name = self._parse_type_name()
+            columns.append((column_name, type_name))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _parse_type_name(self) -> str:
+        token = self.peek()
+        if token.kind != IDENTIFIER:
+            raise ParseError(
+                f"expected type name, got {token.text!r} at line {token.line}"
+            )
+        self.advance()
+        name = token.text
+        # "double precision" is two words.
+        if name == "double" and self.peek().kind == IDENTIFIER and self.peek().text == "precision":
+            self.advance()
+            name = "double precision"
+        # varchar(N) / numeric(p, s): swallow the parenthesized size.
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                self.advance()
+        return name
+
+    def _parse_drop(self) -> ast.DropTable:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        if_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("exists")
+            if_exists = True
+        return ast.DropTable(self.expect_identifier("table name"), if_exists)
+
+    def _parse_insert(self) -> ast.Statement:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_identifier("table name")
+        columns: Tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.accept_keyword("values"):
+            rows = [self._parse_value_row()]
+            while self.accept_punct(","):
+                rows.append(self._parse_value_row())
+            return ast.InsertValues(table, tuple(rows), columns)
+        return ast.InsertQuery(table, self.parse_query(), columns)
+
+    def _parse_value_row(self) -> Tuple[ast.SqlExpr, ...]:
+        self.expect_punct("(")
+        values = [self.parse_expression()]
+        while self.accept_punct(","):
+            values.append(self.parse_expression())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def _parse_update(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("set")
+        assignments = []
+        while True:
+            column = self.expect_identifier("column name")
+            if self.accept_operator("=") is None:
+                raise ParseError(f"expected '=' after column {column!r}")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expression() if self.accept_keyword("where") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_delete(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_identifier("table name")
+        where = self.parse_expression() if self.accept_keyword("where") else None
+        return ast.Delete(table, where)
+
+    # -- queries ---------------------------------------------------------------
+    def parse_query(self) -> ast.SqlQuery:
+        left = self._parse_query_term()
+        while self.peek().is_keyword("union"):
+            self.advance()
+            all_flag = bool(self.accept_keyword("all"))
+            right = self._parse_query_term()
+            left = ast.UnionQuery(left, right, all_flag)
+        return left
+
+    def _parse_query_term(self) -> ast.SqlQuery:
+        token = self.peek()
+        if token.is_keyword("select"):
+            return self._parse_select()
+        if token.is_keyword("repair"):
+            return self._parse_repair_key()
+        if token.is_keyword("pick"):
+            return self._parse_pick_tuples()
+        if token.kind == PUNCTUATION and token.text == "(":
+            self.advance()
+            query = self.parse_query()
+            self.expect_punct(")")
+            return query
+        raise ParseError(
+            f"expected SELECT, REPAIR KEY, or PICK TUPLES, got "
+            f"{token.text!r} at line {token.line}"
+        )
+
+    def _parse_select(self) -> ast.SelectQuery:
+        self.expect_keyword("select")
+        distinct = bool(self.accept_keyword("distinct"))
+        possible = bool(self.accept_keyword("possible"))
+
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_items: List[ast.FromItem] = []
+        if self.accept_keyword("from"):
+            from_items.append(self._parse_from_item())
+            while self.accept_punct(","):
+                from_items.append(self._parse_from_item())
+
+        where = self.parse_expression() if self.accept_keyword("where") else None
+
+        group_by: List[ast.SqlExpr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expression())
+
+        having = self.parse_expression() if self.accept_keyword("having") else None
+
+        order_by: List[Tuple[ast.SqlExpr, bool]] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            while True:
+                expr = self.parse_expression()
+                ascending = True
+                if self.accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self.accept_keyword("asc")
+                order_by.append((expr, ascending))
+                if not self.accept_punct(","):
+                    break
+
+        limit: Optional[int] = None
+        offset = 0
+        if self.accept_keyword("limit"):
+            limit = self._parse_integer("LIMIT count")
+            if self.accept_keyword("offset"):
+                offset = self._parse_integer("OFFSET count")
+
+        return ast.SelectQuery(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            possible=possible,
+        )
+
+    def _parse_integer(self, what: str) -> int:
+        token = self.peek()
+        if token.kind != INTEGER_LITERAL:
+            raise ParseError(f"expected integer for {what}, got {token.text!r}")
+        self.advance()
+        return int(token.text)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        # "*" or "alias.*"
+        if token.kind == OPERATOR and token.text == "*":
+            self.advance()
+            return ast.SelectItem(ast.SqlStar())
+        if (
+            token.kind == IDENTIFIER
+            and self.peek(1).kind == PUNCTUATION
+            and self.peek(1).text == "."
+            and self.peek(2).kind == OPERATOR
+            and self.peek(2).text == "*"
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.SqlStar(token.text))
+        expr = self.parse_expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().kind == IDENTIFIER:
+            alias = self.expect_identifier("alias")
+        return ast.SelectItem(expr, alias)
+
+    def _parse_from_item(self) -> ast.FromItem:
+        token = self.peek()
+
+        if token.is_keyword("repair"):
+            repair = self._parse_repair_key()
+            return self._with_alias(repair)
+        if token.is_keyword("pick"):
+            pick = self._parse_pick_tuples()
+            return self._with_alias(pick)
+
+        if token.kind == PUNCTUATION and token.text == "(":
+            self.advance()
+            inner = self.parse_query()
+            self.expect_punct(")")
+            if isinstance(inner, (ast.RepairKeyRef, ast.PickTuplesRef)):
+                return self._with_alias(inner)
+            alias = self._parse_optional_alias()
+            if alias is None:
+                raise ParseError("subquery in FROM requires an alias")
+            return ast.SubqueryRef(inner, alias)
+
+        name = self.expect_identifier("table name")
+        alias = self._parse_optional_alias()
+        return ast.TableRef(name, alias)
+
+    def _with_alias(self, item):
+        alias = self._parse_optional_alias()
+        if alias is not None:
+            return type(item)(**{**item.__dict__, "alias": alias})
+        return item
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("as"):
+            return self.expect_identifier("alias")
+        if self.peek().kind == IDENTIFIER:
+            return self.expect_identifier("alias")
+        return None
+
+    def _parse_repair_key(self) -> ast.RepairKeyRef:
+        self.expect_keyword("repair")
+        self.expect_keyword("key")
+        key_columns: List[ast.SqlColumn] = []
+        # Key columns may be empty ("repair key in R"): then the IN keyword
+        # follows immediately.
+        if not self.peek().is_keyword("in"):
+            key_columns.append(self._parse_column_name())
+            while self.accept_punct(","):
+                key_columns.append(self._parse_column_name())
+        self.expect_keyword("in")
+        source = self._parse_construct_source()
+        weight = None
+        if self.accept_keyword("weight"):
+            self.expect_keyword("by")
+            weight = self.parse_expression()
+        return ast.RepairKeyRef(tuple(key_columns), source, weight)
+
+    def _parse_pick_tuples(self) -> ast.PickTuplesRef:
+        self.expect_keyword("pick")
+        self.expect_keyword("tuples")
+        self.expect_keyword("from")
+        source = self._parse_construct_source()
+        independently = bool(self.accept_keyword("independently"))
+        probability = None
+        if self.accept_keyword("with"):
+            self.expect_keyword("probability")
+            probability = self.parse_expression()
+        return ast.PickTuplesRef(source, independently, probability)
+
+    def _parse_construct_source(self) -> Union[ast.TableRef, ast.SqlQuery]:
+        """The <t-certain-query> argument: a table name or a subquery."""
+        if self.accept_punct("("):
+            inner = self.parse_query()
+            self.expect_punct(")")
+            return inner
+        return ast.TableRef(self.expect_identifier("table name"))
+
+    def _parse_column_name(self) -> ast.SqlColumn:
+        first = self.expect_identifier("column name")
+        if self.accept_punct("."):
+            return ast.SqlColumn(self.expect_identifier("column name"), first)
+        return ast.SqlColumn(first)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+    def parse_expression(self) -> ast.SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.SqlExpr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = ast.SqlBinary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.SqlExpr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = ast.SqlBinary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.SqlExpr:
+        if self.accept_keyword("not"):
+            return ast.SqlUnary("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.SqlExpr:
+        left = self._parse_additive()
+        token = self.peek()
+
+        op = self.accept_operator(*_COMPARISONS)
+        if op is not None:
+            return ast.SqlBinary(op, left, self._parse_additive())
+
+        if token.is_keyword("is"):
+            self.advance()
+            negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return ast.SqlIsNull(left, negated)
+
+        negated = False
+        if token.is_keyword("not") and self.peek(1).is_keyword("in", "between"):
+            self.advance()
+            negated = True
+            token = self.peek()
+
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            if self.peek().is_keyword("select", "repair", "pick"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ast.SqlInQuery(left, query, negated)
+            items = [self.parse_expression()]
+            while self.accept_punct(","):
+                items.append(self.parse_expression())
+            self.expect_punct(")")
+            return ast.SqlInList(left, tuple(items), negated)
+
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return ast.SqlBetween(left, low, high, negated)
+
+        return left
+
+    def _parse_additive(self) -> ast.SqlExpr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.SqlBinary(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.SqlExpr:
+        left = self._parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.SqlBinary(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.SqlExpr:
+        op = self.accept_operator("-", "+")
+        if op is not None:
+            return ast.SqlUnary(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.SqlExpr:
+        token = self.peek()
+
+        if token.kind == INTEGER_LITERAL:
+            self.advance()
+            return ast.SqlLiteral(int(token.text))
+        if token.kind == FLOAT_LITERAL:
+            self.advance()
+            return ast.SqlLiteral(float(token.text))
+        if token.kind == STRING_LITERAL:
+            self.advance()
+            return ast.SqlLiteral(token.text)
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.SqlLiteral(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.SqlLiteral(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.SqlLiteral(False)
+
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("cast"):
+            return self._parse_cast()
+
+        if token.kind == PUNCTUATION and token.text == "(":
+            self.advance()
+            if self.peek().is_keyword("select", "repair", "pick"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ast.SqlScalarSubquery(query)
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+
+        if self._is_name(token):
+            # Function call?
+            if self.peek(1).kind == PUNCTUATION and self.peek(1).text == "(":
+                return self._parse_function_call()
+            self.advance()
+            if self.accept_punct("."):
+                column = self.expect_identifier("column name")
+                return ast.SqlColumn(column, token.text)
+            return ast.SqlColumn(token.text)
+
+        raise ParseError(
+            f"unexpected token {token.text!r} at line {token.line}"
+        )
+
+    def _parse_function_call(self) -> ast.SqlFunction:
+        name = self.expect_identifier("function name")
+        self.expect_punct("(")
+        if self.accept_punct(")"):
+            return ast.SqlFunction(name, ())
+        star = False
+        distinct = False
+        args: List[ast.SqlExpr] = []
+        if self.peek().kind == OPERATOR and self.peek().text == "*":
+            self.advance()
+            star = True
+        else:
+            if self.accept_keyword("distinct"):
+                distinct = True
+            args.append(self.parse_expression())
+            while self.accept_punct(","):
+                args.append(self.parse_expression())
+        self.expect_punct(")")
+        return ast.SqlFunction(name, tuple(args), distinct, star)
+
+    def _parse_case(self) -> ast.SqlCase:
+        self.expect_keyword("case")
+        branches = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expression()
+            self.expect_keyword("then")
+            value = self.parse_expression()
+            branches.append((condition, value))
+        default = None
+        if self.accept_keyword("else"):
+            default = self.parse_expression()
+        self.expect_keyword("end")
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch")
+        return ast.SqlCase(tuple(branches), default)
+
+    def _parse_cast(self) -> ast.SqlCast:
+        self.expect_keyword("cast")
+        self.expect_punct("(")
+        operand = self.parse_expression()
+        self.expect_keyword("as")
+        type_name = self._parse_type_name()
+        self.expect_punct(")")
+        return ast.SqlCast(operand, type_name)
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a single statement (a trailing semicolon is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    trailing = parser.peek()
+    if trailing.kind != END:
+        raise ParseError(
+            f"unexpected input after statement: {trailing.text!r} "
+            f"at line {trailing.line}"
+        )
+    return statement
+
+
+def parse_statements(sql: str) -> List[ast.Statement]:
+    """Parse a semicolon-separated batch of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: List[ast.Statement] = []
+    while parser.peek().kind != END:
+        statements.append(parser.parse_statement())
+        while parser.accept_punct(";"):
+            pass
+    return statements

@@ -1,0 +1,183 @@
+"""Tests for conditioning (the [3] extension): Bayes-rule agreement with
+the enumeration oracle, local-event restriction, posterior world tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.confidence.conditioning import (
+    condition,
+    conditional_confidence,
+    conjoin_dnfs,
+    is_local_event,
+    posterior_worlds,
+    restrict_variable,
+)
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.naive import confidence_by_enumeration
+from repro.core.variables import VariableRegistry
+from repro.core.worlds import enumerate_worlds
+from repro.datagen.random_dnf import random_dnf
+from repro.errors import ConfidenceError
+
+
+@pytest.fixture
+def registry():
+    r = VariableRegistry()
+    for _ in range(4):
+        r.fresh([0.5, 0.3, 0.2])
+    return r
+
+
+class TestConjoinDnfs:
+    def test_distributes(self):
+        e = DNF([Condition.atom(1, 0), Condition.atom(2, 0)])
+        f = DNF([Condition.atom(3, 0)])
+        product = conjoin_dnfs(e, f)
+        assert len(product) == 2
+        assert all(clause.variables() >= {3} for clause in product)
+
+    def test_contradictions_dropped(self):
+        e = DNF([Condition.atom(1, 0)])
+        f = DNF([Condition.atom(1, 1)])
+        assert conjoin_dnfs(e, f).is_false
+
+    def test_semantics(self, registry):
+        e = DNF([Condition.atom(1, 0), Condition.of([(2, 1), (3, 0)])])
+        f = DNF([Condition.atom(2, 1), Condition.atom(1, 2)])
+        product = conjoin_dnfs(e, f)
+        for world, _ in enumerate_worlds(registry, [1, 2, 3]):
+            assert product.satisfied_by(world) == (
+                e.satisfied_by(world) and f.satisfied_by(world)
+            )
+
+
+class TestConditionalConfidence:
+    def test_matches_bayes_on_oracle(self, registry):
+        e = DNF([Condition.atom(1, 0), Condition.of([(2, 1), (3, 0)])])
+        f = DNF([Condition.atom(2, 1), Condition.atom(3, 2)])
+        p_f = confidence_by_enumeration(f, registry)
+        p_ef = confidence_by_enumeration(conjoin_dnfs(e, f), registry)
+        expected = p_ef / p_f
+        assert conditional_confidence(e, f, registry) == pytest.approx(expected)
+
+    def test_conditioning_on_truth_is_identity(self, registry):
+        e = DNF([Condition.atom(1, 0)])
+        top = DNF([TRUE_CONDITION])
+        assert conditional_confidence(e, top, registry) == pytest.approx(0.5)
+
+    def test_conditioning_on_event_itself_is_one(self, registry):
+        e = DNF([Condition.atom(1, 0), Condition.atom(2, 1)])
+        assert conditional_confidence(e, e, registry) == pytest.approx(1.0)
+
+    def test_impossible_evidence_rejected(self, registry):
+        zero = registry.fresh([0.0, 1.0])
+        impossible = DNF([Condition.atom(zero, 0)])
+        with pytest.raises(ConfidenceError):
+            conditional_confidence(DNF([Condition.atom(1, 0)]), impossible, registry)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances_match_oracle(self, seed):
+        rng = random.Random(seed)
+        event, registry = random_dnf(4, 3, 2, rng)
+        evidence, _ = random_dnf(
+            4, 2, 2, rng, registry=registry,
+            variables=list(registry.variables()),
+        )
+        p_f = confidence_by_enumeration(evidence, registry)
+        if p_f == 0.0:
+            return
+        p_ef = confidence_by_enumeration(conjoin_dnfs(event, evidence), registry)
+        assert conditional_confidence(event, evidence, registry) == pytest.approx(
+            p_ef / p_f
+        )
+
+
+class TestRestrictVariable:
+    def test_renormalizes(self, registry):
+        conditioned = restrict_variable(registry, 1, [0, 1])
+        assert conditioned.probability(1, 0) == pytest.approx(0.5 / 0.8)
+        assert conditioned.probability(1, 1) == pytest.approx(0.3 / 0.8)
+        assert conditioned.probability(1, 2) == 0.0
+
+    def test_other_variables_untouched(self, registry):
+        conditioned = restrict_variable(registry, 1, [0])
+        assert conditioned.probability(2, 0) == pytest.approx(0.5)
+
+    def test_original_registry_unchanged(self, registry):
+        restrict_variable(registry, 1, [0])
+        assert registry.probability(1, 2) == pytest.approx(0.2)
+
+    def test_empty_mass_rejected(self, registry):
+        zero = registry.fresh([0.0, 1.0])
+        with pytest.raises(ConfidenceError):
+            restrict_variable(registry, zero, [0])
+
+    def test_matches_conditional_confidence(self, registry):
+        """Restricting x1 to {0,1} then asking P(x2=1) must equal
+        P(x2=1 | x1 in {0,1}) computed by Bayes (they're independent, so
+        both equal the prior)."""
+        conditioned = restrict_variable(registry, 1, [0, 1])
+        e = DNF([Condition.atom(2, 1)])
+        f = DNF([Condition.atom(1, 0), Condition.atom(1, 1)])
+        bayes = conditional_confidence(e, f, registry)
+        direct = confidence_by_enumeration(e, conditioned)
+        assert bayes == pytest.approx(direct)
+
+    def test_correlated_event_differs_from_prior(self, registry):
+        """Conditioning on x1 in {0} changes P(E) for events over x1."""
+        conditioned = restrict_variable(registry, 1, [0])
+        e = DNF([Condition.of([(1, 0), (2, 0)])])
+        prior = confidence_by_enumeration(e, registry)
+        posterior = confidence_by_enumeration(e, conditioned)
+        assert posterior == pytest.approx(0.5)  # P(x2=0) alone now
+        assert posterior > prior
+
+
+class TestPosteriorWorlds:
+    def test_normalized_and_consistent(self, registry):
+        evidence = DNF([Condition.of([(1, 0), (2, 1)]), Condition.atom(3, 2)])
+        posterior = posterior_worlds(registry, evidence)
+        assert sum(p for _, p in posterior) == pytest.approx(1.0)
+        for world, p in posterior:
+            assert evidence.satisfied_by(world)
+            assert p > 0.0
+
+    def test_posterior_probability_via_bayes(self, registry):
+        evidence = DNF([Condition.atom(1, 0), Condition.atom(2, 1)])
+        event = DNF([Condition.atom(1, 0)])
+        posterior = posterior_worlds(registry, evidence, [1, 2])
+        p_event = sum(p for world, p in posterior if event.satisfied_by(world))
+        assert p_event == pytest.approx(
+            conditional_confidence(event, evidence, registry)
+        )
+
+    def test_impossible_evidence_rejected(self, registry):
+        with pytest.raises(ConfidenceError):
+            posterior_worlds(registry, DNF([]))
+
+
+class TestConditionDispatch:
+    def test_local_event_keeps_product_form(self, registry):
+        evidence = DNF([Condition.atom(1, 0), Condition.atom(1, 1)])
+        assert is_local_event(evidence)
+        new_registry, table = condition(registry, evidence)
+        assert table is None
+        assert new_registry.probability(1, 2) == 0.0
+
+    def test_nonlocal_event_materializes(self, registry):
+        evidence = DNF([Condition.of([(1, 0), (2, 1)])])
+        assert not is_local_event(evidence)
+        new_registry, table = condition(registry, evidence)
+        assert new_registry is None
+        assert table is not None and len(table) > 0
+
+    def test_trivial_evidence_copies_registry(self, registry):
+        evidence = DNF([TRUE_CONDITION])
+        # TRUE_CONDITION has no variables: treated as non-local with a
+        # degenerate world table over zero variables.
+        new_registry, table = condition(registry, evidence)
+        assert (new_registry is not None) or (table is not None)

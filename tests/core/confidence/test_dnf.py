@@ -1,0 +1,143 @@
+"""Tests for lineage DNF construction and normalization."""
+
+import pytest
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.confidence.dnf import DNF
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.engine.schema import Schema
+from repro.engine.types import INTEGER, TEXT
+from repro.errors import ConfidenceError
+
+
+@pytest.fixture
+def registry():
+    r = VariableRegistry()
+    for _ in range(4):
+        r.fresh([0.5, 0.5])
+    return r
+
+
+class TestClassification:
+    def test_empty_dnf_is_false(self):
+        dnf = DNF([])
+        assert dnf.is_false and not dnf.is_true
+
+    def test_empty_clause_makes_true(self):
+        dnf = DNF([TRUE_CONDITION, Condition.atom(1, 0)])
+        assert dnf.is_true
+
+    def test_variables_union(self):
+        dnf = DNF([Condition.of([(1, 0), (2, 1)]), Condition.atom(3, 0)])
+        assert dnf.variables() == {1, 2, 3}
+
+    def test_counts_and_ratio(self):
+        dnf = DNF([Condition.of([(1, 0), (2, 1)]), Condition.atom(3, 0)])
+        assert dnf.variable_count() == 3
+        assert dnf.clause_count() == 2
+        assert dnf.variable_to_clause_ratio() == pytest.approx(1.5)
+
+    def test_ratio_of_empty_raises(self):
+        with pytest.raises(ConfidenceError):
+            DNF([]).variable_to_clause_ratio()
+
+    def test_occurrence_counts(self):
+        dnf = DNF(
+            [Condition.of([(1, 0), (2, 1)]), Condition.of([(1, 1)]), Condition.atom(2, 0)]
+        )
+        assert dnf.occurrence_counts() == {1: 2, 2: 2}
+
+
+class TestNormalization:
+    def test_duplicates_removed(self):
+        clause = Condition.atom(1, 0)
+        assert len(DNF([clause, clause]).normalized()) == 1
+
+    def test_absorption(self):
+        weak = Condition.atom(1, 0)
+        strong = Condition.of([(1, 0), (2, 1)])
+        normalized = DNF([strong, weak]).normalized()
+        assert normalized.clauses == [weak]
+
+    def test_zero_probability_clauses_dropped(self, registry):
+        zero_var = registry.fresh([0.0, 1.0])
+        dnf = DNF([Condition.atom(zero_var, 0), Condition.atom(1, 0)])
+        normalized = dnf.normalized(registry)
+        assert len(normalized) == 1
+
+    def test_true_clause_absorbs_everything(self):
+        normalized = DNF([Condition.atom(1, 0), TRUE_CONDITION]).normalized()
+        assert normalized.clauses == [TRUE_CONDITION]
+
+
+class TestSemantics:
+    def test_satisfied_by(self):
+        dnf = DNF([Condition.atom(1, 0), Condition.atom(2, 1)])
+        assert dnf.satisfied_by({1: 0, 2: 0})
+        assert dnf.satisfied_by({1: 1, 2: 1})
+        assert not dnf.satisfied_by({1: 1, 2: 0})
+
+    def test_first_satisfied_clause(self):
+        dnf = DNF([Condition.atom(1, 0), Condition.atom(2, 1)])
+        assert dnf.first_satisfied_clause({1: 0, 2: 1}) == 0
+        assert dnf.first_satisfied_clause({1: 1, 2: 1}) == 1
+        assert dnf.first_satisfied_clause({1: 1, 2: 0}) is None
+
+    def test_restrict(self):
+        dnf = DNF([Condition.of([(1, 0), (2, 1)]), Condition.atom(1, 1)])
+        restricted = dnf.restrict(1, 0)
+        assert len(restricted) == 1
+        assert restricted.clauses[0] == Condition.atom(2, 1)
+
+    def test_restrict_can_create_true(self):
+        dnf = DNF([Condition.atom(1, 0)])
+        assert dnf.restrict(1, 0).is_true
+
+
+class TestComponents:
+    def test_independent_split(self):
+        dnf = DNF(
+            [
+                Condition.of([(1, 0), (2, 1)]),
+                Condition.atom(2, 0),
+                Condition.atom(3, 1),
+            ]
+        )
+        components = dnf.independent_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_single_component_when_chained(self):
+        dnf = DNF(
+            [
+                Condition.of([(1, 0), (2, 1)]),
+                Condition.of([(2, 0), (3, 1)]),
+                Condition.of([(3, 0), (4, 1)]),
+            ]
+        )
+        assert len(dnf.independent_components()) == 1
+
+    def test_true_clauses_are_own_components(self):
+        dnf = DNF([TRUE_CONDITION, TRUE_CONDITION, Condition.atom(1, 0)])
+        assert len(dnf.independent_components()) == 3
+
+
+class TestFromURelation:
+    def test_lineage_per_payload(self, registry):
+        schema = Schema.of(("k", TEXT),)
+        urel = URelation.from_conditions(
+            schema,
+            [("a",), ("a",), ("b",)],
+            [Condition.atom(1, 0), Condition.atom(2, 1), Condition.atom(3, 0)],
+            registry,
+        )
+        lineage = DNF.from_urelation(urel, ("a",))
+        assert len(lineage) == 2
+        whole = DNF.from_urelation(urel)
+        assert len(whole) == 3
+
+    def test_canonical_key_order_independent(self):
+        a = DNF([Condition.atom(1, 0), Condition.atom(2, 1)])
+        b = DNF([Condition.atom(2, 1), Condition.atom(1, 0)])
+        assert a.canonical_key() == b.canonical_key()

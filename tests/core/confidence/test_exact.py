@@ -1,0 +1,173 @@
+"""Tests for the Koch-Olteanu exact confidence algorithm.
+
+The gold standard: on every randomly generated DNF, the exact engine, the
+world-enumeration oracle, and inclusion-exclusion must agree to more than
+floating-point accuracy.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.confidence.dnf import DNF
+from repro.core.confidence.exact import ExactConfidenceEngine, exact_confidence
+from repro.core.confidence.naive import (
+    confidence_by_enumeration,
+    confidence_by_inclusion_exclusion,
+)
+from repro.core.variables import VariableRegistry
+from repro.datagen.random_dnf import random_dnf
+
+
+@pytest.fixture
+def registry():
+    r = VariableRegistry()
+    for _ in range(6):
+        r.fresh([0.5, 0.3, 0.2])
+    return r
+
+
+class TestBaseCases:
+    def test_false(self, registry):
+        assert exact_confidence(DNF([]), registry) == 0.0
+
+    def test_true(self, registry):
+        assert exact_confidence(DNF([TRUE_CONDITION]), registry) == 1.0
+
+    def test_single_atom(self, registry):
+        assert exact_confidence(DNF([Condition.atom(1, 0)]), registry) == pytest.approx(0.5)
+
+    def test_single_clause_product(self, registry):
+        clause = Condition.of([(1, 0), (2, 1)])
+        assert exact_confidence(DNF([clause]), registry) == pytest.approx(0.15)
+
+    def test_independent_clauses(self, registry):
+        dnf = DNF([Condition.atom(1, 0), Condition.atom(2, 0)])
+        assert exact_confidence(dnf, registry) == pytest.approx(1 - 0.5 * 0.5)
+
+    def test_exclusive_alternatives_sum(self, registry):
+        dnf = DNF([Condition.atom(1, 0), Condition.atom(1, 1)])
+        assert exact_confidence(dnf, registry) == pytest.approx(0.8)
+
+    def test_exhaustive_alternatives_give_one(self, registry):
+        dnf = DNF([Condition.atom(1, v) for v in (0, 1, 2)])
+        assert exact_confidence(dnf, registry) == pytest.approx(1.0)
+
+    def test_subsumed_duplicate_lineage(self, registry):
+        weak = Condition.atom(1, 0)
+        strong = Condition.of([(1, 0), (2, 0)])
+        assert exact_confidence(DNF([weak, strong]), registry) == pytest.approx(0.5)
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_dnfs_match_enumeration(self, seed):
+        rng = random.Random(seed)
+        dnf, registry = random_dnf(
+            n_variables=rng.randint(2, 7),
+            n_clauses=rng.randint(1, 9),
+            clause_width=rng.randint(1, 3),
+            rng=rng,
+            domain_size=rng.randint(2, 3),
+        )
+        expected = confidence_by_enumeration(dnf, registry)
+        assert exact_confidence(dnf, registry) == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_dnfs_match_inclusion_exclusion(self, seed):
+        rng = random.Random(100 + seed)
+        dnf, registry = random_dnf(5, 6, 2, rng)
+        expected = confidence_by_inclusion_exclusion(dnf, registry)
+        assert exact_confidence(dnf, registry) == pytest.approx(expected, abs=1e-10)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_in_unit_interval(self, seed):
+        rng = random.Random(seed)
+        dnf, registry = random_dnf(
+            rng.randint(1, 6), rng.randint(1, 8), rng.randint(1, 3), rng
+        )
+        p = exact_confidence(dnf, registry)
+        assert 0.0 <= p <= 1.0 + 1e-12
+
+    def test_monotonicity_adding_clause(self, registry):
+        """Adding a clause can only increase the probability."""
+        rng = random.Random(5)
+        base = DNF([Condition.of([(1, 0), (2, 1)])])
+        bigger = DNF(base.clauses + [Condition.atom(3, 0)])
+        assert exact_confidence(bigger, registry) >= exact_confidence(base, registry)
+
+
+class TestEngineInternals:
+    def test_memoization_hits(self):
+        rng = random.Random(9)
+        dnf, registry = random_dnf(4, 12, 2, rng)
+        engine = ExactConfidenceEngine(registry)
+        engine.probability(dnf)
+        engine.probability(dnf)  # same DNF again: top-level memo hit
+        assert engine.statistics.memo_hits >= 1
+
+    def test_statistics_populated(self):
+        rng = random.Random(9)
+        dnf, registry = random_dnf(6, 8, 2, rng)
+        engine = ExactConfidenceEngine(registry)
+        engine.probability(dnf)
+        stats = engine.statistics
+        assert stats.subproblems > 0
+        assert stats.eliminations + stats.decompositions + stats.clause_leaves > 0
+
+    def test_ws_tree_structure(self):
+        registry = VariableRegistry()
+        x = registry.fresh([0.5, 0.5])
+        y = registry.fresh([0.5, 0.5])
+        # Two independent clauses: root must be a decompose node.
+        dnf = DNF([Condition.atom(x, 0), Condition.atom(y, 0)])
+        engine = ExactConfidenceEngine(registry)
+        probability, tree = engine.probability_with_tree(dnf)
+        assert probability == pytest.approx(0.75)
+        assert tree.kind == "decompose"
+        assert len(tree.children) == 2
+        assert tree.size() >= 3 and tree.depth() == 2
+
+    def test_ws_tree_elimination_node(self):
+        registry = VariableRegistry()
+        x = registry.fresh([0.5, 0.5])
+        y = registry.fresh([0.5, 0.5])
+        # Chained clauses sharing x: elimination must occur.
+        dnf = DNF(
+            [Condition.of([(x, 0), (y, 0)]), Condition.of([(x, 1), (y, 1)])]
+        )
+        engine = ExactConfidenceEngine(registry)
+        probability, tree = engine.probability_with_tree(dnf)
+        assert tree.kind == "eliminate"
+        assert tree.variable in (x, y)
+        assert tree.render()  # renders without error
+
+    def test_variable_choice_prefers_frequent(self):
+        registry = VariableRegistry()
+        a = registry.fresh([0.5, 0.5])
+        b = registry.fresh([0.5, 0.5])
+        c = registry.fresh([0.5, 0.5])
+        # a occurs in all three clauses; b, c in one each.
+        dnf = DNF(
+            [
+                Condition.of([(a, 0), (b, 0)]),
+                Condition.of([(a, 0), (c, 0)]),
+                Condition.of([(a, 1), (b, 1)]),
+            ]
+        )
+        engine = ExactConfidenceEngine(registry)
+        assert engine._choose_variable(dnf) == a
+
+    def test_large_independent_dnf_is_fast(self):
+        """100 disjoint clauses: decomposition keeps this linear, whereas
+        enumeration would need 2^100 worlds."""
+        registry = VariableRegistry()
+        clauses = []
+        for _ in range(100):
+            var = registry.fresh([0.9, 0.1])
+            clauses.append(Condition.atom(var, 1))
+        p = exact_confidence(DNF(clauses), registry)
+        assert p == pytest.approx(1 - 0.9 ** 100)

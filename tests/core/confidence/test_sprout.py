@@ -1,0 +1,211 @@
+"""Tests for SPROUT: hierarchy detection, safe plans, lazy == eager ==
+exact lineage."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.confidence.exact import exact_confidence
+from repro.core.confidence.sprout import (
+    ConjunctiveQuery,
+    Subgoal,
+    TupleIndependentTable,
+    Var,
+    is_hierarchical,
+    query_lineage,
+    sprout_confidence,
+    subgoals_of_variable,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import INTEGER, TEXT
+from repro.errors import (
+    ConfidenceError,
+    NotTupleIndependentError,
+    UnsafeQueryError,
+)
+
+
+def make_table(name, columns, rows, probs):
+    schema = Schema.of(*columns)
+    return TupleIndependentTable(name, Relation(schema, rows), probs)
+
+
+@pytest.fixture
+def db():
+    rng = random.Random(31)
+    r = make_table("R", (("a", INTEGER),), [(i,) for i in range(4)],
+                   [rng.uniform(0.1, 0.9) for _ in range(4)])
+    s_rows = [(rng.randrange(4), rng.randrange(3)) for _ in range(10)]
+    s = make_table("S", (("a", INTEGER), ("b", INTEGER)), s_rows,
+                   [rng.uniform(0.1, 0.9) for _ in range(10)])
+    t = make_table("T", (("b", INTEGER),), [(i,) for i in range(3)],
+                   [rng.uniform(0.1, 0.9) for _ in range(3)])
+    return {"R": r, "S": s, "T": t}
+
+
+class TestQueryStructure:
+    def test_subgoal_variables(self):
+        sg = Subgoal("R", [Var("x"), 5, Var("y")])
+        assert sg.variables() == {"x", "y"}
+
+    def test_self_join_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery([], [Subgoal("R", [Var("x")]), Subgoal("R", [Var("y")])])
+
+    def test_unused_head_variable_rejected(self):
+        with pytest.raises(ConfidenceError):
+            ConjunctiveQuery(["z"], [Subgoal("R", [Var("x")])])
+
+    def test_subgoals_of_variable(self):
+        q = ConjunctiveQuery(
+            [], [Subgoal("R", [Var("x")]), Subgoal("S", [Var("x"), Var("y")])]
+        )
+        sg = subgoals_of_variable(q)
+        assert sg["x"] == {0, 1} and sg["y"] == {1}
+
+
+class TestHierarchyDetection:
+    def test_h0_is_not_hierarchical(self):
+        q = ConjunctiveQuery(
+            [],
+            [
+                Subgoal("R", [Var("x")]),
+                Subgoal("S", [Var("x"), Var("y")]),
+                Subgoal("T", [Var("y")]),
+            ],
+        )
+        assert not is_hierarchical(q)
+
+    def test_nested_is_hierarchical(self):
+        q = ConjunctiveQuery(
+            [], [Subgoal("R", [Var("x")]), Subgoal("S", [Var("x"), Var("y")])]
+        )
+        assert is_hierarchical(q)
+
+    def test_head_variables_exempt(self):
+        """H0 becomes hierarchical when x is a head variable."""
+        q = ConjunctiveQuery(
+            ["x"],
+            [
+                Subgoal("R", [Var("x")]),
+                Subgoal("S", [Var("x"), Var("y")]),
+                Subgoal("T", [Var("y")]),
+            ],
+        )
+        assert is_hierarchical(q)
+
+    def test_disjoint_variables_hierarchical(self):
+        q = ConjunctiveQuery(
+            [], [Subgoal("R", [Var("x")]), Subgoal("T", [Var("y")])]
+        )
+        assert is_hierarchical(q)
+
+    def test_unsafe_query_raises(self, db):
+        q = ConjunctiveQuery(
+            [],
+            [
+                Subgoal("R", [Var("x")]),
+                Subgoal("S", [Var("x"), Var("y")]),
+                Subgoal("T", [Var("y")]),
+            ],
+        )
+        with pytest.raises(UnsafeQueryError):
+            sprout_confidence(q, db)
+
+
+class TestTupleIndependentTable:
+    def test_probability_count_mismatch(self):
+        with pytest.raises(NotTupleIndependentError):
+            make_table("R", (("a", INTEGER),), [(1,)], [0.5, 0.5])
+
+    def test_probability_range(self):
+        with pytest.raises(NotTupleIndependentError):
+            make_table("R", (("a", INTEGER),), [(1,)], [1.5])
+
+    def test_from_prob_column(self):
+        schema = Schema.of(("a", INTEGER), ("_p", INTEGER))
+        relation = Relation(Schema.of(("a", INTEGER), ("_p", INTEGER)), [])
+        # use floats via generic path
+        rel = Relation(Schema.of(("a", INTEGER), ("_p", INTEGER)), [(1, 1), (2, 0)])
+        table = TupleIndependentTable.from_prob_column("R", rel)
+        assert table.relation.schema.names == ["a"]
+        assert table.probabilities == [1.0, 0.0]
+
+
+QUERIES = [
+    ConjunctiveQuery([], [Subgoal("R", [Var("x")])]),
+    ConjunctiveQuery(["x"], [Subgoal("R", [Var("x")])]),
+    ConjunctiveQuery([], [Subgoal("R", [Var("x")]), Subgoal("S", [Var("x"), Var("y")])]),
+    ConjunctiveQuery(["x"], [Subgoal("S", [Var("x"), Var("y")]), Subgoal("T", [Var("y")])]),
+    ConjunctiveQuery(["y"], [Subgoal("S", [Var("x"), Var("y")])]),
+    ConjunctiveQuery(["x", "y"], [Subgoal("S", [Var("x"), Var("y")]), Subgoal("T", [Var("y")]), Subgoal("R", [Var("x")])]),
+    ConjunctiveQuery([], [Subgoal("S", [Var("x"), 0])]),
+    ConjunctiveQuery([], [Subgoal("R", [Var("x")]), Subgoal("T", [Var("y")])]),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query", QUERIES, ids=[repr(q) for q in QUERIES])
+    def test_eager_equals_lazy_equals_exact(self, query, db):
+        eager = sprout_confidence(query, db, "eager")
+        lazy = sprout_confidence(query, db, "lazy")
+        lineages, registry = query_lineage(query, db)
+        assert len(eager) == len(lazy) == len(lineages)
+        lazy_by_key = {row[:-1]: row[-1] for row in lazy}
+        for row in eager:
+            key, p_eager = row[:-1], row[-1]
+            assert p_eager == pytest.approx(lazy_by_key[key], abs=1e-12)
+            p_exact = exact_confidence(lineages[key], registry)
+            assert p_eager == pytest.approx(p_exact, abs=1e-9)
+
+    def test_constants_filter(self, db):
+        q = ConjunctiveQuery([], [Subgoal("S", [Var("x"), 0])])
+        result = sprout_confidence(q, db, "eager")
+        lineages, registry = query_lineage(q, db)
+        expected = exact_confidence(lineages[()], registry) if lineages else 0.0
+        assert result.rows[0][-1] == pytest.approx(expected)
+
+    def test_no_matches_empty_result(self, db):
+        q = ConjunctiveQuery([], [Subgoal("S", [Var("x"), 999])])
+        result = sprout_confidence(q, db, "eager")
+        # The boolean query with no satisfying assignments has no answer row.
+        assert len(result) == 0
+
+    def test_repeated_variable_in_subgoal(self, db):
+        q = ConjunctiveQuery([], [Subgoal("S", [Var("x"), Var("x")])])
+        eager = sprout_confidence(q, db, "eager")
+        lineages, registry = query_lineage(q, db)
+        if lineages:
+            assert eager.rows[0][-1] == pytest.approx(
+                exact_confidence(lineages[()], registry)
+            )
+
+    def test_unknown_strategy(self, db):
+        with pytest.raises(ConfidenceError):
+            sprout_confidence(QUERIES[0], db, "sideways")
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        r = make_table("R", (("a", INTEGER),),
+                       [(i,) for i in range(3)],
+                       [rng.uniform(0.05, 0.95) for _ in range(3)])
+        s_rows = list({(rng.randrange(3), rng.randrange(3)) for _ in range(6)})
+        s = make_table("S", (("a", INTEGER), ("b", INTEGER)), s_rows,
+                       [rng.uniform(0.05, 0.95) for _ in range(len(s_rows))])
+        database = {"R": r, "S": s}
+        q = ConjunctiveQuery(
+            [], [Subgoal("R", [Var("x")]), Subgoal("S", [Var("x"), Var("y")])]
+        )
+        eager = sprout_confidence(q, database, "eager")
+        lazy = sprout_confidence(q, database, "lazy")
+        lineages, registry = query_lineage(q, database)
+        if not lineages:
+            assert len(eager) == 0
+            return
+        expected = exact_confidence(lineages[()], registry)
+        assert eager.rows[0][-1] == pytest.approx(expected, abs=1e-9)
+        assert lazy.rows[0][-1] == pytest.approx(expected, abs=1e-9)

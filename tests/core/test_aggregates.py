@@ -1,0 +1,196 @@
+"""Tests for conf / aconf / tconf / possible / esum / ecount against the
+possible-worlds oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import aggregates as agg
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.repair_key import repair_key
+from repro.core.urelation import URelation
+from repro.core.variables import VariableRegistry
+from repro.core.worlds import (
+    expected_aggregate_by_enumeration,
+    tuple_confidence_by_enumeration,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, INTEGER, NULL, TEXT
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry()
+
+
+@pytest.fixture
+def urel(registry):
+    """Duplicates of ("a",1) on two independent variables, plus ("b",2)."""
+    x = registry.fresh([0.3, 0.7], name="x")
+    y = registry.fresh([0.6, 0.4], name="y")
+    schema = Schema.of(("k", TEXT), ("v", INTEGER))
+    return URelation.from_conditions(
+        schema,
+        [("a", 1), ("a", 1), ("b", 2)],
+        [Condition.atom(x, 1), Condition.atom(y, 1), Condition.atom(x, 0)],
+        registry,
+    )
+
+
+class TestConf:
+    def test_group_confidence_matches_oracle(self, urel):
+        result = agg.conf(urel, ["k", "v"], result_name="p")
+        by_key = {(row[0], row[1]): row[2] for row in result}
+        assert by_key[("a", 1)] == pytest.approx(
+            tuple_confidence_by_enumeration(urel, ("a", 1))
+        )
+        assert by_key[("b", 2)] == pytest.approx(0.3)
+
+    def test_duplicates_or_combine(self, urel):
+        result = agg.conf(urel, ["k", "v"], result_name="p")
+        by_key = {(row[0], row[1]): row[2] for row in result}
+        # 1 - P(x=0)P(y=0) = 1 - 0.3*0.6
+        assert by_key[("a", 1)] == pytest.approx(0.82)
+
+    def test_scalar_conf_is_nonempty_probability(self, urel):
+        result = agg.conf(urel, [], result_name="p")
+        # P(at least one tuple): x=0 gives b, x=1 gives a -> always nonempty.
+        assert result.single_value() == pytest.approx(1.0)
+
+    def test_scalar_conf_empty_relation(self, registry):
+        empty = URelation.t_certain(
+            Relation(Schema.of(("a", INTEGER)), []), registry
+        )
+        assert agg.conf(empty, [], result_name="p").single_value() == 0.0
+
+    def test_conf_on_certain_data_is_one(self, registry):
+        certain = URelation.t_certain(
+            Relation(Schema.of(("a", INTEGER)), [(1,), (2,)]), registry
+        )
+        result = agg.conf(certain, ["a"], result_name="p")
+        assert all(row[1] == pytest.approx(1.0) for row in result)
+
+    def test_group_by_subset_of_payload(self, urel):
+        result = agg.conf(urel, ["k"], result_name="p")
+        by_key = {row[0]: row[1] for row in result}
+        assert by_key["a"] == pytest.approx(0.82)
+        assert by_key["b"] == pytest.approx(0.3)
+
+
+class TestAconf:
+    def test_approximates_conf(self, urel):
+        rng = random.Random(11)
+        result = agg.aconf(urel, 0.05, 0.05, ["k"], result_name="p", rng=rng)
+        by_key = {row[0]: row[1] for row in result}
+        assert by_key["a"] == pytest.approx(0.82, rel=0.1)
+        assert by_key["b"] == pytest.approx(0.3, rel=0.1)
+
+    def test_trivial_cases_exact(self, registry):
+        certain = URelation.t_certain(
+            Relation(Schema.of(("a", INTEGER)), [(1,)]), registry
+        )
+        result = agg.aconf(certain, 0.1, 0.1, ["a"], result_name="p")
+        assert result.rows[0][1] == 1.0
+
+
+class TestTconf:
+    def test_per_row_marginals(self, urel, registry):
+        result = agg.tconf(urel, result_name="p")
+        assert len(result) == 3  # one output row per input row
+        probs = [row[2] for row in result]
+        assert probs == pytest.approx([0.7, 0.4, 0.3])
+
+    def test_isolation_from_duplicates(self, urel):
+        """tconf does NOT or-combine duplicates (unlike conf)."""
+        result = agg.tconf(urel, result_name="p")
+        a_rows = [row for row in result if row[0] == "a"]
+        assert len(a_rows) == 2
+        assert sorted(row[2] for row in a_rows) == pytest.approx([0.4, 0.7])
+
+
+class TestPossible:
+    def test_filters_and_deduplicates(self, registry):
+        x = registry.fresh([0.0, 1.0])
+        schema = Schema.of(("a", INTEGER))
+        urel = URelation.from_conditions(
+            schema,
+            [(1,), (1,), (2,)],
+            [Condition.atom(x, 1), Condition.atom(x, 1), Condition.atom(x, 0)],
+            registry,
+        )
+        result = agg.possible(urel)
+        assert result.rows == [(1,)]  # 2 impossible, 1 deduplicated
+
+
+class TestExpectations:
+    def test_esum_matches_oracle(self, urel):
+        result = agg.esum(urel, "v", [], result_name="e")
+        oracle = expected_aggregate_by_enumeration(urel, 1)
+        assert result.single_value() == pytest.approx(oracle)
+
+    def test_ecount_matches_oracle(self, urel):
+        result = agg.ecount(urel, [], result_name="e")
+        oracle = expected_aggregate_by_enumeration(urel)
+        assert result.single_value() == pytest.approx(oracle)
+
+    def test_esum_grouped(self, urel):
+        result = agg.esum(urel, "v", ["k"], result_name="e")
+        by_key = {row[0]: row[1] for row in result}
+        assert by_key["a"] == pytest.approx(1 * 0.7 + 1 * 0.4)
+        assert by_key["b"] == pytest.approx(2 * 0.3)
+
+    def test_esum_ignores_null_values(self, registry):
+        x = registry.fresh([0.5, 0.5])
+        schema = Schema.of(("v", INTEGER))
+        urel = URelation.from_conditions(
+            schema, [(NULL,), (4,)],
+            [Condition.atom(x, 0), Condition.atom(x, 1)], registry,
+        )
+        assert agg.esum(urel, "v", [], result_name="e").single_value() == pytest.approx(2.0)
+
+    def test_esum_on_certain_data_is_plain_sum(self, registry):
+        certain = URelation.t_certain(
+            Relation(Schema.of(("v", INTEGER)), [(1,), (2,), (3,)]), registry
+        )
+        assert agg.esum(certain, "v", [], result_name="e").single_value() == pytest.approx(6.0)
+
+    def test_empty_group_result(self, registry):
+        empty = URelation.t_certain(Relation(Schema.of(("v", INTEGER)), []), registry)
+        assert agg.esum(empty, "v", [], result_name="e").single_value() == 0.0
+        assert agg.ecount(empty, [], result_name="e").single_value() == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(-5, 5), st.floats(0.05, 0.95)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_esum_linearity_property(self, rows):
+        """esum == sum of value * marginal, and equals the worlds oracle."""
+        registry = VariableRegistry()
+        schema = Schema.of(("g", INTEGER), ("v", INTEGER))
+        payload, conditions = [], []
+        for g, v, p in rows:
+            var = registry.fresh_boolean(p)
+            payload.append((g, v))
+            conditions.append(Condition.atom(var, 1))
+        urel = URelation.from_conditions(schema, payload, conditions, registry)
+        result = agg.esum(urel, "v", [], result_name="e").single_value()
+        oracle = expected_aggregate_by_enumeration(urel, 1)
+        assert result == pytest.approx(oracle)
+
+
+class TestRandomWalkIntegration:
+    def test_conf_after_repair_key_recovers_weights(self, registry):
+        schema = Schema.of(("k", TEXT), ("w", FLOAT))
+        relation = Relation(schema, [("a", 1.0), ("a", 3.0), ("b", 2.0)])
+        urel = repair_key(relation, ["k"], registry, weight_by="w")
+        result = agg.conf(urel, ["k", "w"], result_name="p")
+        by_row = {(row[0], row[1]): row[2] for row in result}
+        assert by_row[("a", 1.0)] == pytest.approx(0.25)
+        assert by_row[("a", 3.0)] == pytest.approx(0.75)
+        assert by_row[("b", 2.0)] == pytest.approx(1.0)

@@ -1,0 +1,243 @@
+"""Tests for U-relations: the wide encoding, world semantics, and
+vertical decomposition."""
+
+import pytest
+
+from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.urelation import (
+    URelation,
+    decode_condition,
+    encode_condition,
+    vertical_decompose,
+    vertical_recompose,
+)
+from repro.core.variables import TOP_VARIABLE, VariableRegistry
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, INTEGER, TEXT
+from repro.errors import ConditionError, SchemaError
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry()
+
+
+@pytest.fixture
+def simple(registry):
+    """Two-column payload with one binary variable x: row1 on x=0, row2 on
+    x=1, row3 certain."""
+    x = registry.fresh([0.4, 0.6], name="x")
+    schema = Schema.of(("name", TEXT), ("score", INTEGER))
+    return (
+        URelation.from_conditions(
+            schema,
+            [("a", 1), ("b", 2), ("c", 3)],
+            [Condition.atom(x, 0), Condition.atom(x, 1), TRUE_CONDITION],
+            registry,
+        ),
+        x,
+    )
+
+
+class TestEncoding:
+    def test_wide_schema_shape(self, simple):
+        urel, _ = simple
+        assert urel.payload_arity == 2
+        assert urel.cond_arity == 1
+        assert urel.relation.schema.names == ["name", "score", "_v0", "_d0", "_p0"]
+
+    def test_true_condition_padded_with_top(self, simple):
+        urel, _ = simple
+        row = urel.relation.rows[2]
+        assert row[2] == TOP_VARIABLE and row[3] == 0 and row[4] == 1.0
+
+    def test_probability_columns_cached(self, simple, registry):
+        urel, x = simple
+        assert urel.relation.rows[0][4] == pytest.approx(0.4)
+        assert urel.relation.rows[1][4] == pytest.approx(0.6)
+
+    def test_decode_roundtrip(self, registry):
+        x = registry.fresh([0.5, 0.5])
+        y = registry.fresh([0.5, 0.5])
+        condition = Condition.of([(x, 1), (y, 0)])
+        encoded = encode_condition(condition, 3, registry)
+        decoded = decode_condition((0,) + encoded, 1, 3)
+        assert decoded == condition
+
+    def test_encode_overflow_rejected(self, registry):
+        x = registry.fresh([0.5, 0.5])
+        y = registry.fresh([0.5, 0.5])
+        condition = Condition.of([(x, 1), (y, 0)])
+        with pytest.raises(ConditionError):
+            encode_condition(condition, 1, registry)
+
+    def test_mismatched_rows_conditions(self, registry):
+        schema = Schema.of(("a", INTEGER))
+        with pytest.raises(SchemaError):
+            URelation.from_conditions(schema, [(1,)], [], registry)
+
+    def test_from_wide_infers_arity(self, simple, registry):
+        urel, _ = simple
+        adopted = URelation.from_wide(urel.relation, 2, registry)
+        assert adopted.cond_arity == 1
+
+    def test_from_wide_bad_width(self, registry):
+        relation = Relation(Schema.of(("a", INTEGER), ("b", INTEGER)), [])
+        with pytest.raises(SchemaError):
+            URelation.from_wide(relation, 1, registry)
+
+    def test_t_certain_wrap(self, registry):
+        relation = Relation(Schema.of(("a", INTEGER)), [(1,)])
+        urel = URelation.t_certain(relation, registry)
+        assert urel.is_t_certain
+        assert urel.cond_arity == 0
+
+
+class TestWorldSemantics:
+    def test_in_world(self, simple):
+        urel, x = simple
+        world0 = urel.in_world({x: 0})
+        assert sorted(world0.rows) == [("a", 1), ("c", 3)]
+        world1 = urel.in_world({x: 1})
+        assert sorted(world1.rows) == [("b", 2), ("c", 3)]
+
+    def test_possible_payloads(self, simple):
+        urel, _ = simple
+        assert len(urel.possible_payloads()) == 3
+
+    def test_possible_excludes_zero_probability(self, registry):
+        x = registry.fresh([0.0, 1.0])
+        schema = Schema.of(("a", INTEGER))
+        urel = URelation.from_conditions(
+            schema, [(1,), (2,)], [Condition.atom(x, 0), Condition.atom(x, 1)], registry
+        )
+        possible = urel.possible_payloads()
+        assert possible.rows == [(2,)]
+
+    def test_possible_deduplicates(self, registry):
+        x = registry.fresh([0.5, 0.5])
+        schema = Schema.of(("a", INTEGER))
+        urel = URelation.from_conditions(
+            schema, [(1,), (1,)], [Condition.atom(x, 0), Condition.atom(x, 1)], registry
+        )
+        assert len(urel.possible_payloads()) == 1
+
+
+class TestMaintenance:
+    def test_pad_to(self, simple):
+        urel, _ = simple
+        padded = urel.pad_to(3)
+        assert padded.cond_arity == 3
+        assert len(padded.relation.schema) == 2 + 9
+        # Conditions unchanged semantically.
+        for (r1, c1), (r2, c2) in zip(
+            urel.rows_with_conditions(), padded.rows_with_conditions()
+        ):
+            assert r1 == r2 and c1 == c2
+
+    def test_pad_narrowing_rejected(self, simple):
+        urel, _ = simple
+        with pytest.raises(SchemaError):
+            urel.pad_to(0)
+
+    def test_normalized_drops_zero_probability(self, registry):
+        x = registry.fresh([0.0, 1.0])
+        schema = Schema.of(("a", INTEGER))
+        urel = URelation.from_conditions(
+            schema, [(1,), (2,)], [Condition.atom(x, 0), Condition.atom(x, 1)], registry
+        )
+        assert len(urel.normalized()) == 1
+
+    def test_refresh_probabilities(self, simple, registry):
+        urel, x = simple
+        # Tamper with the cached probability column, then refresh.
+        rows = [list(r) for r in urel.relation.rows]
+        rows[0][4] = 0.999
+        tampered = URelation(
+            Relation(urel.relation.schema, [tuple(r) for r in rows]),
+            2, 1, registry,
+        )
+        fresh = tampered.refresh_probabilities()
+        assert fresh.relation.rows[0][4] == pytest.approx(0.4)
+
+    def test_pretty_renders_conditions(self, simple):
+        urel, _ = simple
+        text = urel.pretty()
+        assert "condition" in text and "↦" in text
+
+
+class TestVerticalDecomposition:
+    def test_decompose_shapes(self, simple):
+        urel, _ = simple
+        parts = vertical_decompose(urel)
+        assert set(parts) == {"name", "score"}
+        assert parts["name"].payload_schema.names == ["_tid", "name"]
+        assert len(parts["name"]) == 3
+
+    def test_recompose_roundtrip(self, simple):
+        urel, _ = simple
+        parts = vertical_decompose(urel)
+        back = vertical_recompose(parts, ["name", "score"])
+        original = sorted(
+            (row, cond) for row, cond in urel.rows_with_conditions()
+        )
+        recomposed = sorted(
+            (row, cond) for row, cond in back.rows_with_conditions()
+        )
+        assert original == recomposed
+
+    def test_recompose_reorders_columns(self, simple):
+        urel, _ = simple
+        parts = vertical_decompose(urel)
+        back = vertical_recompose(parts, ["score", "name"])
+        assert back.payload_schema.names == ["score", "name"]
+        assert sorted(back.payload_relation().rows) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_attribute_level_uncertainty(self, registry):
+        """Different attributes of one tuple can vary independently --
+        the whole point of the vertical decomposition."""
+        x = registry.fresh([0.5, 0.5], name="x")
+        y = registry.fresh([0.5, 0.5], name="y")
+        tid_schema = Schema.of(("_tid", INTEGER), ("a", TEXT))
+        tid_schema2 = Schema.of(("_tid", INTEGER), ("b", INTEGER))
+        part_a = URelation.from_conditions(
+            tid_schema,
+            [(0, "low"), (0, "high")],
+            [Condition.atom(x, 0), Condition.atom(x, 1)],
+            registry,
+        )
+        part_b = URelation.from_conditions(
+            tid_schema2,
+            [(0, 10), (0, 20)],
+            [Condition.atom(y, 0), Condition.atom(y, 1)],
+            registry,
+        )
+        combined = vertical_recompose({"a": part_a, "b": part_b}, ["a", "b"])
+        assert combined.payload_schema.names == ["a", "b"]
+        # 2 alternatives x 2 alternatives = 4 possible combined tuples.
+        assert len(combined) == 4
+        # In the world x=0, y=1 the tuple is ("low", 20).
+        world = combined.in_world({x: 0, y: 1})
+        assert world.rows == [("low", 20)]
+
+    def test_recompose_drops_contradictions(self, registry):
+        x = registry.fresh([0.5, 0.5], name="x")
+        schema_a = Schema.of(("_tid", INTEGER), ("a", TEXT))
+        schema_b = Schema.of(("_tid", INTEGER), ("b", INTEGER))
+        # Both attributes depend on the same variable: only the agreeing
+        # combinations survive.
+        part_a = URelation.from_conditions(
+            schema_a,
+            [(0, "low"), (0, "high")],
+            [Condition.atom(x, 0), Condition.atom(x, 1)],
+            registry,
+        )
+        part_b = URelation.from_conditions(
+            schema_b,
+            [(0, 10), (0, 20)],
+            [Condition.atom(x, 0), Condition.atom(x, 1)],
+            registry,
+        )
+        combined = vertical_recompose({"a": part_a, "b": part_b}, ["a", "b"])
+        assert sorted(combined.payload_relation().rows) == [("high", 20), ("low", 10)]

@@ -1,0 +1,146 @@
+"""Tests for the random variable registry (the world table)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.variables import TOP_VARIABLE, VariableRegistry
+from repro.errors import InvalidDistributionError, VariableError
+
+
+class TestCreation:
+    def test_fresh_from_sequence(self):
+        registry = VariableRegistry()
+        var = registry.fresh([0.2, 0.8])
+        assert registry.domain(var) == (0, 1)
+        assert registry.probability(var, 1) == 0.8
+
+    def test_fresh_from_mapping(self):
+        registry = VariableRegistry()
+        var = registry.fresh({5: 0.5, 9: 0.5})
+        assert set(registry.domain(var)) == {5, 9}
+
+    def test_fresh_boolean(self):
+        registry = VariableRegistry()
+        var = registry.fresh_boolean(0.3)
+        assert registry.probability(var, 1) == pytest.approx(0.3)
+        assert registry.probability(var, 0) == pytest.approx(0.7)
+
+    def test_ids_are_unique_and_positive(self):
+        registry = VariableRegistry()
+        ids = [registry.fresh([1.0]) for _ in range(10)]
+        assert len(set(ids)) == 10
+        assert all(i > 0 for i in ids)
+
+    def test_names(self):
+        registry = VariableRegistry()
+        var = registry.fresh([1.0], name="x_custom")
+        assert registry.name(var) == "x_custom"
+        anon = registry.fresh([1.0])
+        assert registry.name(anon) == f"x{anon}"
+
+    def test_top_variable_reserved(self):
+        registry = VariableRegistry()
+        assert TOP_VARIABLE in registry
+        assert registry.probability(TOP_VARIABLE, 0) == 1.0
+        assert len(registry) == 0  # top doesn't count
+
+
+class TestValidation:
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            VariableRegistry().fresh([1.2, -0.2])
+
+    def test_sum_not_one_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            VariableRegistry().fresh([0.5, 0.4])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            VariableRegistry().fresh([])
+
+    def test_zero_probability_alternative_allowed(self):
+        registry = VariableRegistry()
+        var = registry.fresh([0.0, 1.0])
+        assert registry.probability(var, 0) == 0.0
+
+    def test_boolean_probability_range(self):
+        with pytest.raises(InvalidDistributionError):
+            VariableRegistry().fresh_boolean(1.5)
+
+    def test_unknown_variable(self):
+        registry = VariableRegistry()
+        with pytest.raises(VariableError):
+            registry.domain(42)
+
+    def test_probability_outside_domain_is_zero(self):
+        registry = VariableRegistry()
+        var = registry.fresh([0.5, 0.5])
+        assert registry.probability(var, 7) == 0.0
+
+
+class TestWholeRegistry:
+    def test_world_count(self):
+        registry = VariableRegistry()
+        registry.fresh([0.5, 0.5])
+        registry.fresh([0.2, 0.3, 0.5])
+        assert registry.world_count() == 6
+
+    def test_world_count_skips_zero_probability(self):
+        registry = VariableRegistry()
+        registry.fresh([0.0, 1.0])
+        assert registry.world_count() == 1
+
+    def test_copy_is_independent(self):
+        registry = VariableRegistry()
+        registry.fresh([1.0])
+        clone = registry.copy()
+        clone.fresh([1.0])
+        assert len(clone) == 2
+        assert len(registry) == 1
+
+    def test_assignment_probability(self):
+        registry = VariableRegistry()
+        a = registry.fresh([0.5, 0.5])
+        b = registry.fresh([0.25, 0.75])
+        assert registry.assignment_probability({a: 0, b: 1}) == pytest.approx(0.375)
+
+
+class TestSampling:
+    def test_sample_value_in_domain(self):
+        registry = VariableRegistry()
+        var = registry.fresh({3: 0.5, 8: 0.5})
+        rng = random.Random(1)
+        for _ in range(50):
+            assert registry.sample_value(var, rng) in (3, 8)
+
+    def test_sample_respects_point_mass(self):
+        registry = VariableRegistry()
+        var = registry.fresh({4: 1.0})
+        rng = random.Random(1)
+        assert all(registry.sample_value(var, rng) == 4 for _ in range(20))
+
+    def test_sample_frequency_approximates_distribution(self):
+        registry = VariableRegistry()
+        var = registry.fresh([0.2, 0.8])
+        rng = random.Random(7)
+        draws = [registry.sample_value(var, rng) for _ in range(20000)]
+        assert draws.count(1) / len(draws) == pytest.approx(0.8, abs=0.02)
+
+    def test_sample_assignment_honours_fixed(self):
+        registry = VariableRegistry()
+        a = registry.fresh([0.5, 0.5])
+        b = registry.fresh([0.5, 0.5])
+        rng = random.Random(3)
+        assignment = registry.sample_assignment(rng, fixed={a: 1})
+        assert assignment[a] == 1
+        assert b in assignment
+
+    @given(st.integers(2, 6))
+    def test_distribution_returns_copy(self, size):
+        registry = VariableRegistry()
+        var = registry.fresh([1.0 / size] * size)
+        dist = registry.distribution(var)
+        dist[0] = 99.0
+        assert registry.probability(var, 0) == pytest.approx(1.0 / size)

@@ -1,0 +1,325 @@
+"""Tests for logical plans and the logical-to-physical planner."""
+
+import pytest
+
+from repro.engine import algebra, planner
+from repro.engine.algebra import (
+    AggregateSpec,
+    Alias,
+    Distinct,
+    GroupBy,
+    Join,
+    Limit,
+    Project,
+    RelationScan,
+    Select,
+    Sort,
+    Union,
+    Values,
+)
+from repro.engine.expressions import (
+    Arithmetic,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.engine.types import FLOAT, INTEGER, NULL, TEXT
+from repro.errors import PlanError, TypeMismatchError
+
+
+@pytest.fixture
+def orders():
+    schema = Schema.of(("id", INTEGER), ("cust", TEXT), ("total", FLOAT))
+    return Relation(
+        schema,
+        [
+            (1, "ann", 10.0),
+            (2, "bob", 20.0),
+            (3, "ann", 30.0),
+            (4, "cy", 40.0),
+            (5, "ann", NULL),
+        ],
+    )
+
+
+@pytest.fixture
+def customers():
+    schema = Schema.of(("name", TEXT), ("city", TEXT))
+    return Relation(
+        schema, [("ann", "york"), ("bob", "leeds"), ("dee", "york")]
+    )
+
+
+class TestScanSelectProject:
+    def test_scan(self, orders):
+        result = planner.run(RelationScan(orders))
+        assert result == orders
+
+    def test_scan_with_alias_qualifies(self, orders):
+        plan = RelationScan(orders, "o")
+        assert plan.schema().columns[0].qualifier == "o"
+
+    def test_select(self, orders):
+        plan = Select(
+            RelationScan(orders), Comparison(">", ColumnRef("total"), Literal(15.0))
+        )
+        result = planner.run(plan)
+        assert sorted(row[0] for row in result) == [2, 3, 4]
+
+    def test_select_null_predicate_filters(self, orders):
+        # total > 15 is NULL for the NULL row -- excluded, not kept.
+        plan = Select(
+            RelationScan(orders), Comparison(">", ColumnRef("total"), Literal(0.0))
+        )
+        assert len(planner.run(plan)) == 4
+
+    def test_select_type_check(self, orders):
+        with pytest.raises(TypeMismatchError):
+            Select(RelationScan(orders), ColumnRef("total")).schema()
+
+    def test_project_expression(self, orders):
+        plan = Project(
+            RelationScan(orders),
+            [(ColumnRef("id"), "id"), (Arithmetic("*", ColumnRef("total"), Literal(2.0)), "double")],
+        )
+        result = planner.run(plan)
+        assert result.schema.names == ["id", "double"]
+        assert (1, 20.0) in result.rows
+
+    def test_project_keeps_duplicates(self, orders):
+        plan = Project(RelationScan(orders), [(ColumnRef("cust"), "cust")])
+        assert len(planner.run(plan)) == 5
+
+    def test_empty_projection_rejected(self, orders):
+        with pytest.raises(PlanError):
+            Project(RelationScan(orders), [])
+
+
+class TestJoins:
+    def test_equi_join(self, orders, customers):
+        plan = Join(
+            RelationScan(orders, "o"),
+            RelationScan(customers, "c"),
+            Comparison("=", ColumnRef("cust", "o"), ColumnRef("name", "c")),
+        )
+        result = planner.run(plan)
+        assert len(result) == 4  # ann x3, bob x1
+        assert len(result.schema) == 5
+
+    def test_cross_join(self, orders, customers):
+        plan = Join(RelationScan(orders, "o"), RelationScan(customers, "c"))
+        assert len(planner.run(plan)) == 15
+
+    def test_join_with_residual_predicate(self, orders, customers):
+        predicate = BoolOp(
+            "AND",
+            [
+                Comparison("=", ColumnRef("cust", "o"), ColumnRef("name", "c")),
+                Comparison(">", ColumnRef("total", "o"), Literal(15.0)),
+            ],
+        )
+        plan = Join(RelationScan(orders, "o"), RelationScan(customers, "c"), predicate)
+        result = planner.run(plan)
+        assert sorted(row[0] for row in result) == [2, 3]
+
+    def test_pushdown_through_select_over_join(self, orders, customers):
+        join = Join(RelationScan(orders, "o"), RelationScan(customers, "c"))
+        predicate = BoolOp(
+            "AND",
+            [
+                Comparison("=", ColumnRef("cust", "o"), ColumnRef("name", "c")),
+                Comparison("=", ColumnRef("city", "c"), Literal("york")),
+            ],
+        )
+        result = planner.run(Select(join, predicate))
+        assert sorted(row[0] for row in result) == [1, 3, 5]
+
+    def test_join_null_keys_never_match(self):
+        schema = Schema.of(("k", INTEGER))
+        left = Relation(schema, [(1,), (NULL,)])
+        right = Relation(schema, [(1,), (NULL,)])
+        plan = Join(
+            RelationScan(left, "l"),
+            RelationScan(right, "r"),
+            Comparison("=", ColumnRef("k", "l"), ColumnRef("k", "r")),
+        )
+        assert len(planner.run(plan)) == 1
+
+    def test_nested_loop_for_inequality(self, orders, customers):
+        plan = Join(
+            RelationScan(orders, "o"),
+            RelationScan(customers, "c"),
+            Comparison("<", ColumnRef("cust", "o"), ColumnRef("name", "c")),
+        )
+        result = planner.run(plan)
+        # hand-count: cust < name pairs
+        expected = sum(
+            1 for o in orders for c in customers if o[1] < c[0]
+        )
+        assert len(result) == expected
+
+
+class TestSetOperations:
+    def test_union_all(self, orders):
+        plan = Union(RelationScan(orders), RelationScan(orders))
+        assert len(planner.run(plan)) == 10
+
+    def test_union_widens_types(self):
+        ints = Relation(Schema.of(("x", INTEGER)), [(1,)])
+        floats = Relation(Schema.of(("x", FLOAT)), [(2.5,)])
+        plan = Union(RelationScan(ints), RelationScan(floats))
+        assert plan.schema().types == [FLOAT]
+        assert len(planner.run(plan)) == 2
+
+    def test_union_incompatible_rejected(self, orders, customers):
+        with pytest.raises(PlanError):
+            Union(RelationScan(orders), RelationScan(customers)).schema()
+
+    def test_distinct(self, orders):
+        plan = Distinct(Project(RelationScan(orders), [(ColumnRef("cust"), "cust")]))
+        assert len(planner.run(plan)) == 3
+
+    def test_distinct_groups_nulls(self):
+        rel = Relation(Schema.of(("x", INTEGER)), [(NULL,), (NULL,), (1,)])
+        assert len(planner.run(Distinct(RelationScan(rel)))) == 2
+
+
+class TestGroupBy:
+    def test_count_sum_avg(self, orders):
+        plan = GroupBy(
+            RelationScan(orders),
+            [(ColumnRef("cust"), "cust")],
+            [
+                AggregateSpec("count_star", None, "n"),
+                AggregateSpec("sum", ColumnRef("total"), "total"),
+                AggregateSpec("avg", ColumnRef("total"), "mean"),
+            ],
+        )
+        result = planner.run(plan)
+        by_cust = {row[0]: row[1:] for row in result}
+        assert by_cust["ann"] == (3, 40.0, 20.0)  # NULL ignored by sum/avg
+        assert by_cust["bob"] == (1, 20.0, 20.0)
+
+    def test_min_max(self, orders):
+        plan = GroupBy(
+            RelationScan(orders),
+            [],
+            [
+                AggregateSpec("min", ColumnRef("total"), "lo"),
+                AggregateSpec("max", ColumnRef("total"), "hi"),
+            ],
+        )
+        assert planner.run(plan).rows == [(10.0, 40.0)]
+
+    def test_empty_input_scalar_aggregate(self):
+        empty = Relation(Schema.of(("x", INTEGER)), [])
+        plan = GroupBy(
+            RelationScan(empty),
+            [],
+            [
+                AggregateSpec("count_star", None, "n"),
+                AggregateSpec("sum", ColumnRef("x"), "s"),
+            ],
+        )
+        assert planner.run(plan).rows == [(0, NULL)]
+
+    def test_empty_input_with_groups_yields_nothing(self):
+        empty = Relation(Schema.of(("x", INTEGER)), [])
+        plan = GroupBy(
+            RelationScan(empty),
+            [(ColumnRef("x"), "x")],
+            [AggregateSpec("count_star", None, "n")],
+        )
+        assert len(planner.run(plan)) == 0
+
+    def test_count_distinct(self, orders):
+        plan = GroupBy(
+            RelationScan(orders),
+            [],
+            [AggregateSpec("count", ColumnRef("cust"), "n", distinct=True)],
+        )
+        assert planner.run(plan).rows == [(3,)]
+
+    def test_null_group_key(self, orders):
+        plan = GroupBy(
+            RelationScan(orders),
+            [(ColumnRef("total"), "total")],
+            [AggregateSpec("count_star", None, "n")],
+        )
+        result = planner.run(plan)
+        assert len(result) == 5  # 4 values + the NULL group
+
+    def test_argmax_single_winner(self, orders):
+        plan = GroupBy(
+            RelationScan(orders),
+            [],
+            [AggregateSpec("argmax", ColumnRef("cust"), "best", second=ColumnRef("total"))],
+        )
+        assert planner.run(plan).rows == [("cy",)]
+
+    def test_argmax_emits_all_maximizers(self):
+        schema = Schema.of(("team", TEXT), ("player", TEXT), ("score", INTEGER))
+        rel = Relation(
+            schema,
+            [("a", "p1", 9), ("a", "p2", 9), ("a", "p3", 5), ("b", "q1", 3)],
+        )
+        plan = GroupBy(
+            RelationScan(rel),
+            [(ColumnRef("team"), "team")],
+            [AggregateSpec("argmax", ColumnRef("player"), "best", second=ColumnRef("score"))],
+        )
+        result = planner.run(plan)
+        assert sorted(result.rows) == [("a", "p1"), ("a", "p2"), ("b", "q1")]
+
+
+class TestSortLimitAlias:
+    def test_sort_descending_nulls_first(self, orders):
+        # PostgreSQL semantics: DESC puts NULLs first.
+        plan = Sort(RelationScan(orders), [(ColumnRef("total"), False)])
+        totals = [row[2] for row in planner.run(plan)]
+        assert totals[0] is NULL
+        assert totals[1:] == [40.0, 30.0, 20.0, 10.0]
+
+    def test_sort_ascending_nulls_last(self, orders):
+        plan = Sort(RelationScan(orders), [(ColumnRef("total"), True)])
+        totals = [row[2] for row in planner.run(plan)]
+        assert totals[:4] == [10.0, 20.0, 30.0, 40.0]
+        assert totals[4] is NULL
+
+    def test_sort_multi_key(self, orders):
+        plan = Sort(
+            RelationScan(orders),
+            [(ColumnRef("cust"), True), (ColumnRef("total"), False)],
+        )
+        rows = planner.run(plan).rows
+        # ann first (asc), within ann: NULL first (desc), then 30, 10.
+        assert rows[0][1] == "ann" and rows[0][2] is NULL
+        assert rows[1][1] == "ann" and rows[1][2] == 30.0
+
+    def test_limit_offset(self, orders):
+        plan = Limit(Sort(RelationScan(orders), [(ColumnRef("id"), True)]), 2, 1)
+        assert [row[0] for row in planner.run(plan)] == [2, 3]
+
+    def test_limit_none_means_all(self, orders):
+        assert len(planner.run(Limit(RelationScan(orders), None, 0))) == 5
+
+    def test_alias_requalifies(self, orders):
+        plan = Alias(RelationScan(orders), "o2")
+        assert all(c.qualifier == "o2" for c in plan.schema())
+
+    def test_alias_renames_columns(self, orders):
+        plan = Alias(RelationScan(orders), "o2", ("x", "y", "z"))
+        assert plan.schema().names == ["x", "y", "z"]
+
+    def test_values(self):
+        schema = Schema.of(("a", INTEGER))
+        plan = Values(schema, ((1,), (2,)))
+        assert len(planner.run(plan)) == 2
+
+    def test_explain_renders_tree(self, orders):
+        plan = Limit(Select(RelationScan(orders), Comparison("=", ColumnRef("id"), Literal(1))), 1, 0)
+        text = plan.explain()
+        assert "Limit" in text and "Select" in text and "Scan" in text

@@ -1,0 +1,251 @@
+"""Tests for scalar expression evaluation (arithmetic, 3VL, functions)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.expressions import (
+    Arithmetic,
+    Between,
+    BoolOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    PositionRef,
+    conjuncts_of,
+    conjunction,
+)
+from repro.engine.schema import Schema
+from repro.engine.types import BOOLEAN, FLOAT, INTEGER, NULL, TEXT
+from repro.errors import ExpressionError, TypeMismatchError
+
+SCHEMA = Schema.of(("a", INTEGER), ("b", FLOAT), ("s", TEXT), ("flag", BOOLEAN))
+ROW = (6, 2.5, "hi", True)
+
+
+def run(expr, row=ROW, schema=SCHEMA):
+    return expr.compile(schema)(row)
+
+
+class TestLiteralsAndRefs:
+    def test_literal(self):
+        assert run(Literal(42)) == 42
+
+    def test_column_ref(self):
+        assert run(ColumnRef("a")) == 6
+        assert run(ColumnRef("s")) == "hi"
+
+    def test_position_ref(self):
+        assert run(PositionRef(1, FLOAT)) == 2.5
+
+    def test_type_inference(self):
+        assert ColumnRef("a").infer_type(SCHEMA) == INTEGER
+        assert Literal("x").infer_type(SCHEMA) == TEXT
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run(Arithmetic("+", ColumnRef("a"), Literal(2))) == 8
+        assert run(Arithmetic("-", ColumnRef("a"), Literal(10))) == -4
+        assert run(Arithmetic("*", ColumnRef("a"), ColumnRef("b"))) == 15.0
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert run(Arithmetic("/", Literal(7), Literal(2))) == 3
+        assert run(Arithmetic("/", Literal(-7), Literal(2))) == -3
+
+    def test_float_division(self):
+        assert run(Arithmetic("/", Literal(7.0), Literal(2))) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            run(Arithmetic("/", Literal(1), Literal(0)))
+
+    def test_modulo(self):
+        assert run(Arithmetic("%", Literal(7), Literal(3))) == 1
+
+    def test_null_propagation(self):
+        assert run(Arithmetic("+", Literal(NULL, INTEGER), Literal(1))) is NULL
+
+    def test_text_concatenation(self):
+        assert run(Arithmetic("+", ColumnRef("s"), Literal("!"))) == "hi!"
+
+    def test_type_widening(self):
+        expr = Arithmetic("+", ColumnRef("a"), ColumnRef("b"))
+        assert expr.infer_type(SCHEMA) == FLOAT
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Arithmetic("*", ColumnRef("s"), Literal(2)).infer_type(SCHEMA)
+
+    def test_negate(self):
+        assert run(Negate(ColumnRef("a"))) == -6
+        assert run(Negate(Literal(NULL, INTEGER))) is NULL
+
+
+class TestComparisonsAndBoolOps:
+    def test_comparisons(self):
+        assert run(Comparison("=", ColumnRef("a"), Literal(6))) is True
+        assert run(Comparison("<>", ColumnRef("a"), Literal(6))) is False
+        assert run(Comparison("<", ColumnRef("b"), Literal(3))) is True
+        assert run(Comparison(">=", ColumnRef("a"), Literal(6.0))) is True
+
+    def test_comparison_null(self):
+        assert run(Comparison("=", ColumnRef("a"), Literal(NULL, INTEGER))) is NULL
+
+    def test_and_short_circuit_on_false(self):
+        # The second operand would raise if evaluated.
+        expr = BoolOp(
+            "AND",
+            [Literal(False), Comparison("=", Arithmetic("/", Literal(1), Literal(0)), Literal(1))],
+        )
+        assert run(expr) is False
+
+    def test_or_with_null(self):
+        assert run(BoolOp("OR", [Literal(False), Literal(NULL, BOOLEAN)])) is NULL
+        assert run(BoolOp("OR", [Literal(True), Literal(NULL, BOOLEAN)])) is True
+
+    def test_not(self):
+        assert run(Not(ColumnRef("flag"))) is False
+        assert run(Not(Literal(NULL, BOOLEAN))) is NULL
+
+    def test_bool_op_type_check(self):
+        with pytest.raises(TypeMismatchError):
+            BoolOp("AND", [ColumnRef("a"), Literal(True)]).infer_type(SCHEMA)
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert run(IsNull(Literal(NULL, INTEGER))) is True
+        assert run(IsNull(ColumnRef("a"))) is False
+        assert run(IsNull(ColumnRef("a"), negated=True)) is True
+
+    def test_in_list(self):
+        assert run(InList(ColumnRef("a"), [Literal(1), Literal(6)])) is True
+        assert run(InList(ColumnRef("a"), [Literal(1)])) is False
+        assert run(InList(ColumnRef("a"), [Literal(1)], negated=True)) is True
+
+    def test_in_list_null_semantics(self):
+        # x IN (1, NULL) is NULL when x doesn't match 1.
+        assert run(InList(ColumnRef("a"), [Literal(1), Literal(NULL, INTEGER)])) is NULL
+        # but TRUE when x matches.
+        assert run(InList(Literal(1), [Literal(1), Literal(NULL, INTEGER)])) is True
+
+    def test_between(self):
+        assert run(Between(ColumnRef("a"), Literal(5), Literal(7))) is True
+        assert run(Between(ColumnRef("a"), Literal(7), Literal(9))) is False
+        assert run(Between(ColumnRef("a"), Literal(7), Literal(9), negated=True)) is True
+
+
+class TestCaseCast:
+    def test_case_branches(self):
+        expr = Case(
+            [
+                (Comparison("<", ColumnRef("a"), Literal(5)), Literal("small")),
+                (Comparison("<", ColumnRef("a"), Literal(10)), Literal("medium")),
+            ],
+            Literal("large"),
+        )
+        assert run(expr) == "medium"
+
+    def test_case_no_match_no_default_is_null(self):
+        expr = Case([(Literal(False), Literal(1))])
+        assert run(expr) is NULL
+
+    def test_case_type_widening(self):
+        expr = Case([(Literal(True), Literal(1))], Literal(2.5))
+        assert expr.infer_type(SCHEMA) == FLOAT
+
+    def test_cast_int_to_text(self):
+        assert run(Cast(ColumnRef("a"), TEXT)) == "6"
+
+    def test_cast_text_to_int(self):
+        assert run(Cast(Literal("123"), INTEGER)) == 123
+
+    def test_cast_text_to_float(self):
+        assert run(Cast(Literal(" 1.5 "), FLOAT)) == 1.5
+
+    def test_cast_bad_text_raises(self):
+        with pytest.raises(ExpressionError):
+            run(Cast(Literal("abc"), INTEGER))
+
+    def test_cast_to_boolean(self):
+        assert run(Cast(Literal("true"), BOOLEAN)) is True
+        assert run(Cast(Literal(0), BOOLEAN)) is False
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert run(FunctionCall("abs", [Negate(ColumnRef("a"))])) == 6
+
+    def test_round_two_args(self):
+        assert run(FunctionCall("round", [Literal(2.567), Literal(1)])) == 2.6
+
+    def test_floor_ceil(self):
+        assert run(FunctionCall("floor", [ColumnRef("b")])) == 2
+        assert run(FunctionCall("ceil", [ColumnRef("b")])) == 3
+
+    def test_string_functions(self):
+        assert run(FunctionCall("upper", [ColumnRef("s")])) == "HI"
+        assert run(FunctionCall("length", [ColumnRef("s")])) == 2
+
+    def test_coalesce(self):
+        expr = FunctionCall("coalesce", [Literal(NULL, INTEGER), Literal(5)])
+        assert run(expr) == 5
+
+    def test_null_safe_functions(self):
+        assert run(FunctionCall("abs", [Literal(NULL, INTEGER)])) is NULL
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("frobnicate", [Literal(1)])
+
+    def test_arity_checked(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("abs", [])
+
+
+class TestConjunctHelpers:
+    def test_flatten_nested_ands(self):
+        expr = BoolOp(
+            "AND",
+            [
+                BoolOp("AND", [Literal(True), Literal(False)]),
+                Literal(True),
+            ],
+        )
+        assert len(conjuncts_of(expr)) == 3
+
+    def test_or_not_flattened(self):
+        expr = BoolOp("OR", [Literal(True), Literal(False)])
+        assert conjuncts_of(expr) == [expr]
+
+    def test_conjunction_roundtrip(self):
+        parts = [Literal(True), Literal(False), Literal(True)]
+        assert conjuncts_of(conjunction(parts)) == parts
+        assert conjunction([]) is None
+        assert conjunction([parts[0]]) is parts[0]
+
+
+class TestPropertyBased:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparison_consistency(self, x, y):
+        schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+        row = (x, y)
+        lt = Comparison("<", ColumnRef("x"), ColumnRef("y")).compile(schema)(row)
+        gt = Comparison(">", ColumnRef("y"), ColumnRef("x")).compile(schema)(row)
+        assert lt == gt
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_arithmetic_matches_python(self, x, y):
+        schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+        row = (x, y)
+        assert Arithmetic("+", ColumnRef("x"), ColumnRef("y")).compile(schema)(row) == x + y
+        assert Arithmetic("*", ColumnRef("x"), ColumnRef("y")).compile(schema)(row) == x * y

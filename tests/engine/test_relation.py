@@ -1,0 +1,109 @@
+"""Tests for in-memory relations (multiset semantics, I/O, utilities)."""
+
+import pytest
+
+from repro.engine.relation import Relation, single_row_relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import FLOAT, INTEGER, NULL, TEXT
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def people():
+    schema = Schema.of(("name", TEXT), ("age", INTEGER))
+    return Relation(schema, [("ann", 30), ("bob", 25), ("ann", 30), ("cy", NULL)])
+
+
+class TestConstruction:
+    def test_arity_checked(self):
+        schema = Schema.of(("a", INTEGER))
+        with pytest.raises(SchemaError):
+            Relation(schema, [(1, 2)])
+
+    def test_multiset_keeps_duplicates(self, people):
+        assert len(people) == 4
+
+    def test_from_to_dicts_roundtrip(self):
+        schema = Schema.of(("a", INTEGER), ("b", TEXT))
+        dicts = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        relation = Relation.from_dicts(schema, dicts)
+        assert relation.to_dicts() == dicts
+
+    def test_from_dicts_missing_key_is_null(self):
+        schema = Schema.of(("a", INTEGER), ("b", TEXT))
+        relation = Relation.from_dicts(schema, [{"a": 1}])
+        assert relation.rows[0] == (1, NULL)
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        schema = Schema.of(("a", INTEGER))
+        assert Relation(schema, [(1,), (2,)]) == Relation(schema, [(2,), (1,)])
+
+    def test_multiplicity_sensitive(self):
+        schema = Schema.of(("a", INTEGER))
+        assert Relation(schema, [(1,), (1,)]) != Relation(schema, [(1,)])
+
+    def test_ignores_qualifiers(self):
+        a = Relation(Schema([Column("x", INTEGER, "t")]), [(1,)])
+        b = Relation(Schema([Column("x", INTEGER)]), [(1,)])
+        assert a == b
+
+    def test_null_rows_compare(self):
+        schema = Schema.of(("a", INTEGER))
+        assert Relation(schema, [(NULL,)]) == Relation(schema, [(NULL,)])
+
+
+class TestOperations:
+    def test_project(self, people):
+        names = people.project(["name"])
+        assert names.schema.names == ["name"]
+        assert len(names) == 4
+
+    def test_filter(self, people):
+        young = people.filter(lambda row: row[1] is not NULL and row[1] < 28)
+        assert young.rows == [("bob", 25)]
+
+    def test_sorted_by(self, people):
+        ordered = people.sorted_by(["age"])
+        ages = [row[1] for row in ordered]
+        assert ages[:3] == [25, 30, 30]
+        assert ages[3] is NULL  # NULLs last
+
+    def test_sorted_descending(self, people):
+        ordered = people.sorted_by(["name"], descending=True)
+        assert ordered.rows[0][0] == "cy"
+
+    def test_distinct(self, people):
+        assert len(people.distinct()) == 3
+
+    def test_column(self, people):
+        assert people.column("name") == ["ann", "bob", "ann", "cy"]
+
+    def test_single_value(self):
+        assert single_row_relation([("n", 7)]).single_value() == 7
+
+    def test_single_value_rejects_multi(self, people):
+        with pytest.raises(SchemaError):
+            people.single_value()
+
+
+class TestPresentation:
+    def test_pretty_contains_header_and_rows(self, people):
+        text = people.pretty()
+        assert "name" in text and "ann" in text and "(4 rows)" in text
+        assert "NULL" in text
+
+    def test_pretty_max_rows(self, people):
+        text = people.pretty(max_rows=2)
+        assert "2 more rows" in text
+
+    def test_csv_roundtrip(self, people):
+        text = people.to_csv()
+        back = Relation.from_csv(people.schema, text)
+        assert back == people
+
+    def test_csv_preserves_null(self):
+        schema = Schema.of(("a", INTEGER), ("b", FLOAT))
+        relation = Relation(schema, [(1, NULL), (NULL, 2.5)])
+        assert Relation.from_csv(schema, relation.to_csv()) == relation

@@ -1,0 +1,115 @@
+"""Tests for columns, schemas, and SQL name resolution."""
+
+import pytest
+
+from repro.engine.schema import Column, Schema
+from repro.engine.types import FLOAT, INTEGER, TEXT
+from repro.errors import (
+    AmbiguousColumnError,
+    DuplicateColumnError,
+    UnknownColumnError,
+)
+
+
+@pytest.fixture
+def joined_schema():
+    """Schema shaped like the output of a self-join: r1.a, r1.b, r2.a."""
+    return Schema(
+        [
+            Column("a", INTEGER, "r1"),
+            Column("b", TEXT, "r1"),
+            Column("a", INTEGER, "r2"),
+        ]
+    )
+
+
+class TestColumn:
+    def test_qualified_name(self):
+        assert Column("x", INTEGER, "t").qualified_name == "t.x"
+        assert Column("x", INTEGER).qualified_name == "x"
+
+    def test_matches_case_insensitive(self):
+        column = Column("Player", TEXT, "R1")
+        assert column.matches("player")
+        assert column.matches("PLAYER", "r1")
+        assert not column.matches("player", "r2")
+
+    def test_with_qualifier(self):
+        column = Column("x", INTEGER, "a").with_qualifier("b")
+        assert column.qualifier == "b"
+
+
+class TestSchemaConstruction:
+    def test_duplicate_unqualified_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema([Column("a", INTEGER), Column("a", TEXT)])
+
+    def test_duplicate_qualified_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema([Column("a", INTEGER, "t"), Column("A", TEXT, "T")])
+
+    def test_same_name_different_qualifiers_allowed(self, joined_schema):
+        assert len(joined_schema) == 3
+
+    def test_of_helper(self):
+        schema = Schema.of(("a", INTEGER), ("b", TEXT))
+        assert schema.names == ["a", "b"]
+        assert schema.types == [INTEGER, TEXT]
+
+
+class TestResolution:
+    def test_resolve_unqualified_unique(self, joined_schema):
+        assert joined_schema.resolve("b") == 1
+
+    def test_resolve_unqualified_ambiguous(self, joined_schema):
+        with pytest.raises(AmbiguousColumnError):
+            joined_schema.resolve("a")
+
+    def test_resolve_qualified(self, joined_schema):
+        assert joined_schema.resolve("a", "r1") == 0
+        assert joined_schema.resolve("a", "r2") == 2
+
+    def test_resolve_missing(self, joined_schema):
+        with pytest.raises(UnknownColumnError):
+            joined_schema.resolve("z")
+        with pytest.raises(UnknownColumnError):
+            joined_schema.resolve("b", "r2")
+
+    def test_case_insensitive(self, joined_schema):
+        assert joined_schema.resolve("B", "R1") == 1
+
+    def test_has(self, joined_schema):
+        assert joined_schema.has("b")
+        assert not joined_schema.has("a")  # ambiguous counts as not-has
+        assert joined_schema.has("a", "r1")
+
+
+class TestSchemaOperations:
+    def test_concat(self):
+        left = Schema.of(("a", INTEGER))
+        right = Schema.of(("b", TEXT))
+        assert left.concat(right).names == ["a", "b"]
+
+    def test_project(self, joined_schema):
+        projected = joined_schema.project([2, 0])
+        assert [c.qualified_name for c in projected] == ["r2.a", "r1.a"]
+
+    def test_with_qualifier(self, joined_schema):
+        requalified = Schema.of(("a", INTEGER), ("b", TEXT)).with_qualifier("t")
+        assert [c.qualified_name for c in requalified] == ["t.a", "t.b"]
+
+    def test_rename(self):
+        schema = Schema.of(("a", INTEGER), ("b", TEXT)).rename(["x", "y"])
+        assert schema.names == ["x", "y"]
+
+    def test_rename_arity_mismatch(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema.of(("a", INTEGER)).rename(["x", "y"])
+
+    def test_union_compatibility(self):
+        a = Schema.of(("x", INTEGER), ("y", TEXT))
+        b = Schema.of(("p", FLOAT), ("q", TEXT))
+        c = Schema.of(("p", TEXT), ("q", TEXT))
+        assert a.union_compatible_with(b)  # INTEGER/FLOAT widen
+        assert not a.union_compatible_with(c)
+        assert not a.union_compatible_with(Schema.of(("x", INTEGER)))

@@ -1,0 +1,157 @@
+"""Tests for base table storage, tuple ids, and indexes."""
+
+import pytest
+
+from repro.engine.indexes import HashIndex, SortedIndex
+from repro.engine.schema import Schema
+from repro.engine.storage import Table
+from repro.engine.types import FLOAT, INTEGER, NULL, TEXT
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def table():
+    t = Table("players", Schema.of(("name", TEXT), ("score", INTEGER)))
+    t.insert(("ann", 10))
+    t.insert(("bob", 20))
+    t.insert(("cy", 30))
+    return t
+
+
+class TestBasicStorage:
+    def test_insert_returns_increasing_tids(self):
+        t = Table("t", Schema.of(("x", INTEGER)))
+        assert t.insert((1,)) == 1
+        assert t.insert((2,)) == 2
+
+    def test_get(self, table):
+        assert table.get(2) == ("bob", 20)
+
+    def test_get_missing_raises(self, table):
+        with pytest.raises(StorageError):
+            table.get(99)
+
+    def test_type_coercion_on_insert(self):
+        t = Table("t", Schema.of(("x", FLOAT)))
+        t.insert((1,))
+        assert t.get(1) == (1.0,)
+
+    def test_type_violation_rejected(self, table):
+        with pytest.raises(Exception):
+            table.insert((42, "not an int"))
+
+    def test_arity_checked(self, table):
+        with pytest.raises(StorageError):
+            table.insert(("ann",))
+
+    def test_null_allowed(self, table):
+        tid = table.insert((NULL, NULL))
+        assert table.get(tid) == (NULL, NULL)
+
+    def test_delete_keeps_other_tids(self, table):
+        table.delete(2)
+        assert table.get(1) == ("ann", 10)
+        assert table.get(3) == ("cy", 30)
+        assert len(table) == 2
+
+    def test_update_returns_old(self, table):
+        old = table.update(1, ("ann", 11))
+        assert old == ("ann", 10)
+        assert table.get(1) == ("ann", 11)
+
+    def test_restore_reuses_tid(self, table):
+        row = table.delete(2)
+        table.restore(2, row)
+        assert table.get(2) == ("bob", 20)
+
+    def test_restore_existing_tid_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.restore(1, ("x", 1))
+
+    def test_restore_advances_tid_counter(self):
+        t = Table("t", Schema.of(("x", INTEGER)))
+        t.restore(10, (1,))
+        assert t.insert((2,)) == 11
+
+    def test_snapshot_is_immutable_copy(self, table):
+        snap = table.snapshot()
+        table.insert(("dee", 40))
+        assert len(snap) == 3
+
+    def test_snapshot_alias(self, table):
+        snap = table.snapshot("p")
+        assert all(c.qualifier == "p" for c in snap.schema)
+
+    def test_delete_where(self, table):
+        victims = table.delete_where(lambda row: row[1] > 15)
+        assert len(victims) == 2
+        assert len(table) == 1
+
+    def test_update_where(self, table):
+        table.update_where(
+            lambda row: row[0] == "ann", lambda row: (row[0], row[1] + 1)
+        )
+        assert table.get(1) == ("ann", 11)
+
+    def test_truncate(self, table):
+        removed = table.truncate()
+        assert len(removed) == 3
+        assert len(table) == 0
+
+
+class TestHashIndexes:
+    def test_lookup(self, table):
+        table.create_hash_index("by_name", ["name"])
+        assert table.lookup("by_name", ["bob"]) == [("bob", 20)]
+        assert table.lookup("by_name", ["zed"]) == []
+
+    def test_index_maintained_on_insert_delete(self, table):
+        table.create_hash_index("by_name", ["name"])
+        tid = table.insert(("bob", 99))
+        assert len(table.lookup("by_name", ["bob"])) == 2
+        table.delete(tid)
+        assert len(table.lookup("by_name", ["bob"])) == 1
+
+    def test_index_maintained_on_update(self, table):
+        table.create_hash_index("by_name", ["name"])
+        table.update(2, ("bobby", 20))
+        assert table.lookup("by_name", ["bob"]) == []
+        assert table.lookup("by_name", ["bobby"]) == [("bobby", 20)]
+
+    def test_unique_index_violation(self, table):
+        table.create_hash_index("uq", ["name"], unique=True)
+        with pytest.raises(StorageError):
+            table.insert(("ann", 99))
+
+    def test_duplicate_index_name_rejected(self, table):
+        table.create_hash_index("i", ["name"])
+        with pytest.raises(StorageError):
+            table.create_hash_index("i", ["score"])
+
+    def test_drop_index(self, table):
+        table.create_hash_index("i", ["name"])
+        table.drop_index("i")
+        with pytest.raises(StorageError):
+            table.index("i")
+
+    def test_null_keys_indexed(self, table):
+        table.create_hash_index("by_score", ["score"])
+        table.insert(("dee", NULL))
+        assert table.lookup("by_score", [NULL]) == [("dee", NULL)]
+
+
+class TestSortedIndex:
+    def test_range_scan(self, table):
+        index = table.create_sorted_index("by_score", ["score"])
+        assert index.range([15], [35]) == [2, 3]
+        assert index.range(None, [10]) == [1]
+        assert index.range([25], None) == [3]
+
+    def test_maintained_on_delete(self, table):
+        index = table.create_sorted_index("by_score", ["score"])
+        table.delete(2)
+        assert index.range([0], [100]) == [1, 3]
+
+    def test_full_range(self, table):
+        index = table.create_sorted_index("by_score", ["score"])
+        assert index.range() == [1, 2, 3]

@@ -1,0 +1,245 @@
+"""Tests for transactions, locks, and the write-ahead log.
+
+The paper's Section 2.3 claim under test: because U-relations are plain
+tables, updates / concurrency control / recovery work with standard
+machinery.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.catalog import KIND_URELATION, Catalog
+from repro.engine.schema import Schema
+from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
+from repro.engine.types import FLOAT, INTEGER, TEXT
+from repro.errors import TransactionError
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.create_table("t", Schema.of(("x", INTEGER), ("s", TEXT)))
+    c.table("t").insert((1, "a"))
+    c.table("t").insert((2, "b"))
+    return c
+
+
+class TestTransactionRollback:
+    def test_rollback_insert(self, catalog):
+        txn = Transaction(catalog)
+        txn.insert("t", (3, "c"))
+        assert len(catalog.table("t")) == 3
+        txn.rollback()
+        assert len(catalog.table("t")) == 2
+
+    def test_rollback_delete_restores_row_and_tid(self, catalog):
+        txn = Transaction(catalog)
+        txn.delete("t", 1)
+        txn.rollback()
+        assert catalog.table("t").get(1) == (1, "a")
+
+    def test_rollback_update(self, catalog):
+        txn = Transaction(catalog)
+        txn.update("t", 1, (99, "z"))
+        txn.rollback()
+        assert catalog.table("t").get(1) == (1, "a")
+
+    def test_rollback_create_table(self, catalog):
+        txn = Transaction(catalog)
+        txn.create_table("fresh", Schema.of(("y", INTEGER)))
+        txn.rollback()
+        assert not catalog.has_table("fresh")
+
+    def test_rollback_drop_table(self, catalog):
+        txn = Transaction(catalog)
+        txn.drop_table("t")
+        assert not catalog.has_table("t")
+        txn.rollback()
+        assert catalog.has_table("t")
+        assert len(catalog.table("t")) == 2
+
+    def test_rollback_mixed_operations_in_reverse(self, catalog):
+        txn = Transaction(catalog)
+        tid = txn.insert("t", (3, "c"))
+        txn.update("t", tid, (4, "d"))
+        txn.delete("t", 1)
+        txn.rollback()
+        table = catalog.table("t")
+        assert len(table) == 2
+        assert table.get(1) == (1, "a")
+
+    def test_delete_where(self, catalog):
+        txn = Transaction(catalog)
+        count = txn.delete_where("t", lambda row: row[0] > 1)
+        assert count == 1
+        txn.rollback()
+        assert len(catalog.table("t")) == 2
+
+
+class TestTransactionStates:
+    def test_commit_then_mutation_rejected(self, catalog):
+        txn = Transaction(catalog)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert("t", (5, "e"))
+
+    def test_double_commit_rejected(self, catalog):
+        txn = Transaction(catalog)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_commit_keeps_changes(self, catalog):
+        txn = Transaction(catalog)
+        txn.insert("t", (3, "c"))
+        txn.commit()
+        assert len(catalog.table("t")) == 3
+
+
+class TestWriteAheadLog:
+    def test_replay_rebuilds_catalog(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("u", Schema.of(("a", INTEGER), ("p", FLOAT)))
+        txn.insert("u", (1, 0.5))
+        txn.insert("u", (2, 0.7))
+        txn.commit()
+
+        recovered = wal.replay()
+        assert recovered.has_table("u")
+        assert len(recovered.table("u")) == 2
+
+    def test_replay_preserves_urelation_kind(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table(
+            "uu",
+            Schema.of(("a", INTEGER), ("_v0", INTEGER), ("_d0", INTEGER), ("_p0", FLOAT)),
+            kind=KIND_URELATION,
+            properties={"payload_arity": 1, "cond_arity": 1},
+        )
+        txn.insert("uu", (1, 1, 0, 0.5))
+        txn.commit()
+        recovered = wal.replay()
+        entry = recovered.entry("uu")
+        assert entry.is_urelation
+        assert entry.properties["cond_arity"] == 1
+
+    def test_rolled_back_transaction_not_logged(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("gone", Schema.of(("a", INTEGER)))
+        txn.rollback()
+        assert len(wal) == 0
+        assert not wal.replay().has_table("gone")
+
+    def test_replay_applies_updates_and_deletes(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("v", Schema.of(("a", INTEGER)))
+        tid = txn.insert("v", (1,))
+        txn.update("v", tid, (2,))
+        other = txn.insert("v", (3,))
+        txn.delete("v", other)
+        txn.commit()
+        recovered = wal.replay()
+        assert list(recovered.table("v").rows()) == [(2,)]
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        locks = LockManager()
+        locks.acquire_shared("t")
+        locks.acquire_shared("t")
+        locks.release_shared("t")
+        locks.release_shared("t")
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        locks.acquire_exclusive("t")
+        grabbed = []
+
+        def reader():
+            locks.acquire_shared("t", timeout=5)
+            grabbed.append(True)
+            locks.release_shared("t")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert not grabbed  # still blocked
+        locks.release_exclusive("t")
+        thread.join(timeout=5)
+        assert grabbed
+
+    def test_shared_blocks_exclusive_until_released(self):
+        locks = LockManager()
+        locks.acquire_shared("t")
+        acquired = []
+
+        def writer():
+            locks.acquire_exclusive("t", timeout=5)
+            acquired.append(True)
+            locks.release_exclusive("t")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert not acquired
+        locks.release_shared("t")
+        thread.join(timeout=5)
+        assert acquired
+
+    def test_locks_are_per_table(self):
+        locks = LockManager()
+        locks.acquire_exclusive("a")
+        locks.acquire_exclusive("b")  # no deadlock: different tables
+        locks.release_exclusive("a")
+        locks.release_exclusive("b")
+
+    def test_release_unheld_raises(self):
+        locks = LockManager()
+        with pytest.raises(TransactionError):
+            locks.release_shared("t")
+        with pytest.raises(TransactionError):
+            locks.release_exclusive("t")
+
+    def test_timeout(self):
+        locks = LockManager()
+        locks.acquire_exclusive("t")
+        result = []
+
+        def waiter():
+            try:
+                locks.acquire_shared("t", timeout=0.05)
+                result.append("acquired")
+            except TransactionError:
+                result.append("timeout")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(timeout=5)
+        assert result == ["timeout"]
+        locks.release_exclusive("t")
+
+    def test_concurrent_counter_with_exclusive_lock(self, catalog):
+        """Many writers incrementing a row stay serializable under the lock."""
+        locks = LockManager()
+        table = catalog.table("t")
+
+        def bump():
+            for _ in range(50):
+                locks.acquire_exclusive("t", timeout=10)
+                try:
+                    x, s = table.get(1)
+                    table.update(1, (x + 1, s))
+                finally:
+                    locks.release_exclusive("t")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert table.get(1)[0] == 1 + 200

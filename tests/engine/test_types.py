@@ -1,0 +1,173 @@
+"""Tests for the SQL type system and three-valued logic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    NULL,
+    TEXT,
+    and3,
+    common_type,
+    compare_values,
+    not3,
+    or3,
+    sort_key,
+    type_from_name,
+    type_of_literal,
+    values_equal,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestTypeAcceptance:
+    def test_integer_accepts_int(self):
+        assert INTEGER.accepts(42)
+
+    def test_integer_rejects_bool(self):
+        assert not INTEGER.accepts(True)
+
+    def test_integer_rejects_float(self):
+        assert not INTEGER.accepts(1.5)
+
+    def test_float_accepts_float_and_int(self):
+        assert FLOAT.accepts(1.5)
+        assert FLOAT.accepts(3)
+
+    def test_text_accepts_str_only(self):
+        assert TEXT.accepts("hello")
+        assert not TEXT.accepts(42)
+
+    def test_boolean_accepts_bool_only(self):
+        assert BOOLEAN.accepts(True)
+        assert not BOOLEAN.accepts(1)
+
+    def test_null_inhabits_every_type(self):
+        for sql_type in (INTEGER, FLOAT, TEXT, BOOLEAN):
+            assert sql_type.accepts(NULL)
+
+    def test_coerce_widens_int_to_float(self):
+        assert FLOAT.coerce(3) == 3.0
+        assert isinstance(FLOAT.coerce(3), float)
+
+    def test_coerce_null_stays_null(self):
+        assert INTEGER.coerce(NULL) is NULL
+
+    def test_coerce_rejects_wrong_type(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce("nope")
+
+    def test_coerce_rejects_bool_as_integer(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(True)
+
+
+class TestTypeNames:
+    def test_aliases_resolve(self):
+        assert type_from_name("int") == INTEGER
+        assert type_from_name("VARCHAR") == TEXT
+        assert type_from_name("double precision") == FLOAT
+        assert type_from_name("bool") == BOOLEAN
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("geometry")
+
+    def test_literal_types(self):
+        assert type_of_literal(1) == INTEGER
+        assert type_of_literal(1.0) == FLOAT
+        assert type_of_literal("x") == TEXT
+        assert type_of_literal(False) == BOOLEAN
+
+    def test_common_type_widening(self):
+        assert common_type(INTEGER, FLOAT) == FLOAT
+        assert common_type(TEXT, TEXT) == TEXT
+        with pytest.raises(TypeMismatchError):
+            common_type(TEXT, INTEGER)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert and3(True, True) is True
+        assert and3(True, False) is False
+        assert and3(False, NULL) is False
+        assert and3(True, NULL) is NULL
+        assert and3(NULL, NULL) is NULL
+
+    def test_or_truth_table(self):
+        assert or3(False, False) is False
+        assert or3(False, True) is True
+        assert or3(True, NULL) is True
+        assert or3(False, NULL) is NULL
+        assert or3(NULL, NULL) is NULL
+
+    def test_not(self):
+        assert not3(True) is False
+        assert not3(False) is True
+        assert not3(NULL) is NULL
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_de_morgan(self, a, b):
+        assert not3(and3(a, b)) == or3(not3(a), not3(b))
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_commutativity(self, a, b):
+        assert and3(a, b) == and3(b, a)
+        assert or3(a, b) == or3(b, a)
+
+
+class TestComparison:
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 2.5) == -1
+        assert compare_values(3.5, 2) == 1
+
+    def test_text(self):
+        assert compare_values("a", "b") == -1
+        assert compare_values("b", "b") == 0
+
+    def test_bool_ordering(self):
+        assert compare_values(False, True) == -1
+
+    def test_null_propagates(self):
+        assert compare_values(NULL, 1) is NULL
+        assert compare_values("x", NULL) is NULL
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeMismatchError):
+            compare_values(1, "x")
+        with pytest.raises(TypeMismatchError):
+            compare_values(True, 1)
+
+    def test_values_equal(self):
+        assert values_equal(2, 2.0) is True
+        assert values_equal(2, 3) is False
+        assert values_equal(NULL, NULL) is NULL
+
+
+class TestSortKey:
+    def test_nulls_sort_last(self):
+        values = [3, NULL, 1, NULL, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:3] == [1, 2, 3]
+        assert ordered[3] is NULL and ordered[4] is NULL
+
+    def test_mixed_numbers(self):
+        assert sorted([2.5, 1, 3], key=sort_key) == [1, 2.5, 3]
+
+    def test_nan_sorts_after_numbers(self):
+        ordered = sorted([float("nan"), 1.0, 2.0], key=sort_key)
+        assert ordered[0] == 1.0 and ordered[1] == 2.0
+
+    @given(st.lists(st.one_of(st.integers(-100, 100), st.none()), max_size=20))
+    def test_total_order_on_ints_and_nulls(self, values):
+        # Sorting must never raise and must put all NULLs at the end.
+        ordered = sorted(values, key=sort_key)
+        nulls = [v for v in ordered if v is None]
+        non_null = [v for v in ordered if v is not None]
+        assert ordered == non_null + nulls
+        assert non_null == sorted(non_null)

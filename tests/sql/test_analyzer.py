@@ -1,0 +1,214 @@
+"""Tests for semantic analysis: certainty inference and Section 2.2's
+restrictions."""
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import (
+    AnalysisError,
+    UncertainAggregateError,
+    UncertainDistinctError,
+)
+from repro.sql.analyzer import Analyzer, aggregate_kind
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    session = MayBMS()
+    session.execute("create table certain_t (a integer, w float)")
+    session.execute("insert into certain_t values (1, 1.0), (2, 3.0)")
+    session.execute(
+        "create table uncertain_t as "
+        "select * from (repair key in certain_t weight by w) r"
+    )
+    return session
+
+
+def analyze(db, sql):
+    analyzer = Analyzer(db.catalog)
+    statement = parse_statement(sql)
+    analyzer.analyze_statement(statement)
+    return analyzer, statement
+
+
+def is_certain(db, sql):
+    analyzer = Analyzer(db.catalog)
+    return analyzer.query_is_certain(parse_statement(sql))
+
+
+class TestCertaintyInference:
+    def test_plain_table_certain(self, db):
+        assert is_certain(db, "select a from certain_t")
+
+    def test_urelation_table_uncertain(self, db):
+        assert not is_certain(db, "select a from uncertain_t")
+
+    def test_repair_key_uncertain(self, db):
+        assert not is_certain(db, "repair key a in certain_t")
+
+    def test_conf_makes_certain(self, db):
+        assert is_certain(db, "select a, conf() as p from uncertain_t group by a")
+
+    def test_possible_makes_certain(self, db):
+        assert is_certain(db, "select possible a from uncertain_t")
+
+    def test_esum_makes_certain(self, db):
+        assert is_certain(db, "select esum(a) as e from uncertain_t")
+
+    def test_tconf_makes_certain(self, db):
+        assert is_certain(db, "select a, tconf() as p from uncertain_t")
+
+    def test_union_propagates(self, db):
+        assert not is_certain(
+            db, "select a from certain_t union all select a from uncertain_t"
+        )
+        assert is_certain(
+            db, "select a from certain_t union all select a from certain_t"
+        )
+
+    def test_subquery_propagates(self, db):
+        assert not is_certain(db, "select a from (select a from uncertain_t) s")
+
+    def test_uncertain_in_subquery_propagates(self, db):
+        assert not is_certain(
+            db,
+            "select a from certain_t where a in (select a from uncertain_t)",
+        )
+
+
+class TestRestrictions:
+    def test_sum_on_uncertain_rejected(self, db):
+        with pytest.raises(UncertainAggregateError):
+            analyze(db, "select sum(a) as s from uncertain_t")
+
+    def test_count_on_uncertain_rejected(self, db):
+        with pytest.raises(UncertainAggregateError):
+            analyze(db, "select count(*) as n from uncertain_t")
+
+    def test_sum_on_certain_allowed(self, db):
+        analyze(db, "select sum(a) as s from certain_t")
+
+    def test_esum_on_uncertain_allowed(self, db):
+        analyze(db, "select esum(a) as e from uncertain_t")
+
+    def test_distinct_on_uncertain_rejected(self, db):
+        with pytest.raises(UncertainDistinctError):
+            analyze(db, "select distinct a from uncertain_t")
+
+    def test_distinct_on_certain_allowed(self, db):
+        analyze(db, "select distinct a from certain_t")
+
+    def test_union_dedup_on_uncertain_rejected(self, db):
+        with pytest.raises(UncertainDistinctError):
+            analyze(
+                db,
+                "select a from uncertain_t union select a from uncertain_t",
+            )
+
+    def test_union_all_on_uncertain_allowed(self, db):
+        analyze(
+            db, "select a from uncertain_t union all select a from uncertain_t"
+        )
+
+    def test_repair_key_on_urelation_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "repair key a in uncertain_t")
+
+    def test_pick_tuples_on_urelation_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select * from (pick tuples from uncertain_t) s")
+
+    def test_repair_key_on_uncertain_subquery_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "repair key a in (select a from uncertain_t)")
+
+    def test_negative_uncertain_in_subquery_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(
+                db,
+                "select a from certain_t where a not in (select a from uncertain_t)",
+            )
+
+    def test_not_wrapped_uncertain_in_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(
+                db,
+                "select a from certain_t where not (a in (select a from uncertain_t))",
+            )
+
+    def test_double_negation_is_positive(self, db):
+        analyze(
+            db,
+            "select a from certain_t where not (a not in (select a from uncertain_t))",
+        )
+
+    def test_certain_not_in_allowed(self, db):
+        analyze(
+            db,
+            "select a from certain_t where a not in (select a from certain_t)",
+        )
+
+    def test_order_by_on_uncertain_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a from uncertain_t order by a")
+
+    def test_order_by_on_conf_result_allowed(self, db):
+        analyze(
+            db,
+            "select a, conf() as p from uncertain_t group by a order by p desc",
+        )
+
+    def test_mixing_aggregate_kinds_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select sum(a) as s, conf() as p from certain_t")
+
+    def test_tconf_with_group_by_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a, tconf() as p from uncertain_t group by a")
+
+    def test_non_grouped_select_item_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a, w, conf() as p from uncertain_t group by a")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a from certain_t where sum(a) > 1")
+
+    def test_having_without_group_by_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a from certain_t having a > 1")
+
+    def test_unknown_function_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select frobnicate(a) as x from certain_t")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select a from nonexistent")
+
+    def test_nested_aggregate_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            analyze(db, "select sum(count(*)) as x from certain_t group by a")
+
+
+class TestAggregateArity:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select conf(a) as p from uncertain_t group by a",
+            "select aconf(0.1) as p from uncertain_t group by a",
+            "select esum() as e from uncertain_t",
+            "select argmax(a) as m from certain_t",
+            "select sum(a, w) as s from certain_t",
+        ],
+    )
+    def test_bad_arity_rejected(self, db, sql):
+        with pytest.raises(AnalysisError):
+            analyze(db, sql)
+
+    def test_aggregate_kind_classification(self):
+        assert aggregate_kind("sum") == "standard"
+        assert aggregate_kind("CONF") == "uncertain"
+        assert aggregate_kind("esum") == "uncertain"
+        assert aggregate_kind("abs") is None

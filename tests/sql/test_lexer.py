@@ -1,0 +1,127 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import (
+    END,
+    FLOAT_LITERAL,
+    IDENTIFIER,
+    INTEGER_LITERAL,
+    KEYWORD,
+    OPERATOR,
+    PUNCTUATION,
+    STRING_LITERAL,
+    tokenize,
+)
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_fold_case(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.kind == KEYWORD and t.text == "select" for t in tokens[:-1])
+
+    def test_identifiers_fold_case(self):
+        assert texts("Player FT2") == ["player", "ft2"]
+        assert kinds("Player FT2") == [IDENTIFIER, IDENTIFIER]
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"WeIrD Name"')
+        assert tokens[0].kind == IDENTIFIER
+        assert tokens[0].text == "WeIrD Name"
+
+    def test_integer_and_float(self):
+        assert kinds("42 3.14 .5 1e-3 2E+4") == [
+            INTEGER_LITERAL,
+            FLOAT_LITERAL,
+            FLOAT_LITERAL,
+            FLOAT_LITERAL,
+            FLOAT_LITERAL,
+        ]
+
+    def test_number_then_dot_identifier(self):
+        # "1.e" must not swallow the identifier: "1." is a float, e is ident...
+        # our lexer reads 1. as FLOAT then e as IDENTIFIER.
+        tokens = tokenize("r1.player")
+        assert [t.kind for t in tokens[:-1]] == [IDENTIFIER, PUNCTUATION, IDENTIFIER]
+
+    def test_string_literal(self):
+        tokens = tokenize("'Bryant'")
+        assert tokens[0].kind == STRING_LITERAL
+        assert tokens[0].text == "Bryant"
+
+    def test_string_escape_doubled_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_string_preserves_case(self):
+        assert tokenize("'MixedCase'")[0].text == "MixedCase"
+
+    def test_operators(self):
+        assert texts("<= >= <> != = < > + - * / %") == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ;") == [PUNCTUATION] * 5
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].kind == END
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert texts("select -- comment here\n 1") == ["select", "1"]
+
+    def test_block_comment(self):
+        assert texts("select /* anything \n multiline */ 1") == ["select", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* forever")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("select\nfrom\nwhere")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("select @")
+        assert "line 1" in str(exc.value)
+
+
+class TestUncertaintyKeywords:
+    def test_repair_key_tokens(self):
+        assert texts("repair key weight by") == ["repair", "key", "weight", "by"]
+        assert kinds("repair key weight by") == [KEYWORD] * 4
+
+    def test_pick_tuples_tokens(self):
+        text = "pick tuples from t independently with probability 0.5"
+        assert kinds(text) == (
+            [KEYWORD] * 3 + [IDENTIFIER] + [KEYWORD] * 3 + [FLOAT_LITERAL]
+        )
+
+    def test_possible_is_keyword(self):
+        assert kinds("possible") == [KEYWORD]
+
+    def test_conf_is_identifier(self):
+        # conf/aconf/tconf/esum/ecount are function names, not keywords.
+        assert kinds("conf aconf tconf esum ecount argmax") == [IDENTIFIER] * 6

@@ -1,0 +1,291 @@
+"""Tests for the SQL parser (AST shapes, including the paper's syntax)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement, parse_statements
+
+
+class TestSelectCore:
+    def test_simple_select(self):
+        q = parse_statement("select a, b from t")
+        assert isinstance(q, ast.SelectQuery)
+        assert len(q.items) == 2
+        assert q.from_items == (ast.TableRef("t"),)
+
+    def test_select_star(self):
+        q = parse_statement("select * from t")
+        assert isinstance(q.items[0].expr, ast.SqlStar)
+
+    def test_select_qualified_star(self):
+        q = parse_statement("select r.* from t r")
+        assert q.items[0].expr == ast.SqlStar("r")
+
+    def test_aliases(self):
+        q = parse_statement("select a as x, b y from t as u")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+        assert q.from_items[0].alias == "u"
+
+    def test_where_group_order_limit(self):
+        q = parse_statement(
+            "select a from t where a > 1 group by a having count(*) > 2 "
+            "order by a desc limit 10 offset 5"
+        )
+        assert q.where is not None
+        assert len(q.group_by) == 1
+        assert q.having is not None
+        assert q.order_by[0][1] is False  # descending
+        assert q.limit == 10 and q.offset == 5
+
+    def test_distinct_and_possible(self):
+        assert parse_statement("select distinct a from t").distinct
+        assert parse_statement("select possible a from t").possible
+
+    def test_subquery_in_from_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("select a from (select a from t)")
+
+    def test_subquery_with_alias(self):
+        q = parse_statement("select a from (select a from t) s")
+        assert isinstance(q.from_items[0], ast.SubqueryRef)
+        assert q.from_items[0].alias == "s"
+
+    def test_union(self):
+        q = parse_statement("select a from t union all select b from u")
+        assert isinstance(q, ast.UnionQuery)
+        assert q.all
+
+    def test_union_distinct(self):
+        q = parse_statement("select a from t union select b from u")
+        assert not q.all
+
+    def test_select_without_from(self):
+        q = parse_statement("select 1 + 1 as two")
+        assert q.from_items == ()
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        return parse_statement(f"select {text} from t").items[0].expr
+
+    def test_precedence_arithmetic(self):
+        e = self.parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.SqlBinary) and e.op == "+"
+        assert isinstance(e.right, ast.SqlBinary) and e.right.op == "*"
+
+    def test_precedence_bool(self):
+        q = parse_statement("select a from t where x = 1 or y = 2 and z = 3")
+        e = q.where
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        q = parse_statement("select a from t where not x = 1 and y = 2")
+        assert q.where.op == "and"
+        assert isinstance(q.where.left, ast.SqlUnary)
+
+    def test_parenthesized(self):
+        e = self.parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-a")
+        assert isinstance(e, ast.SqlUnary) and e.op == "-"
+
+    def test_is_null(self):
+        q = parse_statement("select a from t where a is null")
+        assert isinstance(q.where, ast.SqlIsNull) and not q.where.negated
+        q2 = parse_statement("select a from t where a is not null")
+        assert q2.where.negated
+
+    def test_in_list(self):
+        q = parse_statement("select a from t where a in (1, 2, 3)")
+        assert isinstance(q.where, ast.SqlInList)
+        assert len(q.where.items) == 3
+
+    def test_not_in(self):
+        q = parse_statement("select a from t where a not in (1)")
+        assert q.where.negated
+
+    def test_in_subquery(self):
+        q = parse_statement("select a from t where a in (select b from u)")
+        assert isinstance(q.where, ast.SqlInQuery)
+
+    def test_between(self):
+        q = parse_statement("select a from t where a between 1 and 10")
+        assert isinstance(q.where, ast.SqlBetween)
+
+    def test_case(self):
+        e = self.parse_expr("case when a > 0 then 'pos' else 'neg' end")
+        assert isinstance(e, ast.SqlCase)
+        assert len(e.branches) == 1 and e.default is not None
+
+    def test_cast(self):
+        e = self.parse_expr("cast(a as float)")
+        assert isinstance(e, ast.SqlCast) and e.type_name == "float"
+
+    def test_literals(self):
+        assert self.parse_expr("null") == ast.SqlLiteral(None)
+        assert self.parse_expr("true") == ast.SqlLiteral(True)
+        assert self.parse_expr("3.5") == ast.SqlLiteral(3.5)
+        assert self.parse_expr("'txt'") == ast.SqlLiteral("txt")
+
+    def test_function_calls(self):
+        e = self.parse_expr("conf()")
+        assert isinstance(e, ast.SqlFunction) and e.name == "conf" and e.args == ()
+        e2 = self.parse_expr("aconf(0.1, 0.05)")
+        assert len(e2.args) == 2
+        e3 = self.parse_expr("count(*)")
+        assert e3.star
+        e4 = self.parse_expr("count(distinct a)")
+        assert e4.distinct
+        e5 = self.parse_expr("argmax(player, score)")
+        assert len(e5.args) == 2
+
+    def test_string_concat(self):
+        e = self.parse_expr("a || b")
+        assert e.op == "||"
+
+
+class TestUncertaintyConstructs:
+    def test_repair_key_from_item(self):
+        q = parse_statement(
+            "select * from (repair key player, init in ft weight by p) r1"
+        )
+        item = q.from_items[0]
+        assert isinstance(item, ast.RepairKeyRef)
+        assert [c.name for c in item.key_columns] == ["player", "init"]
+        assert item.alias == "r1"
+        assert item.weight == ast.SqlColumn("p")
+        assert item.source == ast.TableRef("ft")
+
+    def test_repair_key_empty_key(self):
+        q = parse_statement("select * from (repair key in t weight by w) r")
+        assert q.from_items[0].key_columns == ()
+
+    def test_repair_key_no_weight(self):
+        q = parse_statement("select * from (repair key k in t) r")
+        assert q.from_items[0].weight is None
+
+    def test_repair_key_subquery_source(self):
+        q = parse_statement(
+            "select * from (repair key k in (select k from t where k > 0)) r"
+        )
+        assert isinstance(q.from_items[0].source, ast.SelectQuery)
+
+    def test_repair_key_standalone_statement(self):
+        q = parse_statement("repair key k in t weight by w")
+        assert isinstance(q, ast.RepairKeyRef)
+
+    def test_pick_tuples(self):
+        q = parse_statement(
+            "select * from (pick tuples from t independently with probability 0.3) s"
+        )
+        item = q.from_items[0]
+        assert isinstance(item, ast.PickTuplesRef)
+        assert item.independently
+        assert item.probability == ast.SqlLiteral(0.3)
+        assert item.alias == "s"
+
+    def test_pick_tuples_defaults(self):
+        q = parse_statement("select * from (pick tuples from t) s")
+        item = q.from_items[0]
+        assert not item.independently and item.probability is None
+
+    def test_paper_ft2_query_parses(self):
+        """The exact first statement of Section 3."""
+        stmt = parse_statement(
+            """
+            create table FT2 as
+            select R1.Player, R1.Init, R2.Final, conf() as p from
+            (repair key Player, Init in FT weight by p) R1,
+            (repair key Player, Init in FT weight by p) R2, States S
+            where R1.Player = S.Player and R1.Init = S.State
+            and R1.Final = R2.Init and R1.Player = R2.Player
+            group by R1.Player, R1.Init, R2.Final
+            """
+        )
+        assert isinstance(stmt, ast.CreateTableAs)
+        query = stmt.query
+        assert len(query.from_items) == 3
+        assert isinstance(query.from_items[0], ast.RepairKeyRef)
+        assert isinstance(query.from_items[2], ast.TableRef)
+        assert len(query.group_by) == 3
+
+    def test_mixed_case_group_by(self):
+        """The paper writes "group by R1.player" with lowercase p."""
+        q = parse_statement(
+            "select R1.Player from t R1 group by R1.player"
+        )
+        assert q.group_by[0] == ast.SqlColumn("player", "r1")
+
+
+class TestStatements:
+    def test_create_table(self):
+        s = parse_statement("create table t (a integer, b text, p float)")
+        assert isinstance(s, ast.CreateTable)
+        assert s.columns == (("a", "integer"), ("b", "text"), ("p", "float"))
+
+    def test_create_table_if_not_exists(self):
+        s = parse_statement("create table if not exists t (a int)")
+        assert s.if_not_exists
+
+    def test_create_table_varchar_size_swallowed(self):
+        s = parse_statement("create table t (a varchar(30))")
+        assert s.columns[0][1] == "varchar"
+
+    def test_drop_table(self):
+        s = parse_statement("drop table if exists t")
+        assert isinstance(s, ast.DropTable) and s.if_exists
+
+    def test_insert_values(self):
+        s = parse_statement("insert into t values (1, 'x'), (2, 'y')")
+        assert isinstance(s, ast.InsertValues)
+        assert len(s.rows) == 2
+
+    def test_insert_with_columns(self):
+        s = parse_statement("insert into t (a, b) values (1, 2)")
+        assert s.columns == ("a", "b")
+
+    def test_insert_query(self):
+        s = parse_statement("insert into t select * from u")
+        assert isinstance(s, ast.InsertQuery)
+
+    def test_update(self):
+        s = parse_statement("update t set a = 1, b = b + 1 where c = 'x'")
+        assert isinstance(s, ast.Update)
+        assert len(s.assignments) == 2
+        assert s.where is not None
+
+    def test_delete(self):
+        s = parse_statement("delete from t where a < 0")
+        assert isinstance(s, ast.Delete)
+
+    def test_transactions(self):
+        for action in ("begin", "commit", "rollback"):
+            s = parse_statement(action)
+            assert isinstance(s, ast.TransactionStatement)
+            assert s.action == action
+
+    def test_statement_batch(self):
+        statements = parse_statements(
+            "create table t (a int); insert into t values (1); select a from t;"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("select 1 from t bogus extra tokens ,")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("select case end from t")
+
+    def test_nonreserved_keywords_as_names(self):
+        s = parse_statement("create table t (weight float, key int, probability float)")
+        assert [c[0] for c in s.columns] == ["weight", "key", "probability"]
+        q = parse_statement("select weight, key from t where probability > 0.5")
+        assert q.items[0].expr == ast.SqlColumn("weight")

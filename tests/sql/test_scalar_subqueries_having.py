@@ -1,0 +1,150 @@
+"""Tests for scalar subqueries in conditions and HAVING over confidence
+aggregation (Section 2.2's "any t-certain subqueries in the conditions")."""
+
+import pytest
+
+from repro import MayBMS
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def db():
+    session = MayBMS()
+    session.execute("create table items (name text, qty integer, price float)")
+    session.execute(
+        "insert into items values "
+        "('apple', 3, 1.5), ('banana', 5, 0.5), ('cherry', 2, 4.0)"
+    )
+    session.execute("create table params (threshold float)")
+    session.execute("insert into params values (1.0)")
+    return session
+
+
+class TestScalarSubqueries:
+    def test_in_where(self, db):
+        result = db.query(
+            "select name from items "
+            "where price > (select threshold from params)"
+        )
+        assert sorted(r[0] for r in result) == ["apple", "cherry"]
+
+    def test_aggregate_subquery_in_where(self, db):
+        result = db.query(
+            "select name from items "
+            "where price = (select max(price) from items)"
+        )
+        assert result.rows == [("cherry",)]
+
+    def test_in_select_list(self, db):
+        result = db.query(
+            "select name, (select max(qty) from items) as top from items"
+        )
+        assert all(r[1] == 5 for r in result)
+
+    def test_in_update(self, db):
+        db.execute(
+            "update items set qty = 0 "
+            "where price < (select avg(price) from items)"
+        )
+        quantities = {r[0]: r[1] for r in db.table("items")}
+        assert quantities == {"apple": 0, "banana": 0, "cherry": 2}
+
+    def test_in_insert_values(self, db):
+        db.execute(
+            "insert into items values "
+            "('date', (select max(qty) from items), 2.0)"
+        )
+        rows = [r for r in db.table("items") if r[0] == "date"]
+        assert rows[0][1] == 5
+
+    def test_in_repair_key_weight(self, db):
+        result = db.query(
+            "select name, conf() as p from "
+            "(repair key in items weight by price * (select threshold from params)) r "
+            "group by name"
+        )
+        total = 1.5 + 0.5 + 4.0
+        by_name = {r[0]: r[1] for r in result}
+        assert by_name["cherry"] == pytest.approx(4.0 / total)
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        db.execute("delete from params")
+        result = db.query(
+            "select name from items "
+            "where price > (select threshold from params)"
+        )
+        assert len(result) == 0  # NULL comparison filters everything
+
+    def test_multi_row_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            db.query(
+                "select name from items where price > (select price from items)"
+            )
+
+    def test_multi_column_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            db.query(
+                "select name from items "
+                "where price > (select price, qty from items)"
+            )
+
+    def test_uncertain_scalar_subquery_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            db.query(
+                "select name from items where qty > "
+                "(select qty from (pick tuples from items) s)"
+            )
+
+    def test_certified_uncertain_subquery_allowed(self, db):
+        result = db.query(
+            "select name from items where qty >= "
+            "(select esum(qty) as e from "
+            "(pick tuples from items with probability 0.5) s)"
+        )
+        # esum = 0.5 * 10 = 5.0; only banana (qty 5) passes.
+        assert result.rows == [("banana",)]
+
+
+class TestHavingOverConfidence:
+    @pytest.fixture
+    def udb(self, db):
+        db.execute(
+            "create table maybe as select * from "
+            "(pick tuples from items with probability 0.25) s"
+        )
+        return db
+
+    def test_having_on_alias(self, udb):
+        result = udb.query(
+            "select name, conf() as p from maybe group by name having p > 0.2"
+        )
+        assert len(result) == 3  # each tuple has p = 0.25
+
+    def test_having_on_aggregate_expression(self, udb):
+        result = udb.query(
+            "select name, conf() as p from maybe group by name "
+            "having conf() > 0.9"
+        )
+        assert len(result) == 0
+
+    def test_having_filters_esum(self, udb):
+        result = udb.query(
+            "select name, esum(qty) as e from maybe group by name "
+            "having esum(qty) > 1.0"
+        )
+        by_name = {r[0]: r[1] for r in result}
+        assert set(by_name) == {"banana"}  # 5 * 0.25 = 1.25
+
+    def test_having_unknown_column_rejected(self, udb):
+        with pytest.raises(AnalysisError):
+            udb.query(
+                "select name, conf() as p from maybe group by name "
+                "having qty > 1"
+            )
+
+    def test_having_combined_predicate(self, udb):
+        result = udb.query(
+            "select name, conf() as p, esum(qty) as e from maybe "
+            "group by name having p > 0.2 and e > 0.6"
+        )
+        assert sorted(r[0] for r in result) == ["apple", "banana"]
