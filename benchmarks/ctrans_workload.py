@@ -1,0 +1,64 @@
+"""The canonical C-TRANS workload, shared by the pytest benchmark
+(``bench_translation.py``) and the pytest-free CI smoke job
+(``smoke_translation.py``) so the two always measure the same query.
+
+The workload is the paper's translated-join experiment:
+``σ(orders ⋈ customers)`` on certain tables versus the same logical
+query on U-relation versions built by ``pick tuples``.
+"""
+
+import time
+
+from repro.core.pick_tuples import pick_tuples
+from repro.core.translate import u_join, u_rename, u_select
+from repro.core.variables import VariableRegistry
+from repro.datagen.tpch import TpchGenerator
+from repro.engine import algebra, planner
+from repro.engine.expressions import ColumnRef, Comparison, Literal
+
+
+def best_of(runs, fn, *args):
+    """(best wall seconds, last result) over ``runs`` calls -- the shared
+    measurement protocol of the pytest benchmark and the CI smoke job."""
+    best, result = None, None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def build_inputs(scale):
+    gen = TpchGenerator(scale=scale, seed=22)
+    customers = gen.customers()
+    orders = gen.orders()
+    registry = VariableRegistry()
+    u_customers = u_rename(
+        pick_tuples(customers, registry, probability=0.8), "c"
+    )
+    u_orders = u_rename(pick_tuples(orders, registry, probability=0.8), "o")
+    return customers, orders, u_customers, u_orders
+
+
+def certain_query(customers, orders):
+    plan = algebra.Select(
+        algebra.Join(
+            algebra.RelationScan(orders, "o"),
+            algebra.RelationScan(customers, "c"),
+            Comparison("=", ColumnRef("custkey", "o"), ColumnRef("custkey", "c")),
+        ),
+        Comparison(">", ColumnRef("totalprice", "o"), Literal(150000.0)),
+    )
+    return planner.run(plan)
+
+
+def translated_query(u_customers, u_orders):
+    joined = u_join(
+        u_orders,
+        u_customers,
+        Comparison("=", ColumnRef("custkey", "o"), ColumnRef("custkey", "c")),
+    )
+    return u_select(
+        joined, Comparison(">", ColumnRef("totalprice", "o"), Literal(150000.0))
+    )

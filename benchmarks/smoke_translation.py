@@ -1,0 +1,82 @@
+"""Quick-mode C-TRANS smoke benchmark (no pytest needed).
+
+Runs the certain vs translated join of ``bench_translation.py`` at a
+small scale on both execution engines and writes the timings to
+``BENCH_translation.json`` at the repository root, so CI records the
+performance trajectory PR over PR.
+
+Usage:  PYTHONPATH=src python benchmarks/smoke_translation.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from ctrans_workload import (  # noqa: E402
+    best_of,
+    build_inputs,
+    certain_query,
+    translated_query,
+)
+
+from repro.engine import planner  # noqa: E402
+from repro.engine.columnar import HAVE_NUMPY  # noqa: E402
+
+SCALE = 0.4
+RUNS = 5
+
+
+def best_of_ms(fn, *args):
+    seconds, result = best_of(RUNS, fn, *args)
+    return seconds * 1e3, result
+
+
+def main() -> int:
+    output_path = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_translation.json"
+    )
+    customers, orders, u_customers, u_orders = build_inputs(SCALE)
+
+    record = {
+        "benchmark": "C-TRANS smoke (certain vs translated join)",
+        "scale": SCALE,
+        "orders": len(orders),
+        "customers": len(customers),
+        "python": platform.python_version(),
+        "numpy": HAVE_NUMPY,
+        "best_of": RUNS,
+        "engines": {},
+    }
+    for engine in ("row", "batch"):
+        with planner.forced_engine(engine):
+            certain_ms, certain = best_of_ms(certain_query, customers, orders)
+            translated_ms, translated = best_of_ms(
+                translated_query, u_customers, u_orders
+            )
+        record["engines"][engine] = {
+            "certain_ms": round(certain_ms, 4),
+            "translated_ms": round(translated_ms, 4),
+            "overhead": round(translated_ms / certain_ms, 3),
+            "result_rows": len(translated),
+        }
+    row = record["engines"]["row"]
+    batch = record["engines"]["batch"]
+    record["batch_speedup_on_translated"] = round(
+        row["translated_ms"] / batch["translated_ms"], 3
+    )
+
+    output_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if row["result_rows"] != batch["result_rows"]:
+        print("ERROR: engines disagree on result size", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

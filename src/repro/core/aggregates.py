@@ -23,10 +23,12 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.conditions import Condition
-from repro.core.confidence.dnf import DNF
 from repro.core.confidence.dklr import approximate_confidence
-from repro.core.confidence.exact import ExactConfidenceEngine
+from repro.core.confidence.exact import (
+    ExactConfidenceEngine,
+    group_lineages,
+    group_probabilities,
+)
 from repro.core.urelation import URelation
 from repro.engine.physical import group_key
 from repro.engine.relation import Relation
@@ -41,17 +43,26 @@ def _group_rows(
     """Group row indexes by the projection onto ``group_columns``.
 
     Returns (positions, key -> (projected row, row indexes), key order).
+    Works off the relation's cached column view: only the grouping columns
+    are touched, not whole rows.
     """
     positions = [urel.relation.schema.resolve(name) for name in group_columns]
     groups: Dict[tuple, Tuple[tuple, List[int]]] = {}
     order: List[tuple] = []
-    for index, row in enumerate(urel.relation):
-        projected = tuple(row[p] for p in positions)
+    n = len(urel.relation)
+    if positions:
+        columns = urel.relation.columns()
+        projected_iter = zip(*(columns[p] for p in positions))
+    else:
+        projected_iter = (() for _ in range(n))
+    for index, projected in enumerate(projected_iter):
         key = group_key(projected)
-        if key not in groups:
-            groups[key] = (projected, [])
+        entry = groups.get(key)
+        if entry is None:
+            entry = (projected, [])
+            groups[key] = entry
             order.append(key)
-        groups[key][1].append(index)
+        entry[1].append(index)
     return positions, groups, order
 
 
@@ -83,15 +94,14 @@ def conf(
     result is a single row -- the probability that the relation is
     non-empty.
     """
-    engine = engine if engine is not None else ExactConfidenceEngine(urel.registry)
-    conditions = urel.conditions()
     _, groups, order = _group_rows(urel, group_columns)
-    rows = []
-    for key in order:
-        projected, indexes = groups[key]
-        clauses = [conditions[i] for i in indexes if conditions[i] is not None]
-        probability = engine.probability(DNF(clauses))
-        rows.append(projected + (probability,))
+    probabilities = group_probabilities(
+        urel, [groups[key][1] for key in order], engine
+    )
+    rows = [
+        groups[key][0] + (probability,)
+        for key, probability in zip(order, probabilities)
+    ]
     if not group_columns and not rows:
         rows.append((0.0,))
     return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)
@@ -110,16 +120,12 @@ def aconf(
     Per group, an estimate p̂ with P(|p̂ − p| > ε·p) < δ, via the
     Karp-Luby estimator under the DKLR optimal Monte-Carlo driver.
     """
-    conditions = urel.conditions()
     _, groups, order = _group_rows(urel, group_columns)
+    lineages = group_lineages(urel, [groups[key][1] for key in order])
     rows = []
-    for key in order:
-        projected, indexes = groups[key]
-        clauses = [conditions[i] for i in indexes if conditions[i] is not None]
-        result = approximate_confidence(
-            DNF(clauses), urel.registry, epsilon, delta, rng
-        )
-        rows.append(projected + (result.estimate,))
+    for key, dnf in zip(order, lineages):
+        result = approximate_confidence(dnf, urel.registry, epsilon, delta, rng)
+        rows.append(groups[key][0] + (result.estimate,))
     if not group_columns and not rows:
         rows.append((0.0,))
     return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)
@@ -130,12 +136,11 @@ def tconf(urel: URelation, result_name: str = "tconf") -> Relation:
     (possibly duplicate) tuples"): payload columns plus the probability of
     the row's own condition."""
     columns = list(urel.payload_schema) + [Column(result_name, FLOAT)]
-    rows = []
-    for payload, condition in urel.rows_with_conditions():
-        probability = (
-            0.0 if condition is None else condition.probability(urel.registry)
-        )
-        rows.append(payload + (probability,))
+    payload_arity = urel.payload_arity
+    rows = [
+        row[:payload_arity] + (probability,)
+        for row, probability in zip(urel.relation, urel.condition_probabilities())
+    ]
     return Relation(Schema(columns), rows)
 
 
@@ -180,23 +185,23 @@ def _expectation(
     group_columns: Sequence[str],
     result_name: str,
 ) -> Relation:
-    conditions = urel.conditions()
+    weights = urel.condition_probabilities()
     _, groups, order = _group_rows(urel, group_columns)
+    value_column = (
+        urel.relation.columns()[value_position] if value_position is not None else None
+    )
     rows = []
     for key in order:
         projected, indexes = groups[key]
         total = 0.0
-        for i in indexes:
-            condition = conditions[i]
-            if condition is None:
-                continue
-            weight = condition.probability(urel.registry)
-            if value_position is None:
-                total += weight
-            else:
-                value = urel.relation.rows[i][value_position]
+        if value_column is None:
+            for i in indexes:
+                total += weights[i]
+        else:
+            for i in indexes:
+                value = value_column[i]
                 if value is not None:
-                    total += weight * value
+                    total += weights[i] * value
         rows.append(projected + (total,))
     if not group_columns and not rows:
         rows.append((0.0,))

@@ -37,7 +37,7 @@ fastest), then smaller domain, then lower id for determinism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.confidence.dnf import DNF
 from repro.core.variables import VariableRegistry
@@ -253,3 +253,39 @@ def exact_confidence(
 ) -> float:
     """One-shot exact probability of a lineage DNF."""
     return ExactConfidenceEngine(registry).probability(dnf)
+
+
+def group_lineages(
+    urel, row_groups: Sequence[Sequence[int]]
+) -> List[DNF]:
+    """Per-group lineage DNFs read straight off a U-relation's condition
+    columns.
+
+    One memoized columnar decode covers the whole relation (see
+    :meth:`repro.core.urelation.URelation.conditions`), instead of
+    decoding each row's triples on its own; rows with contradictory
+    conditions (possible only before a consistency filter runs) represent
+    no world and contribute no clause.
+    """
+    conditions = urel.conditions()
+    return [
+        DNF(
+            [
+                conditions[index]
+                for index in indexes
+                if conditions[index] is not None
+            ]
+        )
+        for indexes in row_groups
+    ]
+
+
+def group_probabilities(
+    urel,
+    row_groups: Sequence[Sequence[int]],
+    engine: Optional[ExactConfidenceEngine] = None,
+) -> List[float]:
+    """Exact confidence per group of row indexes of a U-relation: the
+    column-consuming entry point behind the ``conf()`` aggregate."""
+    engine = engine if engine is not None else ExactConfidenceEngine(urel.registry)
+    return [engine.probability(dnf) for dnf in group_lineages(urel, row_groups)]

@@ -36,7 +36,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.confidence.dnf import DNF
 from repro.core.variables import VariableRegistry
+from repro.engine.columnar import HAVE_NUMPY, np
 from repro.errors import ConfidenceError
+
+#: Below this sample count the NumPy batch setup outweighs the win.
+_VECTOR_MIN_SAMPLES = 64
 
 
 class KarpLubyEstimator:
@@ -100,12 +104,65 @@ class KarpLubyEstimator:
         return 1 if first == index else 0
 
     def estimate(self, samples: int) -> float:
-        """Fixed-sample-count estimate U · mean(Z) of the confidence."""
+        """Fixed-sample-count estimate U · mean(Z) of the confidence.
+
+        With NumPy available, sampling consumes the clause-probability and
+        per-variable distribution *columns* in one vectorized block: all
+        clause choices, all world draws, and all first-satisfied-clause
+        tests happen array-at-a-time instead of per sample per variable.
+        """
         if self.is_trivial:
             return self.trivial_probability
         if samples <= 0:
             raise ConfidenceError(f"need a positive sample count, got {samples}")
+        if HAVE_NUMPY and samples >= _VECTOR_MIN_SAMPLES and self.variables:
+            return self._estimate_vectorized(samples)
         hits = sum(self.sample() for _ in range(samples))
+        return self.total_weight * hits / samples
+
+    def _estimate_vectorized(self, samples: int) -> float:
+        """NumPy block implementation of :meth:`estimate` (statistically
+        identical: same estimator, a different deterministic stream seeded
+        from this estimator's rng)."""
+        rng = np.random.default_rng(self.rng.getrandbits(64))
+        self.samples_drawn += samples
+        variables = self.variables
+        column_of = {var: j for j, var in enumerate(variables)}
+
+        # Sample every variable's column from its marginal distribution.
+        worlds = np.empty((samples, len(variables)), dtype=np.int64)
+        for j, var in enumerate(variables):
+            distribution = self.registry.distribution(var)
+            values = np.fromiter(distribution.keys(), dtype=np.int64)
+            cumulative = np.cumsum(np.fromiter(distribution.values(), dtype=np.float64))
+            draws = np.searchsorted(cumulative, rng.random(samples), side="right")
+            worlds[:, j] = values[np.minimum(draws, len(values) - 1)]
+
+        # Choose a clause per sample with probability pᵢ/U and force its
+        # atoms into those samples' worlds.
+        cumulative_weight = np.cumsum(
+            np.fromiter(self.clause_probabilities, dtype=np.float64)
+        )
+        chosen = np.searchsorted(
+            cumulative_weight, rng.random(samples) * self.total_weight, side="right"
+        )
+        chosen = np.minimum(chosen, len(self.dnf.clauses) - 1)
+        for clause_index, clause in enumerate(self.dnf.clauses):
+            rows = chosen == clause_index
+            if not rows.any():
+                continue
+            for var, value in clause:
+                worlds[rows, column_of[var]] = value
+
+        # First satisfied clause per sample; Z = (first == chosen).
+        first = np.full(samples, -1, dtype=np.int64)
+        for clause_index, clause in enumerate(self.dnf.clauses):
+            satisfied = np.ones(samples, dtype=bool)
+            for var, value in clause:
+                satisfied &= worlds[:, column_of[var]] == value
+            undecided = first < 0
+            first[satisfied & undecided] = clause_index
+        hits = int((first == chosen).sum())
         return self.total_weight * hits / samples
 
     def mean_lower_bound(self) -> float:

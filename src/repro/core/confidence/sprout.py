@@ -184,59 +184,127 @@ def is_hierarchical(query: ConjunctiveQuery) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _match_row(sg: Subgoal, row: tuple, binding: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-    """Try to extend ``binding`` by matching ``row`` against the subgoal's
-    terms; None on mismatch (constant differs or variable bound elsewhere)."""
+def _subgoal_bindings(
+    sg: Subgoal, table: TupleIndependentTable
+) -> Tuple[List[str], List[tuple], List[int]]:
+    """The satisfying rows of one subgoal, column-wise.
+
+    Returns ``(var_order, value_rows, tuple_indices)``: the subgoal's
+    variables in first-occurrence order, per matching base row the tuple of
+    those variables' values, and the base row's index (for its probability
+    and its lineage variable).  Constants and repeated variables are
+    checked here, once per base row, with no per-row dict construction.
+    """
     arity = len(sg.terms)
-    if len(row) != arity:
+    relation = table.relation
+    if len(relation.schema) != arity and len(relation) > 0:
         raise ConfidenceError(
-            f"subgoal {sg!r} has arity {arity} but table rows have {len(row)}"
+            f"subgoal {sg!r} has arity {arity} but table rows have "
+            f"{len(relation.schema)}"
         )
-    out = dict(binding)
-    for term, value in zip(sg.terms, row):
+    first_position: Dict[str, int] = {}
+    constants: List[Tuple[int, Any]] = []
+    duplicate_checks: List[Tuple[int, int]] = []
+    for position, term in enumerate(sg.terms):
         if isinstance(term, Var):
-            if term.name in out:
-                if out[term.name] != value:
-                    return None
+            seen = first_position.get(term.name)
+            if seen is None:
+                first_position[term.name] = position
             else:
-                out[term.name] = value
+                duplicate_checks.append((seen, position))
         else:
-            if term != value:
-                return None
-    return out
+            constants.append((position, term))
+    var_order = list(first_position)
+    positions = list(first_position.values())
+
+    rows: List[tuple] = []
+    indices: List[int] = []
+    for index, row in enumerate(relation.rows):
+        matched = True
+        for position, value in constants:
+            if row[position] != value:
+                matched = False
+                break
+        if matched:
+            for a, b in duplicate_checks:
+                if row[a] != row[b]:
+                    matched = False
+                    break
+        if matched:
+            rows.append(tuple(row[p] for p in positions))
+            indices.append(index)
+    return var_order, rows, indices
 
 
-def _join_bindings(
+def _join_rows(
     subgoals: Sequence[Subgoal], db: Database
-) -> List[Tuple[Dict[str, Any], Tuple[Tuple[int, int], ...]]]:
-    """All satisfying assignments of the subgoals, with the (subgoal index,
-    tuple index) pairs that produced them.  Backtracking join with a
-    most-bound-first subgoal order."""
-    results: List[Tuple[Dict[str, Any], Tuple[Tuple[int, int], ...]]] = []
+) -> Tuple[List[str], List[tuple], List[Tuple[Tuple[int, int], ...]]]:
+    """All satisfying assignments of the subgoals via hash joins.
 
-    def recurse(remaining: List[int], binding: Dict[str, Any], used: List[Tuple[int, int]]):
-        if not remaining:
-            results.append((dict(binding), tuple(used)))
-            return
-        # Choose the subgoal with the most variables already bound.
+    Returns ``(var_order, value_rows, used)``: the joined variables in
+    binding order, one value tuple per assignment, and per assignment the
+    (subgoal index, tuple index) pairs that produced it.  Subgoals fold
+    most-bound-first (the same greedy order the old backtracking join
+    used, so result order is preserved), but each fold is a hash join on
+    the shared variables instead of a nested scan -- the difference
+    between O(result) and O(|R| x |S|) on the C-SPROUT workloads.
+    """
+    order: List[int] = []
+    remaining = list(range(len(subgoals)))
+    bound: Set[str] = set()
+    while remaining:
         best = max(
             remaining,
-            key=lambda i: sum(
-                1 for v in subgoals[i].variables() if v in binding
-            ),
+            key=lambda i: sum(1 for v in subgoals[i].variables() if v in bound),
         )
-        sg = subgoals[best]
-        table = db[sg.table]
-        rest = [i for i in remaining if i != best]
-        for tuple_index, (row, _) in enumerate(table.rows()):
-            extended = _match_row(sg, row, binding)
-            if extended is not None:
-                used.append((best, tuple_index))
-                recurse(rest, extended, used)
-                used.pop()
+        order.append(best)
+        remaining.remove(best)
+        bound |= subgoals[best].variables()
 
-    recurse(list(range(len(subgoals))), {}, [])
-    return results
+    acc_vars: List[str] = []
+    acc_rows: List[tuple] = [()]
+    acc_used: List[Tuple[Tuple[int, int], ...]] = [()]
+    for sg_index in order:
+        sg = subgoals[sg_index]
+        if not acc_rows:
+            # Already empty: no rows can result, so skip the scans -- but
+            # keep extending the variable order so callers can still
+            # resolve every query variable's position.
+            seen_here: List[str] = []
+            for term in sg.terms:
+                if isinstance(term, Var) and term.name not in seen_here:
+                    seen_here.append(term.name)
+            acc_vars = acc_vars + [v for v in seen_here if v not in acc_vars]
+            continue
+        var_order, rows, indices = _subgoal_bindings(sg, db[sg.table])
+        shared = [v for v in var_order if v in acc_vars]
+        new_vars = [v for v in var_order if v not in acc_vars]
+        shared_acc = [acc_vars.index(v) for v in shared]
+        shared_new = [var_order.index(v) for v in shared]
+        new_positions = [var_order.index(v) for v in new_vars]
+
+        buckets: Dict[tuple, List[int]] = {}
+        for k, values in enumerate(rows):
+            key = tuple(values[p] for p in shared_new)
+            buckets.setdefault(key, []).append(k)
+
+        next_rows: List[tuple] = []
+        next_used: List[Tuple[Tuple[int, int], ...]] = []
+        for values, used in zip(acc_rows, acc_used):
+            key = tuple(values[p] for p in shared_acc)
+            bucket = buckets.get(key)
+            if not bucket:
+                continue
+            for k in bucket:
+                new_values = rows[k]
+                next_rows.append(
+                    values + tuple(new_values[p] for p in new_positions)
+                )
+                next_used.append(used + ((sg_index, indices[k]),))
+        acc_vars = acc_vars + new_vars
+        acc_rows = next_rows
+        acc_used = next_used
+    return acc_vars, acc_rows, acc_used
 
 
 # ---------------------------------------------------------------------------
@@ -262,15 +330,18 @@ def query_lineage(
             ]
 
     lineages: Dict[tuple, List[Condition]] = {}
-    for binding, used in _join_bindings(query.subgoals, db):
-        key = tuple(binding[v] for v in query.head)
-        atoms = []
-        for sg_index, tuple_index in used:
-            table_name = query.subgoals[sg_index].table
-            atoms.append((table_vars[table_name][tuple_index], 1))
-        clause = Condition.of(atoms)
-        if clause is not None:
-            lineages.setdefault(key, []).append(clause)
+    var_order, value_rows, used_lists = _join_rows(query.subgoals, db)
+    if value_rows:
+        head_positions = [var_order.index(v) for v in query.head]
+        for values, used in zip(value_rows, used_lists):
+            key = tuple(values[p] for p in head_positions)
+            atoms = []
+            for sg_index, tuple_index in used:
+                table_name = query.subgoals[sg_index].table
+                atoms.append((table_vars[table_name][tuple_index], 1))
+            clause = Condition.of(atoms)
+            if clause is not None:
+                lineages.setdefault(key, []).append(clause)
     return {key: DNF(clauses) for key, clauses in lineages.items()}, registry
 
 
@@ -300,6 +371,13 @@ def _eager_evaluate(
         return _independent_join(partials, components, head_vars, query)
 
     component = components[0]
+    if len(component) == 1:
+        # A single-subgoal component: the chain of per-variable independent
+        # projects telescopes (or-combination is associative and
+        # commutative), so one grouped pass over the subgoal computes
+        # 1 − ∏(1 − pᵢ) per head binding directly.  Its keys are already
+        # in head-variable order.
+        return _single_subgoal(component[0], head_vars, query, db)
     free = _free_variables(component, head_vars, query)
     if not free:
         # All terms determined by head vars / constants: or-combine per
@@ -388,13 +466,15 @@ def _single_subgoal(
     sg = query.subgoals[index]
     bound = tuple(v for v in head_vars if v in sg.variables())
     table = db[sg.table]
+    var_order, value_rows, indices = _subgoal_bindings(sg, table)
+    key_positions = [var_order.index(v) for v in bound]
+    probabilities = table.probabilities
     out: Dict[tuple, float] = {}
-    for row, p in table.rows():
-        binding = _match_row(sg, row, {})
-        if binding is None:
-            continue
-        key = tuple(binding[v] for v in bound)
-        out[key] = 1.0 - (1.0 - out.get(key, 0.0)) * (1.0 - p)
+    get = out.get
+    for values, tuple_index in zip(value_rows, indices):
+        key = tuple(values[p] for p in key_positions)
+        p = probabilities[tuple_index]
+        out[key] = 1.0 - (1.0 - get(key, 0.0)) * (1.0 - p)
     return out
 
 
@@ -426,17 +506,19 @@ def _independent_join(
     for partial, vs in zip(partials[1:], bound_vars[1:]):
         shared = tuple(v for v in acc_vars if v in vs)
         new_vars = acc_vars + tuple(v for v in vs if v not in acc_vars)
+        # Positions are resolved once per partial, not once per row.
+        shared_in_vs = [vs.index(v) for v in shared]
+        shared_in_acc = [acc_vars.index(v) for v in shared]
+        fresh_in_vs = [vs.index(v) for v in vs if v not in acc_vars]
         index: Dict[tuple, List[Tuple[tuple, float]]] = {}
         for key, p in partial.items():
-            shared_key = tuple(key[vs.index(v)] for v in shared)
+            shared_key = tuple(key[i] for i in shared_in_vs)
             index.setdefault(shared_key, []).append((key, p))
         next_acc: Dict[tuple, float] = {}
         for key, p in acc.items():
-            shared_key = tuple(key[acc_vars.index(v)] for v in shared)
+            shared_key = tuple(key[i] for i in shared_in_acc)
             for other_key, q in index.get(shared_key, ()):
-                merged = key + tuple(
-                    other_key[vs.index(v)] for v in vs if v not in acc_vars
-                )
+                merged = key + tuple(other_key[i] for i in fresh_in_vs)
                 next_acc[merged] = p * q
         acc = next_acc
         acc_vars = new_vars
@@ -461,23 +543,24 @@ def _lazy_evaluate(query: ConjunctiveQuery, db: Database) -> Dict[tuple, float]:
     the whole confidence computation as one aggregation pass over the
     join result, grouped along the hierarchy.
 
-    Join rows carry (binding, per-subgoal tuple ids and probabilities);
-    the aggregation recursion mirrors the eager plan's structure but never
-    touches base tables again.
+    Join rows carry (variable values, per-subgoal tuple ids and
+    probabilities); the aggregation recursion mirrors the eager plan's
+    structure but never touches base tables again.
     """
-    rows = _join_bindings(query.subgoals, db)
+    var_order, value_rows, used_lists = _join_rows(query.subgoals, db)
+    var_index = {name: position for position, name in enumerate(var_order)}
     annotated = []
-    for binding, used in rows:
+    for values, used in zip(value_rows, used_lists):
         probs = {}
         for sg_index, tuple_index in used:
             table = db[query.subgoals[sg_index].table]
             probs[sg_index] = (tuple_index, table.probabilities[tuple_index])
-        annotated.append((binding, probs))
+        annotated.append((values, probs))
 
     all_indices = list(range(len(query.subgoals)))
 
     def aggregate(
-        row_subset: List[Tuple[Dict[str, Any], Dict[int, Tuple[int, float]]]],
+        row_subset: List[Tuple[tuple, Dict[int, Tuple[int, float]]]],
         subgoals: List[int],
         head_vars: Tuple[str, ...],
     ) -> Dict[tuple, float]:
@@ -493,11 +576,12 @@ def _lazy_evaluate(query: ConjunctiveQuery, db: Database) -> Dict[tuple, float]:
             for i in component:
                 component_vars.update(query.subgoals[i].variables())
             bound = tuple(v for v in head_vars if v in component_vars)
+            bound_positions = [var_index[v] for v in bound]
             # Dedup per subgoal: the same base tuple appears in many join
             # rows; each base tuple's probability must count once.
             per_key: Dict[tuple, Dict[int, Dict[int, float]]] = {}
-            for binding, probs in row_subset:
-                key = tuple(binding[v] for v in bound)
+            for values, probs in row_subset:
+                key = tuple(values[p] for p in bound_positions)
                 bucket = per_key.setdefault(key, {i: {} for i in component})
                 for i in component:
                     tuple_index, p = probs[i]

@@ -44,6 +44,7 @@ from repro.engine.expressions import (
     BoolOp,
     ColumnRef,
     Comparison,
+    ConsistencyPredicate,
     Expr,
     Literal,
     PositionRef,
@@ -90,24 +91,26 @@ def consistency_predicate(
     ``left_payload + 3*left_cond + right_payload``.  For every pair (i, j)
     require  V_i ≠ V'_j  ∨  D_i = D'_j.  The reserved top variable never
     conflicts (it has a single value), so padding is harmless.
+
+    Emitted as a dedicated :class:`ConsistencyPredicate` rather than a
+    generic AND-of-OR tree: this filter runs once per candidate joined row
+    and is the hottest loop of the parsimonious translation, so both
+    engines give it a specialized kernel (vectorized over the integer
+    condition columns in the batch engine).
     """
     left_base = left_payload
     right_base = left_payload + 3 * left_cond + right_payload
-    conjuncts: List[Expr] = []
+    pairs: List[Tuple[int, int, int, int]] = []
     for i in range(left_cond):
-        vi = PositionRef(left_base + 3 * i, INTEGER)
-        di = PositionRef(left_base + 3 * i + 1, INTEGER)
+        vi = left_base + 3 * i
+        di = left_base + 3 * i + 1
         for j in range(right_cond):
-            vj = PositionRef(right_base + 3 * j, INTEGER)
-            dj = PositionRef(right_base + 3 * j + 1, INTEGER)
-            conjuncts.append(
-                BoolOp("OR", [Comparison("<>", vi, vj), Comparison("=", di, dj)])
-            )
-    if not conjuncts:
+            vj = right_base + 3 * j
+            dj = right_base + 3 * j + 1
+            pairs.append((vi, di, vj, dj))
+    if not pairs:
         return None
-    if len(conjuncts) == 1:
-        return conjuncts[0]
-    return BoolOp("AND", conjuncts)
+    return ConsistencyPredicate(pairs)
 
 
 def u_join(

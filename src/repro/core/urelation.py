@@ -76,6 +76,41 @@ def decode_condition(row: tuple, payload_arity: int, cond_arity: int) -> Optiona
     return Condition.of(atoms)
 
 
+_MISSING = object()
+
+
+def decode_condition_columns(
+    relation: Relation, payload_arity: int, cond_arity: int
+) -> List[Optional[Condition]]:
+    """Decode every row's condition from the relation's *columns*.
+
+    The columnar counterpart of calling :func:`decode_condition` per row:
+    it reads the (var, val) condition columns straight out of the cached
+    column view and memoizes Condition construction on the raw atom
+    tuple -- translated query results repeat a small set of conditions
+    across many rows, so most rows hit the memo instead of re-sorting and
+    re-deduplicating atoms.
+    """
+    n = len(relation)
+    if cond_arity == 0:
+        return [TRUE_CONDITION] * n
+    columns = relation.columns()
+    atom_columns: List[Sequence] = []
+    for i in range(cond_arity):
+        atom_columns.append(columns[payload_arity + 3 * i])
+        atom_columns.append(columns[payload_arity + 3 * i + 1])
+    memo: Dict[tuple, Optional[Condition]] = {}
+    out: List[Optional[Condition]] = []
+    for flat in zip(*atom_columns):
+        condition = memo.get(flat, _MISSING)
+        if condition is _MISSING:
+            atoms = [(flat[2 * k], flat[2 * k + 1]) for k in range(cond_arity)]
+            condition = Condition.of(atoms)
+            memo[flat] = condition
+        out.append(condition)
+    return out
+
+
 class URelation:
     """A U-relation in the wide relational encoding.
 
@@ -166,11 +201,67 @@ class URelation:
         return decode_condition(row, self.payload_arity, self.cond_arity)
 
     def rows_with_conditions(self) -> Iterator[Tuple[tuple, Optional[Condition]]]:
-        for row in self.relation:
-            yield self.payload_row(row), self.condition_of(row)
+        conditions = self.conditions()
+        payload_arity = self.payload_arity
+        for row, condition in zip(self.relation, conditions):
+            yield row[:payload_arity], condition
 
     def conditions(self) -> List[Optional[Condition]]:
-        return [self.condition_of(row) for row in self.relation]
+        """Per-row decoded conditions (columnar + memoized decode)."""
+        return decode_condition_columns(
+            self.relation, self.payload_arity, self.cond_arity
+        )
+
+    def condition_probabilities(self) -> List[float]:
+        """Per-row marginal probability of each row's condition, straight
+        from the condition columns.
+
+        The fast path multiplies atom marginals without materializing
+        Condition objects at all; rows with a repeated variable (possible
+        only before a consistency filter runs) fall back to the full
+        decode so duplicates count once and contradictions yield 0.
+        """
+        n = len(self.relation)
+        if self.cond_arity == 0:
+            return [1.0] * n
+        columns = self.relation.columns()
+        base = self.payload_arity
+        probability = self.registry.probability
+        out: List[float] = []
+        if self.cond_arity == 1:
+            memo: Dict[Tuple[int, int], float] = {}
+            for var, value in zip(columns[base], columns[base + 1]):
+                key = (var, value)
+                p = memo.get(key)
+                if p is None:
+                    p = probability(var, value)
+                    memo[key] = p
+                out.append(p)
+            return out
+        atom_columns: List[Sequence] = []
+        for i in range(self.cond_arity):
+            atom_columns.append(columns[base + 3 * i])
+            atom_columns.append(columns[base + 3 * i + 1])
+        arity = self.cond_arity
+        for flat in zip(*atom_columns):
+            p = 1.0
+            seen: List[int] = []
+            duplicate = False
+            for k in range(arity):
+                var = flat[2 * k]
+                if var == TOP_VARIABLE:
+                    continue
+                if var in seen:
+                    duplicate = True
+                    break
+                seen.append(var)
+                p *= probability(var, flat[2 * k + 1])
+            if duplicate:
+                atoms = [(flat[2 * k], flat[2 * k + 1]) for k in range(arity)]
+                condition = Condition.of(atoms)
+                p = 0.0 if condition is None else condition.probability(self.registry)
+            out.append(p)
+        return out
 
     def __len__(self) -> int:
         return len(self.relation)
@@ -185,26 +276,24 @@ class URelation:
     def in_world(self, assignment: Mapping[int, int], distinct: bool = False) -> Relation:
         """Instantiate this U-relation in the world given by a total
         assignment: the payload rows whose condition is satisfied."""
+        payload_arity = self.payload_arity
         rows = []
-        for row in self.relation:
-            condition = self.condition_of(row)
+        for row, condition in zip(self.relation, self.conditions()):
             if condition is not None and condition.satisfied_by(assignment):
-                rows.append(self.payload_row(row))
+                rows.append(row[:payload_arity])
         result = Relation(self.payload_schema, rows)
         return result.distinct() if distinct else result
 
     def possible_payloads(self) -> Relation:
         """Distinct payload tuples possible in at least one world with
         positive probability (the core of the ``possible`` construct)."""
+        payload_arity = self.payload_arity
         seen = set()
         rows = []
-        for row in self.relation:
-            condition = self.condition_of(row)
-            if condition is None:
+        for row, probability in zip(self.relation, self.condition_probabilities()):
+            if probability <= 0.0:
                 continue
-            if condition.probability(self.registry) <= 0.0:
-                continue
-            payload = self.payload_row(row)
+            payload = row[:payload_arity]
             if payload not in seen:
                 seen.add(payload)
                 rows.append(payload)
@@ -240,14 +329,14 @@ class URelation:
         """Drop rows with contradictory or zero-probability conditions and
         re-encode each condition minimally (sorted, deduplicated, padded)."""
         payload_schema = self.payload_schema
+        payload_arity = self.payload_arity
         rows, conditions = [], []
-        for row in self.relation:
-            condition = self.condition_of(row)
+        for row, condition in zip(self.relation, self.conditions()):
             if condition is None:
                 continue
             if condition.probability(self.registry) <= 0.0:
                 continue
-            rows.append(self.payload_row(row))
+            rows.append(row[:payload_arity])
             conditions.append(condition)
         return URelation.from_conditions(payload_schema, rows, conditions, self.registry)
 

@@ -124,8 +124,7 @@ class MayBMS:
         entry = self.catalog.create_table(
             name, relation.schema.unqualified(), KIND_STANDARD
         )
-        for row in relation:
-            entry.table.insert(row)
+        entry.table.insert_many(relation.rows)
 
     def create_table_from_urelation(self, name: str, urel: URelation) -> None:
         """Register a U-relation (wide encoding) as a catalog table."""
@@ -138,8 +137,7 @@ class MayBMS:
                 "cond_arity": urel.cond_arity,
             },
         )
-        for row in urel.relation:
-            entry.table.insert(row)
+        entry.table.insert_many(urel.relation.rows)
 
     def table(self, name: str) -> Relation:
         """Snapshot of a standard table's contents."""

@@ -1,0 +1,184 @@
+"""Columnar batches: the unit of work of the batch execution engine.
+
+The row engine (the original iterator model in
+:mod:`repro.engine.physical`) moves one Python tuple at a time through a
+tree of closures; every expression node costs a Python call per row.  The
+batch engine instead moves a :class:`ColumnBatch` -- a fixed-length slice
+of the input held as per-column sequences -- through the operator tree,
+and evaluates expressions as *column kernels* (see
+:mod:`repro.engine.kernels`) that produce a whole output column in one
+pass.  This is the MayBMS thesis taken seriously: the wide U-relation
+encoding makes probabilistic query processing ordinary relational
+processing, so the relational engine's constant factor is the whole ball
+game.
+
+Columns are plain Python sequences (lists or tuples) holding SQL values
+(``None`` is NULL).  When NumPy is available, purely numeric columns can
+be mirrored into ``ndarray``s for vectorized kernels -- see
+:func:`int_array` / :func:`float_array`; everything degrades gracefully
+to pure Python when it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # NumPy is optional: the batch engine works without it.
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+    HAVE_NUMPY = False
+
+np = _np
+
+#: Rows per batch.  Large enough to amortize per-batch overhead, small
+#: enough that intermediate columns stay cache-friendly.
+BATCH_SIZE = 1024
+
+
+class ColumnBatch:
+    """A horizontal slice of a relation, stored column-wise.
+
+    ``columns`` is a sequence of per-column sequences, all of length
+    ``length``.  Batches are treated as immutable: operators build new
+    batches (possibly sharing column objects) instead of mutating.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[Sequence[Any]], length: Optional[int] = None):
+        self.columns: Tuple[Sequence[Any], ...] = tuple(columns)
+        if length is None:
+            length = len(self.columns[0]) if self.columns else 0
+        self.length = length
+
+    # -- construction -------------------------------------------------------
+    @staticmethod
+    def from_rows(rows: Sequence[Tuple[Any, ...]], arity: int) -> "ColumnBatch":
+        """Pivot row tuples into a batch (used at batch/row boundaries)."""
+        if not rows:
+            return ColumnBatch(tuple([] for _ in range(arity)), 0)
+        return ColumnBatch(tuple(zip(*rows)), len(rows))
+
+    @staticmethod
+    def empty(arity: int) -> "ColumnBatch":
+        return ColumnBatch(tuple([] for _ in range(arity)), 0)
+
+    # -- basic protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        return f"<ColumnBatch {self.arity} cols x {self.length} rows>"
+
+    # -- row views ----------------------------------------------------------
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate the batch as row tuples (the batch/row boundary).
+
+        A zero-arity batch still carries ``length`` empty rows -- the
+        column representation alone cannot express the row count, so it
+        must come from ``self.length``, never from zip.
+        """
+        if not self.columns:
+            return iter(() for _ in range(self.length))
+        return zip(*self.columns)
+
+    def row(self, i: int) -> Tuple[Any, ...]:
+        return tuple(column[i] for column in self.columns)
+
+    # -- restructuring ------------------------------------------------------
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the given row positions into a new batch."""
+        return ColumnBatch(
+            tuple([column[i] for i in indices] for column in self.columns),
+            len(indices),
+        )
+
+    def filter_by_mask(self, mask: Sequence[Any]) -> "ColumnBatch":
+        """Keep rows whose mask entry is SQL TRUE (Python ``True``)."""
+        indices = [i for i, keep in enumerate(mask) if keep is True]
+        if len(indices) == self.length:
+            return self
+        return self.take(indices)
+
+    def project(self, positions: Sequence[int]) -> "ColumnBatch":
+        """Keep only the given columns (zero-copy)."""
+        return ColumnBatch(tuple(self.columns[p] for p in positions), self.length)
+
+    def concat_columns(self, other: "ColumnBatch") -> "ColumnBatch":
+        """Widen: self's columns then other's (lengths must agree)."""
+        return ColumnBatch(self.columns + other.columns, self.length)
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        return ColumnBatch(
+            tuple(column[start:stop] for column in self.columns),
+            max(0, min(stop, self.length) - start),
+        )
+
+
+def batches_of_columns(
+    columns: Sequence[Sequence[Any]],
+    total: int,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[ColumnBatch]:
+    """Slice full-length columns into batches.
+
+    When everything fits in one batch the columns are passed through
+    without copying -- the common case for base-table scans, and the
+    "zero-copy read path" the storage layer relies on.
+    """
+    if total <= batch_size:
+        yield ColumnBatch(columns, total)
+        return
+    for start in range(0, total, batch_size):
+        yield ColumnBatch(
+            tuple(column[start : start + batch_size] for column in columns),
+            min(batch_size, total - start),
+        )
+
+
+def concat_batches(batches: Iterable[ColumnBatch], arity: int) -> ColumnBatch:
+    """Stack batches vertically into one (materialization points: build
+    sides of joins, sorts, aggregations)."""
+    batches = [b for b in batches if b.length]
+    if not batches:
+        return ColumnBatch.empty(arity)
+    if len(batches) == 1:
+        return batches[0]
+    columns: List[List[Any]] = [[] for _ in range(arity)]
+    for batch in batches:
+        for i, column in enumerate(batch.columns):
+            columns[i].extend(column)
+    return ColumnBatch(tuple(columns), sum(b.length for b in batches))
+
+
+# ---------------------------------------------------------------------------
+# Optional NumPy mirrors.
+# ---------------------------------------------------------------------------
+
+
+def int_array(column: Sequence[Any], length: int):
+    """Mirror an all-int column into an int64 ndarray, or None if NumPy is
+    unavailable or the column contains non-integers (e.g. NULLs)."""
+    if not HAVE_NUMPY:
+        return None
+    try:
+        return np.fromiter(column, dtype=np.int64, count=length)
+    except (TypeError, ValueError, OverflowError):
+        return None
+
+
+def float_array(column: Sequence[Any], length: int):
+    """Mirror an all-numeric column into a float64 ndarray, or None."""
+    if not HAVE_NUMPY:
+        return None
+    try:
+        return np.fromiter(column, dtype=np.float64, count=length)
+    except (TypeError, ValueError, OverflowError):
+        return None

@@ -655,6 +655,74 @@ class FunctionCall(Expr):
         return run
 
 
+@dataclass(frozen=True)
+class ConsistencyPredicate(Expr):
+    """The U-relation join consistency filter as a first-class expression.
+
+    Semantically equivalent to  ⋀_{(i,j)} (V_i ≠ V'_j  ∨  D_i = D'_j)
+    over integer condition columns addressed *by position* in a combined
+    join row, but represented specially so both engines can run it as a
+    dedicated kernel: it is the hottest loop of the parsimonious
+    translation (every joined row pays cond_arity_left x cond_arity_right
+    atom comparisons).  ``pairs`` holds position quadruples
+    ``(var_i, val_i, var_j, val_j)``.
+
+    The condition columns are system-maintained integers and never NULL,
+    so three-valued logic never arises and the filter is a pure boolean.
+    """
+
+    pairs: Tuple[Tuple[int, int, int, int], ...]
+
+    def __init__(self, pairs: Sequence[Tuple[int, int, int, int]]):
+        if not pairs:
+            raise ExpressionError("consistency predicate needs at least one pair")
+        object.__setattr__(self, "pairs", tuple(tuple(p) for p in pairs))
+
+    def children(self) -> Sequence[Expr]:
+        # Expose the referenced positions so the planner's side analysis
+        # (pushdown / residual classification) sees what the kernel reads.
+        out: List[Expr] = []
+        for vi, di, vj, dj in self.pairs:
+            out.extend(
+                (
+                    PositionRef(vi, INTEGER),
+                    PositionRef(di, INTEGER),
+                    PositionRef(vj, INTEGER),
+                    PositionRef(dj, INTEGER),
+                )
+            )
+        return out
+
+    def infer_type(self, schema: Schema) -> SqlType:
+        return BOOLEAN
+
+    def compile(self, schema: Schema) -> Evaluator:
+        pairs = self.pairs
+
+        if len(pairs) == 1:
+            vi, di, vj, dj = pairs[0]
+
+            def run_one(row):
+                return row[vi] != row[vj] or row[di] == row[dj]
+
+            return run_one
+
+        def run(row):
+            for vi, di, vj, dj in pairs:
+                if row[vi] == row[vj] and row[di] != row[dj]:
+                    return False
+            return True
+
+        return run
+
+    def __repr__(self) -> str:
+        inner = " AND ".join(
+            f"(Pos({vi}) <> Pos({vj}) OR Pos({di}) = Pos({dj}))"
+            for vi, di, vj, dj in self.pairs
+        )
+        return f"Consistency[{inner}]"
+
+
 def scalar_function_names() -> List[str]:
     """The names of all built-in scalar functions (for the SQL analyzer)."""
     return sorted(_FUNCTIONS)

@@ -18,7 +18,7 @@ from repro.engine.expressions import Evaluator
 from repro.engine.relation import Relation, Row
 from repro.engine.schema import Schema
 from repro.engine.types import NULL, sort_key
-from repro.errors import PlanError
+from repro.errors import PlanError, SchemaError
 
 RowIterator = Iterator[Row]
 PhysicalOp = Callable[[], RowIterator]
@@ -297,30 +297,358 @@ def hash_aggregate(
 
         for key in order:
             key_values, states = groups[key]
-            multi_positions = [
-                i for i, s in enumerate(states) if s.function == "argmax"
-            ]
-            if not multi_positions:
-                yield key_values + tuple(s.result() for s in states)
-                continue
-            # Expand argmax maximizer lists (cross product if several).
-            def expand(i: int, acc: List[Any]):
-                if i == len(states):
-                    yield tuple(acc)
-                    return
-                state = states[i]
-                if state.function == "argmax":
-                    for arg in state.argmax_results():
-                        yield from expand(i + 1, acc + [arg])
-                else:
-                    yield from expand(i + 1, acc + [state.result()])
-
-            for agg_row in expand(0, []):
-                yield key_values + agg_row
+            yield from _emit_group_rows(key_values, states)
 
     return run
+
+
+def _emit_group_rows(key_values: tuple, states: List[_AggState]) -> Iterator[Row]:
+    """Finalize one group into result rows (shared by both engines).
+
+    ``argmax`` may emit several rows per group -- one per maximizing
+    argument (cross product if several argmax aggregates are present).
+    """
+    if not any(s.function == "argmax" for s in states):
+        yield key_values + tuple(s.result() for s in states)
+        return
+
+    def expand(i: int, acc: List[Any]) -> Iterator[tuple]:
+        if i == len(states):
+            yield tuple(acc)
+            return
+        state = states[i]
+        if state.function == "argmax":
+            for arg in state.argmax_results():
+                yield from expand(i + 1, acc + [arg])
+        else:
+            yield from expand(i + 1, acc + [state.result()])
+
+    for agg_row in expand(0, []):
+        yield key_values + agg_row
 
 
 def execute(op: PhysicalOp, schema: Schema) -> Relation:
     """Drain a physical operator into a relation."""
     return Relation(schema, list(op()))
+
+
+# ===========================================================================
+# Batch (columnar) operators.
+#
+# The batch engine mirrors the row operator set above, but each operator is
+# a callable yielding ColumnBatch slices (~1024 rows) instead of single
+# tuples, and predicates/projections are pre-compiled column kernels
+# (:mod:`repro.engine.kernels`) instead of per-row closures.  Output row
+# order is identical to the row engine's, so the two engines are
+# differentially testable against each other.
+# ===========================================================================
+
+from repro.engine.columnar import (  # noqa: E402 (keeps the two engine halves adjacent)
+    BATCH_SIZE,
+    ColumnBatch,
+    batches_of_columns,
+    concat_batches,
+)
+from repro.engine.kernels import Kernel  # noqa: E402
+
+BatchIterator = Iterator[ColumnBatch]
+BatchOp = Callable[[], BatchIterator]
+
+
+def batch_scan(relation: Relation) -> BatchOp:
+    """Scan a relation column-wise.
+
+    Zero-copy: the relation's cached column view is sliced (or passed
+    through whole when it fits one batch) -- no per-row touching at all.
+    """
+
+    def run() -> BatchIterator:
+        return batches_of_columns(relation.columns(), len(relation))
+
+    return run
+
+
+def batch_values(rows: Sequence[Row], arity: int) -> BatchOp:
+    def run() -> BatchIterator:
+        # Values rows come from outside the engine; validate arity exactly
+        # as the row engine does when it materializes into a Relation
+        # (ColumnBatch.from_rows would silently truncate ragged rows).
+        for row in rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"row {tuple(row)!r} has arity {len(row)}, "
+                    f"schema expects {arity}"
+                )
+        if not rows:
+            yield ColumnBatch.empty(arity)
+            return
+        for start in range(0, len(rows), BATCH_SIZE):
+            yield ColumnBatch.from_rows(rows[start : start + BATCH_SIZE], arity)
+
+    return run
+
+
+def batch_filter(child: BatchOp, predicate: Kernel) -> BatchOp:
+    """Keep rows whose predicate column is SQL TRUE (not NULL)."""
+
+    def run() -> BatchIterator:
+        for batch in child():
+            if batch.length == 0:
+                continue
+            mask = predicate(batch.columns, batch.length)
+            filtered = batch.filter_by_mask(mask)
+            if filtered.length:
+                yield filtered
+
+    return run
+
+
+def batch_project(child: BatchOp, kernels: Sequence[Kernel]) -> BatchOp:
+    def run() -> BatchIterator:
+        for batch in child():
+            yield ColumnBatch(
+                tuple(kernel(batch.columns, batch.length) for kernel in kernels),
+                batch.length,
+            )
+
+    return run
+
+
+def batch_hash_join(
+    left: BatchOp,
+    right: BatchOp,
+    left_keys: Sequence[Kernel],
+    right_keys: Sequence[Kernel],
+    right_arity: int,
+    residual: Optional[Kernel] = None,
+) -> BatchOp:
+    """Equi-join: materialize + hash the right input, probe with left
+    batches.  NULL keys never match (SQL equality), exactly as in the row
+    engine; output order is left order, bucket insertion order."""
+
+    def run() -> BatchIterator:
+        build = concat_batches(right(), right_arity)
+        build_count = build.length
+        table: Dict[tuple, List[int]] = {}
+        if build_count:
+            key_columns = [k(build.columns, build_count) for k in right_keys]
+            for i, key in enumerate(zip(*key_columns)):
+                if any(v is None for v in key):
+                    continue
+                table.setdefault(key, []).append(i)
+        if not table:
+            return
+        for batch in left():
+            n = batch.length
+            if n == 0:
+                continue
+            probe_columns = [k(batch.columns, n) for k in left_keys]
+            left_indices: List[int] = []
+            right_indices: List[int] = []
+            for i, key in enumerate(zip(*probe_columns)):
+                if any(v is None for v in key):
+                    continue
+                bucket = table.get(key)
+                if not bucket:
+                    continue
+                left_indices.extend([i] * len(bucket))
+                right_indices.extend(bucket)
+            if not left_indices:
+                continue
+            out = batch.take(left_indices).concat_columns(build.take(right_indices))
+            if residual is not None:
+                out = out.filter_by_mask(residual(out.columns, out.length))
+            if out.length:
+                yield out
+
+    return run
+
+
+def batch_nested_loop_join(
+    left: BatchOp,
+    right: BatchOp,
+    right_arity: int,
+    predicate: Optional[Kernel] = None,
+) -> BatchOp:
+    """Cross product (with optional filter): materialize the right input,
+    replicate left rows against it.  Left batches are re-chunked so one
+    output batch stays bounded even for wide right sides."""
+
+    def run() -> BatchIterator:
+        build = concat_batches(right(), right_arity)
+        build_count = build.length
+        if build_count == 0:
+            return
+        left_rows_per_chunk = max(1, (4 * BATCH_SIZE) // build_count)
+        right_range = list(range(build_count))
+        for batch in left():
+            for start in range(0, batch.length, left_rows_per_chunk):
+                chunk = batch.slice(start, start + left_rows_per_chunk)
+                left_indices = [
+                    i for i in range(chunk.length) for _ in right_range
+                ]
+                right_indices = right_range * chunk.length
+                out = chunk.take(left_indices).concat_columns(
+                    build.take(right_indices)
+                )
+                if predicate is not None:
+                    out = out.filter_by_mask(predicate(out.columns, out.length))
+                if out.length:
+                    yield out
+
+    return run
+
+
+def batch_union_all(left: BatchOp, right: BatchOp) -> BatchOp:
+    def run() -> BatchIterator:
+        yield from left()
+        yield from right()
+
+    return run
+
+
+def batch_distinct(child: BatchOp) -> BatchOp:
+    def run() -> BatchIterator:
+        seen = set()
+        for batch in child():
+            keep: List[int] = []
+            for i, row in enumerate(batch.rows()):
+                key = group_key(row)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(i)
+            if len(keep) == batch.length:
+                if batch.length:
+                    yield batch
+            elif keep:
+                yield batch.take(keep)
+
+    return run
+
+
+def batch_sort(
+    child: BatchOp,
+    key_kernels: Sequence[Kernel],
+    ascendings: Sequence[bool],
+    arity: int,
+) -> BatchOp:
+    """Stable multi-key sort over the materialized input; key columns are
+    computed once per key instead of once per row per pass."""
+
+    def run() -> BatchIterator:
+        batch = concat_batches(child(), arity)
+        n = batch.length
+        if n == 0:
+            return
+        indices = list(range(n))
+        for kernel, ascending in reversed(list(zip(key_kernels, ascendings))):
+            keys = kernel(batch.columns, n)
+            decorated = [sort_key(v) for v in keys]
+            indices.sort(key=decorated.__getitem__, reverse=not ascending)
+        yield batch.take(indices)
+
+    return run
+
+
+def batch_limit(child: BatchOp, count: Optional[int], offset: int) -> BatchOp:
+    def run() -> BatchIterator:
+        to_skip = offset
+        emitted = 0
+        for batch in child():
+            current = batch
+            if to_skip > 0:
+                dropped = min(to_skip, current.length)
+                to_skip -= dropped
+                if dropped == current.length:
+                    continue
+                current = current.slice(dropped, current.length)
+            if count is not None:
+                remaining = count - emitted
+                if remaining <= 0:
+                    return
+                if current.length > remaining:
+                    current = current.slice(0, remaining)
+                emitted += current.length
+            if current.length:
+                yield current
+
+    return run
+
+
+def batch_hash_aggregate(
+    child: BatchOp,
+    group_kernels: Sequence[Kernel],
+    agg_functions: Sequence[str],
+    agg_arg_kernels: Sequence[Optional[Kernel]],
+    agg_second_kernels: Sequence[Optional[Kernel]],
+    agg_distinct: Sequence[bool],
+) -> BatchOp:
+    """Hash grouping over batches: group keys and aggregate arguments are
+    computed as whole columns per batch, then accumulated into the same
+    :class:`_AggState` machinery the row engine uses."""
+
+    out_arity = len(group_kernels) + len(agg_functions)
+
+    def run() -> BatchIterator:
+        groups: Dict[tuple, Tuple[Row, List[_AggState]]] = {}
+        order: List[tuple] = []
+        for batch in child():
+            n = batch.length
+            if n == 0:
+                continue
+            group_columns = [k(batch.columns, n) for k in group_kernels]
+            arg_columns = [
+                k(batch.columns, n) if k is not None else None
+                for k in agg_arg_kernels
+            ]
+            second_columns = [
+                k(batch.columns, n) if k is not None else None
+                for k in agg_second_kernels
+            ]
+            if group_columns:
+                keys_iter: Iterable[tuple] = zip(*group_columns)
+            else:
+                keys_iter = (() for _ in range(n))
+            for i, key_values in enumerate(keys_iter):
+                key = group_key(key_values)
+                entry = groups.get(key)
+                if entry is None:
+                    states = [
+                        _AggState(fn, dis)
+                        for fn, dis in zip(agg_functions, agg_distinct)
+                    ]
+                    entry = (key_values, states)
+                    groups[key] = entry
+                    order.append(key)
+                _, states = entry
+                for state, arg_column, second_column in zip(
+                    states, arg_columns, second_columns
+                ):
+                    state.update(
+                        arg_column[i] if arg_column is not None else None,
+                        second_column[i] if second_column is not None else None,
+                    )
+
+        if not groups and not group_kernels:
+            states = [
+                _AggState(fn, dis) for fn, dis in zip(agg_functions, agg_distinct)
+            ]
+            groups[()] = ((), states)
+            order.append(())
+
+        rows: List[Row] = []
+        for key in order:
+            key_values, states = groups[key]
+            rows.extend(_emit_group_rows(key_values, states))
+        yield ColumnBatch.from_rows(rows, out_arity)
+
+    return run
+
+
+def execute_batches(op: BatchOp, schema: Schema) -> Relation:
+    """Drain a batch operator into a relation (trusted fast path: batch
+    rows are well-formed tuples by construction)."""
+    rows: List[Row] = []
+    for batch in op():
+        rows.extend(batch.rows())
+    return Relation.from_trusted_rows(schema, rows)

@@ -1,24 +1,41 @@
-"""Logical-to-physical planning.
+"""Logical-to-physical planning, with two interchangeable engines.
 
-The planner compiles a logical plan tree into physical iterators, with the
+The planner compiles a logical plan tree into physical operators, with the
 classic heuristic rewrites a PostgreSQL-style executor relies on:
 
 - **predicate pushdown**: selection conjuncts that mention only one join
   input are pushed below the join;
 - **equi-join detection**: conjuncts of the form ``left_col = right_col``
   become hash-join keys; remaining conjuncts stay as a residual filter;
-- **build-side choice**: the smaller estimated input becomes the hash
-  table's build side (estimates come from base relation sizes).
+- **build-side choice**: the right input is the hash table's build side.
 
 These rewrites matter for the reproduction: the parsimonious translation
 of [1] produces join conditions over U-relation condition columns, and the
 experiments on query processing (C-TRANS) depend on joins not degenerating
 into nested loops.
+
+Two execution engines share this one planner through a small backend
+interface:
+
+- the **row** engine (the original iterator model: per-row tuples,
+  per-row expression closures), kept as the differential-testing
+  baseline and fallback;
+- the **batch** engine (the default): ColumnBatch slices of ~1024 rows
+  and per-pipeline column kernels -- see :mod:`repro.engine.columnar`
+  and :mod:`repro.engine.kernels`.
+
+Select the engine per call (``run(plan, engine="row")``), per process
+(:func:`set_default_engine` or the ``REPRO_ENGINE`` environment
+variable), or lexically (:func:`forced_engine`).  :func:`trace_plans`
+records every executed plan fragment and the engine that ran it -- the
+substrate of the SQL ``EXPLAIN`` statement.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine import algebra, physical
 from repro.engine.expressions import (
@@ -29,95 +46,382 @@ from repro.engine.expressions import (
     conjunction,
     conjuncts_of,
 )
+from repro.engine.kernels import compile_kernel
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
-from repro.errors import PlanError, SchemaError, UnknownColumnError
+from repro.errors import PlanError, SchemaError
+
+ROW_ENGINE = "row"
+BATCH_ENGINE = "batch"
+_ENGINES = (ROW_ENGINE, BATCH_ENGINE)
+
+#: Process-wide default; the batch engine is the production path, the row
+#: engine the reference implementation.
+DEFAULT_ENGINE = os.environ.get("REPRO_ENGINE", BATCH_ENGINE)
+
+#: Lexically forced engine (via :func:`forced_engine`); overrides both the
+#: per-call argument and the process default.  A stack so scopes nest.
+_FORCED: List[str] = []
+
+#: Active plan-trace buffers (via :func:`trace_plans`).
+_TRACES: List[List[Tuple[algebra.PlanNode, str]]] = []
 
 
-def plan(node: algebra.PlanNode) -> physical.PhysicalOp:
-    """Compile a logical plan to a physical operator tree."""
-    return _Planner().compile(node)
+def set_default_engine(name: str) -> None:
+    global DEFAULT_ENGINE
+    if name not in _ENGINES:
+        raise PlanError(f"unknown engine {name!r}; expected one of {_ENGINES}")
+    DEFAULT_ENGINE = name
 
 
-def run(node: algebra.PlanNode) -> Relation:
+def get_default_engine() -> str:
+    return DEFAULT_ENGINE
+
+
+@contextmanager
+def forced_engine(name: str) -> Iterator[None]:
+    """Force every plan executed in this scope onto one engine (used by the
+    differential tests and benchmarks)."""
+    if name not in _ENGINES:
+        raise PlanError(f"unknown engine {name!r}; expected one of {_ENGINES}")
+    _FORCED.append(name)
+    try:
+        yield
+    finally:
+        _FORCED.pop()
+
+
+@contextmanager
+def trace_plans() -> Iterator[List[Tuple[algebra.PlanNode, str]]]:
+    """Collect (plan, engine) pairs for every plan executed in this scope;
+    the EXPLAIN statement renders them."""
+    buffer: List[Tuple[algebra.PlanNode, str]] = []
+    _TRACES.append(buffer)
+    try:
+        yield buffer
+    finally:
+        _TRACES.pop()
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if _FORCED:
+        return _FORCED[-1]
+    if engine is None:
+        if DEFAULT_ENGINE not in _ENGINES:
+            # Typically a typo'd REPRO_ENGINE environment variable; fail
+            # loudly rather than silently running some engine.
+            raise PlanError(
+                f"unknown default engine {DEFAULT_ENGINE!r} (check the "
+                f"REPRO_ENGINE environment variable); expected one of {_ENGINES}"
+            )
+        return DEFAULT_ENGINE
+    if engine not in _ENGINES:
+        raise PlanError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    return engine
+
+
+def plan(node: algebra.PlanNode, engine: Optional[str] = None):
+    """Compile a logical plan to a physical operator tree (row or batch)."""
+    backend = _backend_for(_resolve_engine(engine))
+    return _Planner(backend).compile(node)
+
+
+def run(node: algebra.PlanNode, engine: Optional[str] = None) -> Relation:
     """Compile and execute, materializing a relation."""
-    return physical.execute(plan(node), node.schema())
+    name = _resolve_engine(engine)
+    backend = _backend_for(name)
+    compiled = _Planner(backend).compile(node)
+    result = backend.execute(compiled, node.schema())
+    for buffer in _TRACES:
+        buffer.append((node, name))
+    return result
+
+
+def _backend_for(name: str) -> "_Backend":
+    return _ROW_BACKEND if name == ROW_ENGINE else _BATCH_BACKEND
+
+
+# ---------------------------------------------------------------------------
+# Execution backends: how one logical operator becomes a physical one.
+# ---------------------------------------------------------------------------
+
+
+class _Backend:
+    """Operator constructors for one engine.  ``schema`` arguments are the
+    *input* schema the expressions are resolved against."""
+
+    name: str
+
+
+class _RowBackend(_Backend):
+    name = ROW_ENGINE
+
+    def scan(self, relation: Relation):
+        return physical.seq_scan(relation)
+
+    def values(self, rows: Sequence[tuple], schema: Schema):
+        return physical.values_scan(rows)
+
+    def filter(self, child, predicate: Expr, schema: Schema):
+        return physical.filter_op(child, predicate.compile(schema))
+
+    def project(self, child, items: Sequence[Expr], schema: Schema):
+        return physical.project_op(child, [e.compile(schema) for e in items])
+
+    def hash_join(
+        self,
+        left,
+        right,
+        left_keys: Sequence[Expr],
+        left_schema: Schema,
+        right_keys: Sequence[Expr],
+        right_schema: Schema,
+        residual: Optional[Expr],
+        combined_schema: Schema,
+    ):
+        return physical.hash_join(
+            left,
+            right,
+            [k.compile(left_schema) for k in left_keys],
+            [k.compile(right_schema) for k in right_keys],
+            residual.compile(combined_schema) if residual is not None else None,
+        )
+
+    def nested_loop_join(
+        self, left, right, predicate: Optional[Expr],
+        right_schema: Schema, combined_schema: Schema,
+    ):
+        return physical.nested_loop_join(
+            left,
+            right,
+            predicate.compile(combined_schema) if predicate is not None else None,
+        )
+
+    def union_all(self, left, right):
+        return physical.union_all(left, right)
+
+    def distinct(self, child):
+        return physical.distinct_op(child)
+
+    def sort(
+        self, child, items: Sequence[Expr], ascendings: Sequence[bool],
+        schema: Schema,
+    ):
+        return physical.sort_op(
+            child, [e.compile(schema) for e in items], ascendings
+        )
+
+    def limit(self, child, count: Optional[int], offset: int):
+        return physical.limit_op(child, count, offset)
+
+    def aggregate(
+        self,
+        child,
+        group_items: Sequence[Expr],
+        functions: Sequence[str],
+        arguments: Sequence[Optional[Expr]],
+        seconds: Sequence[Optional[Expr]],
+        distincts: Sequence[bool],
+        schema: Schema,
+    ):
+        return physical.hash_aggregate(
+            child,
+            [e.compile(schema) for e in group_items],
+            functions,
+            [e.compile(schema) if e is not None else None for e in arguments],
+            [e.compile(schema) if e is not None else None for e in seconds],
+            distincts,
+        )
+
+    def execute(self, op, schema: Schema) -> Relation:
+        return physical.execute(op, schema)
+
+
+class _BatchBackend(_Backend):
+    name = BATCH_ENGINE
+
+    def scan(self, relation: Relation):
+        return physical.batch_scan(relation)
+
+    def values(self, rows: Sequence[tuple], schema: Schema):
+        return physical.batch_values(rows, len(schema))
+
+    def filter(self, child, predicate: Expr, schema: Schema):
+        return physical.batch_filter(child, compile_kernel(predicate, schema))
+
+    def project(self, child, items: Sequence[Expr], schema: Schema):
+        return physical.batch_project(
+            child, [compile_kernel(e, schema) for e in items]
+        )
+
+    def hash_join(
+        self,
+        left,
+        right,
+        left_keys: Sequence[Expr],
+        left_schema: Schema,
+        right_keys: Sequence[Expr],
+        right_schema: Schema,
+        residual: Optional[Expr],
+        combined_schema: Schema,
+    ):
+        return physical.batch_hash_join(
+            left,
+            right,
+            [compile_kernel(k, left_schema) for k in left_keys],
+            [compile_kernel(k, right_schema) for k in right_keys],
+            len(right_schema),
+            compile_kernel(residual, combined_schema)
+            if residual is not None
+            else None,
+        )
+
+    def nested_loop_join(
+        self, left, right, predicate: Optional[Expr],
+        right_schema: Schema, combined_schema: Schema,
+    ):
+        return physical.batch_nested_loop_join(
+            left,
+            right,
+            len(right_schema),
+            compile_kernel(predicate, combined_schema)
+            if predicate is not None
+            else None,
+        )
+
+    def union_all(self, left, right):
+        return physical.batch_union_all(left, right)
+
+    def distinct(self, child):
+        return physical.batch_distinct(child)
+
+    def sort(
+        self, child, items: Sequence[Expr], ascendings: Sequence[bool],
+        schema: Schema,
+    ):
+        return physical.batch_sort(
+            child,
+            [compile_kernel(e, schema) for e in items],
+            ascendings,
+            len(schema),
+        )
+
+    def limit(self, child, count: Optional[int], offset: int):
+        return physical.batch_limit(child, count, offset)
+
+    def aggregate(
+        self,
+        child,
+        group_items: Sequence[Expr],
+        functions: Sequence[str],
+        arguments: Sequence[Optional[Expr]],
+        seconds: Sequence[Optional[Expr]],
+        distincts: Sequence[bool],
+        schema: Schema,
+    ):
+        return physical.batch_hash_aggregate(
+            child,
+            [compile_kernel(e, schema) for e in group_items],
+            functions,
+            [
+                compile_kernel(e, schema) if e is not None else None
+                for e in arguments
+            ],
+            [
+                compile_kernel(e, schema) if e is not None else None
+                for e in seconds
+            ],
+            distincts,
+        )
+
+    def execute(self, op, schema: Schema) -> Relation:
+        return physical.execute_batches(op, schema)
+
+
+_ROW_BACKEND = _RowBackend()
+_BATCH_BACKEND = _BatchBackend()
+
+
+# ---------------------------------------------------------------------------
+# The planner proper (engine-independent).
+# ---------------------------------------------------------------------------
 
 
 class _Planner:
-    def compile(self, node: algebra.PlanNode) -> physical.PhysicalOp:
+    def __init__(self, backend: _Backend):
+        self.backend = backend
+
+    def compile(self, node: algebra.PlanNode):
         method = getattr(self, "_compile_" + type(node).__name__.lower(), None)
         if method is None:
             raise PlanError(f"no physical strategy for {type(node).__name__}")
         return method(node)
 
     # -- leaves -------------------------------------------------------------
-    def _compile_relationscan(self, node: algebra.RelationScan) -> physical.PhysicalOp:
-        return physical.seq_scan(node.relation)
+    def _compile_relationscan(self, node: algebra.RelationScan):
+        return self.backend.scan(node.relation)
 
-    def _compile_values(self, node: algebra.Values) -> physical.PhysicalOp:
-        return physical.values_scan(node.rows)
+    def _compile_values(self, node: algebra.Values):
+        return self.backend.values(node.rows, node.value_schema)
 
     # -- unary operators -------------------------------------------------------
-    def _compile_select(self, node: algebra.Select) -> physical.PhysicalOp:
+    def _compile_select(self, node: algebra.Select):
         # Pushdown: if the child is a join, split conjuncts by side.
         if isinstance(node.child, algebra.Join):
             return self._compile_join_with_filter(node.child, node.predicate)
         child = self.compile(node.child)
-        predicate = node.predicate.compile(node.child.schema())
-        return physical.filter_op(child, predicate)
+        return self.backend.filter(child, node.predicate, node.child.schema())
 
-    def _compile_project(self, node: algebra.Project) -> physical.PhysicalOp:
+    def _compile_project(self, node: algebra.Project):
         child = self.compile(node.child)
         schema = node.child.schema()
-        evaluators = [expr.compile(schema) for expr, _ in node.items]
-        return physical.project_op(child, evaluators)
+        return self.backend.project(child, [e for e, _ in node.items], schema)
 
-    def _compile_distinct(self, node: algebra.Distinct) -> physical.PhysicalOp:
-        return physical.distinct_op(self.compile(node.child))
+    def _compile_distinct(self, node: algebra.Distinct):
+        return self.backend.distinct(self.compile(node.child))
 
-    def _compile_sort(self, node: algebra.Sort) -> physical.PhysicalOp:
+    def _compile_sort(self, node: algebra.Sort):
         child = self.compile(node.child)
         schema = node.child.schema()
-        evaluators = [expr.compile(schema) for expr, _ in node.items]
-        ascendings = [asc for _, asc in node.items]
-        return physical.sort_op(child, evaluators, ascendings)
+        return self.backend.sort(
+            child,
+            [expr for expr, _ in node.items],
+            [asc for _, asc in node.items],
+            schema,
+        )
 
-    def _compile_limit(self, node: algebra.Limit) -> physical.PhysicalOp:
-        return physical.limit_op(self.compile(node.child), node.count, node.offset)
+    def _compile_limit(self, node: algebra.Limit):
+        return self.backend.limit(self.compile(node.child), node.count, node.offset)
 
-    def _compile_alias(self, node: algebra.Alias) -> physical.PhysicalOp:
+    def _compile_alias(self, node: algebra.Alias):
         # Aliasing only changes the schema, not the rows.
         return self.compile(node.child)
 
-    def _compile_groupby(self, node: algebra.GroupBy) -> physical.PhysicalOp:
+    def _compile_groupby(self, node: algebra.GroupBy):
         child = self.compile(node.child)
         schema = node.child.schema()
-        group_evaluators = [expr.compile(schema) for expr, _ in node.group_items]
-        functions = [spec.function for spec in node.aggregates]
-        arg_evaluators = [
-            spec.argument.compile(schema) if spec.argument is not None else None
-            for spec in node.aggregates
-        ]
-        second_evaluators = [
-            spec.second.compile(schema) if spec.second is not None else None
-            for spec in node.aggregates
-        ]
-        distincts = [spec.distinct for spec in node.aggregates]
-        return physical.hash_aggregate(
-            child, group_evaluators, functions, arg_evaluators, second_evaluators, distincts
+        return self.backend.aggregate(
+            child,
+            [expr for expr, _ in node.group_items],
+            [spec.function for spec in node.aggregates],
+            [spec.argument for spec in node.aggregates],
+            [spec.second for spec in node.aggregates],
+            [spec.distinct for spec in node.aggregates],
+            schema,
         )
 
     # -- binary operators ------------------------------------------------------
-    def _compile_union(self, node: algebra.Union) -> physical.PhysicalOp:
-        return physical.union_all(self.compile(node.left), self.compile(node.right))
+    def _compile_union(self, node: algebra.Union):
+        return self.backend.union_all(
+            self.compile(node.left), self.compile(node.right)
+        )
 
-    def _compile_join(self, node: algebra.Join) -> physical.PhysicalOp:
+    def _compile_join(self, node: algebra.Join):
         return self._compile_join_with_filter(node, None)
 
     def _compile_join_with_filter(
         self, node: algebra.Join, extra_predicate: Optional[Expr]
-    ) -> physical.PhysicalOp:
+    ):
         """Compile a join, folding in an optional selection sitting on top.
 
         Conjuncts are classified into: left-only (pushed), right-only
@@ -153,28 +457,35 @@ class _Planner:
 
         left_op = self.compile(node.left)
         if left_only:
-            pred = conjunction(left_only).compile(left_schema)
-            left_op = physical.filter_op(left_op, pred)
+            left_op = self.backend.filter(
+                left_op, conjunction(left_only), left_schema
+            )
         right_op = self.compile(node.right)
         if right_only:
-            pred = conjunction(right_only).compile(right_schema)
-            right_op = physical.filter_op(right_op, pred)
+            right_op = self.backend.filter(
+                right_op, conjunction(right_only), right_schema
+            )
 
-        residual_eval = (
-            conjunction(residual).compile(combined) if residual else None
-        )
+        residual_expr = conjunction(residual) if residual else None
 
         if equi:
-            left_keys = [lk.compile(left_schema) for lk, _ in equi]
+            left_keys = [lk for lk, _ in equi]
             # Right key expressions reference the combined schema positions;
             # rebase them onto the right schema.
-            right_keys = [
-                _rebase(rk, len(left_schema)).compile(right_schema) for _, rk in equi
-            ]
-            return physical.hash_join(
-                left_op, right_op, left_keys, right_keys, residual_eval
+            right_keys = [_rebase(rk, len(left_schema)) for _, rk in equi]
+            return self.backend.hash_join(
+                left_op,
+                right_op,
+                left_keys,
+                left_schema,
+                right_keys,
+                right_schema,
+                residual_expr,
+                combined,
             )
-        return physical.nested_loop_join(left_op, right_op, residual_eval)
+        return self.backend.nested_loop_join(
+            left_op, right_op, residual_expr, right_schema, combined
+        )
 
 
 def _side_of(

@@ -27,17 +27,42 @@ class Relation:
     paths; the storage layer validates types on insert instead).
     """
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_columns")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
         self.rows: List[Row] = [tuple(r) for r in rows]
+        self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
         arity = len(schema)
         for row in self.rows:
             if len(row) != arity:
                 raise SchemaError(
                     f"row {row!r} has arity {len(row)}, schema expects {arity}"
                 )
+
+    @staticmethod
+    def from_trusted_rows(schema: Schema, rows: List[Row]) -> "Relation":
+        """Adopt an already-validated list of row tuples without copying.
+
+        The fast path for engine-internal results (the batch executor and
+        the storage layer produce correctly-shaped tuples by construction);
+        the adopted list must not be mutated afterwards.
+        """
+        relation = Relation.__new__(Relation)
+        relation.schema = schema
+        relation.rows = rows
+        relation._columns = None
+        return relation
+
+    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
+        """The relation pivoted column-wise (cached; relations are
+        immutable once built).  This is the batch engine's scan input."""
+        if self._columns is None:
+            if self.rows:
+                self._columns = tuple(zip(*self.rows))
+            else:
+                self._columns = tuple(() for _ in self.schema)
+        return self._columns
 
     # -- container protocol ------------------------------------------------
     def __len__(self) -> int:
@@ -82,9 +107,16 @@ class Relation:
         return Relation(self.schema, list(self.rows))
 
     def with_schema(self, schema: Schema) -> "Relation":
+        """The same rows under a different (equal-arity) schema.
+
+        Zero-copy: the row list and the cached column view are shared with
+        the new relation (both are immutable by convention).
+        """
         if len(schema) != len(self.schema):
             raise SchemaError("with_schema requires equal arity")
-        return Relation(schema, self.rows)
+        relation = Relation.from_trusted_rows(schema, self.rows)
+        relation._columns = self._columns
+        return relation
 
     def project_positions(self, positions: Sequence[int]) -> "Relation":
         schema = self.schema.project(positions)

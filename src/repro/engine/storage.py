@@ -29,6 +29,13 @@ class Table:
         self._rows: Dict[int, tuple] = {}
         self._next_tid = 1
         self._indexes: Dict[str, Any] = {}
+        # Snapshot cache: (version when built, base relation).  The version
+        # counter bumps on every mutation, so unchanged tables hand out the
+        # same immutable Relation on every read -- the zero-copy read path
+        # the batch engine scans (its column view is cached on the
+        # Relation itself).
+        self._version = 0
+        self._snapshot_cache: Optional[Tuple[int, Relation]] = None
 
     # -- inspection -----------------------------------------------------------
     def __len__(self) -> int:
@@ -50,9 +57,23 @@ class Table:
         return iter(self._rows.items())
 
     def snapshot(self, alias: Optional[str] = None) -> Relation:
-        """An immutable relation copy of the current contents."""
-        schema = self.schema.with_qualifier(alias) if alias else self.schema
-        return Relation(schema, list(self._rows.values()))
+        """An immutable relation view of the current contents.
+
+        Cached per table version: repeated reads of an unchanged table
+        return the same Relation object (rows are already coerced tuples,
+        so no per-row copying happens even on a cache miss).  Aliased
+        snapshots share the cached row list and column view -- only the
+        schema object differs.
+        """
+        cached = self._snapshot_cache
+        if cached is None or cached[0] != self._version:
+            base = Relation.from_trusted_rows(self.schema, list(self._rows.values()))
+            self._snapshot_cache = (self._version, base)
+        else:
+            base = cached[1]
+        if alias:
+            return base.with_schema(self.schema.with_qualifier(alias))
+        return base
 
     # -- mutation ----------------------------------------------------------------
     def _coerce(self, row: Sequence[Any]) -> tuple:
@@ -70,17 +91,40 @@ class Table:
         coerced = self._coerce(row)
         tid = self._next_tid
         self._next_tid += 1
+        self._version += 1
         self._rows[tid] = coerced
         for index in self._indexes.values():
             index.insert(tid, coerced)
         return tid
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> List[int]:
-        return [self.insert(row) for row in rows]
+        """Bulk insert: one coercion pass, one id range, and index
+        maintenance batched per index (instead of touching every index once
+        per row, which thrashes the index dict on large loads)."""
+        coerced_rows = [self._coerce(row) for row in rows]
+        if not coerced_rows:
+            return []
+        first = self._next_tid
+        tids = list(range(first, first + len(coerced_rows)))
+        self._next_tid = first + len(coerced_rows)
+        self._version += 1
+        store = self._rows
+        for tid, coerced in zip(tids, coerced_rows):
+            store[tid] = coerced
+        for index in self._indexes.values():
+            insert = index.insert
+            for tid, coerced in zip(tids, coerced_rows):
+                insert(tid, coerced)
+        return tids
 
     def delete(self, tid: int) -> tuple:
         """Delete by tuple id; returns the removed row (for undo logs)."""
-        row = self.get(tid)
+        return self._delete_known(tid, self.get(tid))
+
+    def _delete_known(self, tid: int, row: tuple) -> tuple:
+        """Delete a row whose value the caller already holds (saves the
+        redundant ``get()`` on scan-driven bulk deletes)."""
+        self._version += 1
         for index in self._indexes.values():
             index.delete(tid, row)
         del self._rows[tid]
@@ -88,7 +132,10 @@ class Table:
 
     def update(self, tid: int, row: Sequence[Any]) -> tuple:
         """Replace the row at ``tid``; returns the old row (for undo logs)."""
-        old = self.get(tid)
+        return self._update_known(tid, self.get(tid), row)
+
+    def _update_known(self, tid: int, old: tuple, row: Sequence[Any]) -> tuple:
+        self._version += 1
         coerced = self._coerce(row)
         for index in self._indexes.values():
             index.delete(tid, old)
@@ -101,16 +148,21 @@ class Table:
         if tid in self._rows:
             raise StorageError(f"tuple id {tid} already present in {self.name!r}")
         coerced = self._coerce(row)
+        self._version += 1
         self._rows[tid] = coerced
         self._next_tid = max(self._next_tid, tid + 1)
         for index in self._indexes.values():
             index.insert(tid, coerced)
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> List[Tuple[int, tuple]]:
-        """Delete all rows satisfying ``predicate``; returns (tid, row) pairs."""
+        """Delete all rows satisfying ``predicate``; returns (tid, row) pairs.
+
+        The scan already has each row in hand, so deletion skips the
+        per-tid ``get()`` lookup.
+        """
         victims = [(tid, row) for tid, row in self._rows.items() if predicate(row)]
-        for tid, _ in victims:
-            self.delete(tid)
+        for tid, row in victims:
+            self._delete_known(tid, row)
         return victims
 
     def update_where(
@@ -120,15 +172,15 @@ class Table:
     ) -> List[Tuple[int, tuple]]:
         """Update all rows satisfying ``predicate``; returns (tid, old row)."""
         touched = []
-        for tid in list(self._rows):
-            row = self._rows[tid]
+        for tid, row in list(self._rows.items()):
             if predicate(row):
-                old = self.update(tid, transform(row))
+                old = self._update_known(tid, row, transform(row))
                 touched.append((tid, old))
         return touched
 
     def truncate(self) -> List[Tuple[int, tuple]]:
         removed = list(self._rows.items())
+        self._version += 1
         self._rows.clear()
         for index in self._indexes.values():
             for tid, row in removed:

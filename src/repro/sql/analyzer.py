@@ -160,6 +160,8 @@ class Analyzer:
             self.analyze_query(statement.query)
         elif isinstance(statement, ast.InsertQuery):
             self.analyze_query(statement.query)
+        elif isinstance(statement, ast.Explain):
+            self.analyze_query(statement.query)
         # Other statements (DDL/DML over one table) have nothing query-like
         # to validate beyond what execution checks anyway.
 

@@ -256,6 +256,15 @@ class TransactionStatement:
     action: str  # "begin" | "commit" | "rollback"
 
 
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <query>``: run the query's pipeline and report every
+    relational plan fragment it executed, annotated with the engine
+    (row / batch) that ran it."""
+
+    query: SqlQuery
+
+
 Statement = Union[
     CreateTable,
     CreateTableAs,
@@ -265,6 +274,7 @@ Statement = Union[
     Update,
     Delete,
     TransactionStatement,
+    Explain,
     SelectQuery,
     UnionQuery,
     RepairKeyRef,

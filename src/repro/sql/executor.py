@@ -139,9 +139,37 @@ class Executor:
                 "transaction statements are handled by the MayBMS session "
                 "(use MayBMS.begin/commit/rollback or execute through it)"
             )
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
         # A query.
         output = self.evaluate_query(statement)
         return StatementResult(output=output)
+
+    def _execute_explain(self, statement: ast.Explain) -> StatementResult:
+        """EXPLAIN <query>: run the query with plan tracing enabled and
+        return the executed plan fragments as a one-column relation.
+
+        MayBMS lowers a query into a *pipeline* of relational plans (the
+        parsimonious translation materializes per stage), so EXPLAIN
+        reports each fragment in execution order, with the engine (row or
+        batch) that evaluated it.
+        """
+        with planner.trace_plans() as trace:
+            output = self.evaluate_query(statement.query)
+        kind = "U-relation" if isinstance(output, URelation) else "relation"
+        lines = [
+            f"result: {kind} ({len(output)} rows), "
+            f"default engine: {planner.get_default_engine()}"
+        ]
+        for position, (node, engine) in enumerate(trace):
+            lines.append(f"fragment {position + 1} [engine={engine}]:")
+            for plan_line in node.explain().splitlines():
+                lines.append("  " + plan_line)
+        relation = Relation(
+            Schema([Column("plan", type_from_name("text"))]),
+            [(line,) for line in lines],
+        )
+        return StatementResult(output=relation)
 
     # -- DDL / DML ---------------------------------------------------------------
     def _execute_create_table(self, statement: ast.CreateTable) -> StatementResult:
@@ -163,8 +191,7 @@ class Executor:
                 KIND_STANDARD,
                 if_not_exists=statement.if_not_exists,
             )
-            for row in output:
-                entry.table.insert(row)
+            entry.table.insert_many(output.rows)
         else:
             wide = output.relation
             entry = self.catalog.create_table(
@@ -177,8 +204,7 @@ class Executor:
                 },
                 if_not_exists=statement.if_not_exists,
             )
-            for row in wide:
-                entry.table.insert(row)
+            entry.table.insert_many(wide.rows)
         return StatementResult(row_count=len(entry.table))
 
     def _execute_insert_values(self, statement: ast.InsertValues) -> StatementResult:
@@ -186,7 +212,7 @@ class Executor:
         table = entry.table
         target_positions = self._insert_positions(table.schema, statement.columns)
         empty = Schema([])
-        count = 0
+        full_rows = []
         for value_row in statement.rows:
             values = [
                 self._lower(expr).compile(empty)(()) for expr in value_row
@@ -198,9 +224,9 @@ class Executor:
             full = [None] * len(table.schema)
             for position, value in zip(target_positions, values):
                 full[position] = value
-            table.insert(full)
-            count += 1
-        return StatementResult(row_count=count)
+            full_rows.append(full)
+        table.insert_many(full_rows)
+        return StatementResult(row_count=len(full_rows))
 
     def _insert_positions(
         self, schema: Schema, columns: Sequence[str]
@@ -232,11 +258,8 @@ class Executor:
                     "wrap it with repair key / pick tuples first"
                 )
             rows = output.rows
-        count = 0
-        for row in rows:
-            entry.table.insert(row)
-            count += 1
-        return StatementResult(row_count=count)
+        tids = entry.table.insert_many(rows)
+        return StatementResult(row_count=len(tids))
 
     def _execute_update(self, statement: ast.Update) -> StatementResult:
         entry = self.catalog.entry(statement.table)

@@ -126,6 +126,9 @@ class _Parser:
         if token.is_keyword("begin", "commit", "rollback"):
             self.advance()
             return ast.TransactionStatement(token.text)
+        if token.is_keyword("explain"):
+            self.advance()
+            return ast.Explain(self.parse_query())
         return self.parse_query()
 
     def _parse_create(self) -> ast.Statement:

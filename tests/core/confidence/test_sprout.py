@@ -173,6 +173,21 @@ class TestCorrectness:
         # The boolean query with no satisfying assignments has no answer row.
         assert len(result) == 0
 
+    @pytest.mark.parametrize("strategy", ["eager", "lazy"])
+    def test_empty_table_yields_empty_result(self, db, strategy):
+        """Regression: with an empty first subgoal the hash-join fold
+        stops early; the lazy plan must still resolve every query
+        variable's position and return an empty relation, not crash."""
+        empty_db = dict(db)
+        empty_db["R"] = make_table("R", (("a", INTEGER),), [], [])
+        q = ConjunctiveQuery(
+            ["x", "y"],
+            [Subgoal("R", [Var("x")]), Subgoal("S", [Var("x"), Var("y")])],
+        )
+        assert len(sprout_confidence(q, empty_db, strategy)) == 0
+        lineages, _ = query_lineage(q, empty_db)
+        assert lineages == {}
+
     def test_repeated_variable_in_subgoal(self, db):
         q = ConjunctiveQuery([], [Subgoal("S", [Var("x"), Var("x")])])
         eager = sprout_confidence(q, db, "eager")

@@ -28,6 +28,7 @@ from repro.engine.expressions import (
     ColumnRef,
     Comparison,
     Literal,
+    PositionRef as _pos,
 )
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
@@ -193,10 +194,45 @@ class TestJoin:
 
     def test_consistency_predicate_pair_count(self):
         predicate = consistency_predicate(1, 2, 1, 3)
-        # 2x3 pairs of triples -> 6 conjuncts.
-        from repro.engine.expressions import conjuncts_of
+        # 2x3 pairs of triples -> 6 (V_i ≠ V'_j ∨ D_i = D'_j) conjuncts,
+        # carried as a specialized kernel expression.
+        from repro.engine.expressions import ConsistencyPredicate
 
-        assert len(conjuncts_of(predicate)) == 6
+        assert isinstance(predicate, ConsistencyPredicate)
+        assert len(predicate.pairs) == 6
+
+    def test_consistency_predicate_matches_generic_evaluation(self):
+        """The specialized predicate agrees with the generic AND-of-OR
+        formulation it replaces, row by row."""
+        from repro.engine.expressions import conjunction
+        from repro.engine.schema import Schema as _Schema
+
+        predicate = consistency_predicate(1, 1, 1, 1)
+        generic = conjunction(
+            [
+                BoolOp(
+                    "OR",
+                    [
+                        Comparison(
+                            "<>",
+                            _pos(1, INTEGER),
+                            _pos(5, INTEGER),
+                        ),
+                        Comparison("=", _pos(2, INTEGER), _pos(6, INTEGER)),
+                    ],
+                )
+            ]
+        )
+        schema = _Schema([])
+        rows = [
+            (0, 7, 1, 0.5, 0, 7, 1, 0.5),  # same var, same value: keep
+            (0, 7, 1, 0.5, 0, 7, 2, 0.5),  # same var, different value: drop
+            (0, 7, 1, 0.5, 0, 8, 2, 0.5),  # different vars: keep
+        ]
+        fast = predicate.compile(schema)
+        slow = generic.compile(schema)
+        for row in rows:
+            assert fast(row) == slow(row)
 
 
 class TestUnion:

@@ -99,6 +99,90 @@ class TestBasicStorage:
         assert len(table) == 0
 
 
+class TestBulkMutations:
+    def test_insert_many_returns_consecutive_tids(self, table):
+        tids = table.insert_many([("dee", 40), ("eve", 50)])
+        assert tids == [4, 5]
+        assert table.get(4) == ("dee", 40)
+        assert table.get(5) == ("eve", 50)
+
+    def test_insert_many_empty(self, table):
+        assert table.insert_many([]) == []
+        assert len(table) == 3
+
+    def test_insert_many_coerces_types(self):
+        t = Table("t", Schema.of(("x", FLOAT)))
+        t.insert_many([(1,), (2,)])
+        assert t.get(1) == (1.0,)
+
+    def test_insert_many_maintains_indexes(self, table):
+        table.create_hash_index("by_name", ["name"])
+        table.create_sorted_index("by_score", ["score"])
+        table.insert_many([("dee", 40), ("dee", 41)])
+        assert [row[1] for row in table.lookup("by_name", ("dee",))] == [40, 41]
+        index = table.index("by_score")
+        assert [table.get(t)[0] for t in index.range((40,), (41,))] == ["dee", "dee"]
+
+    def test_insert_many_equivalent_to_repeated_insert(self):
+        a = Table("a", Schema.of(("x", INTEGER)))
+        b = Table("b", Schema.of(("x", INTEGER)))
+        a.create_hash_index("ix", ["x"])
+        b.create_hash_index("ix", ["x"])
+        rows = [(i % 3,) for i in range(10)]
+        for row in rows:
+            a.insert(row)
+        b.insert_many(rows)
+        assert list(a.rows()) == list(b.rows())
+        assert a.lookup("ix", (1,)) == b.lookup("ix", (1,))
+
+    def test_delete_where_maintains_indexes(self, table):
+        table.create_hash_index("by_name", ["name"])
+        removed = table.delete_where(lambda row: row[1] >= 20)
+        assert [tid for tid, _ in removed] == [2, 3]
+        assert table.lookup("by_name", ("bob",)) == []
+        assert table.lookup("by_name", ("ann",)) == [("ann", 10)]
+
+    def test_update_where_maintains_indexes(self, table):
+        table.create_hash_index("by_score", ["score"])
+        table.update_where(lambda row: row[0] == "bob", lambda row: (row[0], 99))
+        assert table.lookup("by_score", (99,)) == [("bob", 99)]
+        assert table.lookup("by_score", (20,)) == []
+
+
+class TestSnapshotCaching:
+    def test_snapshot_cached_until_mutation(self, table):
+        first = table.snapshot()
+        assert table.snapshot() is first  # unchanged table: same object
+        table.insert(("dee", 40))
+        second = table.snapshot()
+        assert second is not first
+        assert len(first) == 3 and len(second) == 4
+
+    def test_all_mutations_invalidate(self, table):
+        baseline = table.snapshot()
+        table.delete(1)
+        assert len(table.snapshot()) == 2
+        table.update(2, ("bob", 21))
+        assert ("bob", 21) in table.snapshot().rows
+        table.insert_many([("dee", 40)])
+        assert len(table.snapshot()) == 3
+        table.truncate()
+        assert len(table.snapshot()) == 0
+        assert len(baseline) == 3  # old snapshots are unaffected
+
+    def test_aliased_snapshot_shares_rows(self, table):
+        base = table.snapshot()
+        aliased = table.snapshot("p")
+        assert aliased.rows is base.rows  # zero-copy requalification
+        assert aliased.schema.columns[0].qualifier == "p"
+
+    def test_restore_invalidates(self, table):
+        table.snapshot()
+        row = table.delete(2)
+        table.restore(2, row)
+        assert len(table.snapshot()) == 3
+
+
 class TestHashIndexes:
     def test_lookup(self, table):
         table.create_hash_index("by_name", ["name"])

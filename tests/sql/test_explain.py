@@ -1,0 +1,89 @@
+"""Tests for the EXPLAIN statement (parser -> analyzer -> executor)."""
+
+import pytest
+
+from repro.db import MayBMS
+from repro.engine import planner
+from repro.errors import AnalysisError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    session = MayBMS()
+    session.execute("create table t (a integer, b float)")
+    session.execute("insert into t values (1, 0.5), (2, 0.25), (3, 0.75)")
+    return session
+
+
+class TestParsing:
+    def test_explain_select(self):
+        statement = parse_statement("explain select a from t")
+        assert isinstance(statement, ast.Explain)
+        assert isinstance(statement.query, ast.SelectQuery)
+
+    def test_explain_repair_key(self):
+        statement = parse_statement("explain repair key a in t weight by b")
+        assert isinstance(statement, ast.Explain)
+        assert isinstance(statement.query, ast.RepairKeyRef)
+
+    def test_explain_still_a_table_name(self, db):
+        # "explain" is a reserved keyword now; a table of that name must be
+        # quoted, but ordinary statements are unaffected.
+        assert len(db.query("select a from t")) == 3
+
+
+class TestExecution:
+    def test_explain_returns_plan_relation(self, db):
+        result = db.execute("explain select a from t where b > 0.3")
+        relation = result.relation
+        assert relation.schema.names == ["plan"]
+        text = "\n".join(row[0] for row in relation.rows)
+        assert "Select[" in text
+        assert "Scan(" in text
+        assert "fragment 1" in text
+
+    def test_explain_reports_default_engine(self, db):
+        text = "\n".join(
+            row[0] for row in db.execute("explain select a from t").relation.rows
+        )
+        assert f"default engine: {planner.get_default_engine()}" in text
+
+    def test_explain_reports_forced_engine(self, db):
+        with planner.forced_engine("row"):
+            text = "\n".join(
+                row[0]
+                for row in db.execute("explain select a from t").relation.rows
+            )
+        assert "[engine=row]" in text
+
+    def test_explain_uncertain_query(self, db):
+        result = db.execute(
+            "explain select a, conf() as p from (repair key a in t weight by b) r "
+            "group by a"
+        )
+        text = "\n".join(row[0] for row in result.relation.rows)
+        assert "result: relation" in text
+        assert "fragment" in text
+
+    def test_explain_pipeline_fragments_in_execution_order(self, db):
+        result = db.execute(
+            "explain select a from t where b > 0.1 order by a desc limit 2"
+        )
+        text = "\n".join(row[0] for row in result.relation.rows)
+        # Filter runs before the final projection and sort fragments.
+        assert text.index("Select[") < text.index("Project[")
+
+    def test_explain_analyzes_the_query(self, db):
+        with pytest.raises(AnalysisError):
+            db.execute("explain select a from no_such_table")
+
+    def test_explain_join_shows_join_node(self, db):
+        db.execute("create table u (a integer, label text)")
+        db.execute("insert into u values (1, 'one'), (2, 'two')")
+        result = db.execute(
+            "explain select t.a, u.label from t, u where t.a = u.a"
+        )
+        text = "\n".join(row[0] for row in result.relation.rows)
+        assert "Join" in text
