@@ -1,0 +1,249 @@
+"""Confidence-dispatcher benchmark (no pytest needed).
+
+Three lineage workloads, each timed through the cost-based dispatcher in
+``auto`` mode versus the forced-exact ws-tree path:
+
+- **hierarchical** -- per-group lineage of the ``R(x), S(x, y)`` query
+  class ``{r ∧ s₁, ..., r ∧ s_k}``: the dispatcher must pick SPROUT-style
+  safe evaluation (never the exact engine) and beat forced-exact by >= 5x;
+- **independent** -- tuple-independent lineages (pairwise disjoint
+  single-atom clauses): closed form, far faster than the ws-tree;
+- **adversarial** -- dense random DNFs whose variables' clause sets
+  cross: no safe plan exists, so auto must fall through to the exact
+  engine at (approximately) no overhead versus calling it directly, and
+  with a tiny budget it must degrade to Monte Carlo within the (ε,δ)
+  tolerance.
+
+Every workload is differential: auto and forced-exact probabilities must
+agree to float precision (Monte Carlo within tolerance).  Timings are
+best-of-N with a *cold dispatcher per repetition* (the exact engine's
+memo would otherwise flatter later repetitions); the IR-level caches on
+the lineages themselves persist, as they do in production behind the
+``conf()`` lineage cache.
+
+Writes ``BENCH_confidence.json`` at the repository root so CI records
+the dispatcher's trajectory PR over PR.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_confidence.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.conditions import Condition  # noqa: E402
+from repro.core.confidence.dispatch import (  # noqa: E402
+    ConfidenceDispatcher,
+    DispatchPolicy,
+)
+from repro.core.lineage import ClauseArena, Lineage  # noqa: E402
+from repro.core.variables import VariableRegistry  # noqa: E402
+from repro.datagen.random_dnf import random_dnf  # noqa: E402
+
+RUNS = 3
+HIERARCHICAL_GROUPS, HIERARCHICAL_FANOUT = 200, 40
+INDEPENDENT_GROUPS, INDEPENDENT_FANOUT = 200, 50
+ADVERSARIAL_GROUPS, ADVERSARIAL_CLAUSES, ADVERSARIAL_VARIABLES = 40, 12, 10
+MONTE_CARLO_EPSILON, MONTE_CARLO_DELTA = 0.1, 0.05
+
+
+def build_hierarchical(groups, fanout):
+    registry = VariableRegistry()
+    arena = ClauseArena(registry)
+    lineages = []
+    for _ in range(groups):
+        root = registry.fresh_boolean(0.6)
+        clauses = [
+            Condition.of(
+                [(root, 1), (registry.fresh_boolean(0.2 + 0.5 * ((i % 7) / 7)), 1)]
+            )
+            for i in range(fanout)
+        ]
+        lineages.append(Lineage(clauses, arena))
+    return registry, lineages
+
+
+def build_independent(groups, fanout):
+    registry = VariableRegistry()
+    arena = ClauseArena(registry)
+    lineages = []
+    for _ in range(groups):
+        clauses = [
+            Condition.atom(
+                registry.fresh_boolean(0.05 + 0.85 * ((i % 5) / 5)), 1
+            )
+            for i in range(fanout)
+        ]
+        lineages.append(Lineage(clauses, arena))
+    return registry, lineages
+
+
+def build_adversarial(groups, n_clauses, n_variables):
+    """Dense random DNFs: clause width 3 over a small shared pool, so the
+    variables' clause sets cross and no safe plan exists."""
+    registry = VariableRegistry()
+    arena = ClauseArena(registry)
+    rng = random.Random(7)
+    lineages = []
+    for _ in range(groups):
+        dnf, _ = random_dnf(
+            n_variables, n_clauses, 3, rng, domain_size=2, registry=registry,
+            variables=[registry.fresh_boolean(rng.uniform(0.2, 0.8)) for _ in range(n_variables)],
+        )
+        lineages.append(Lineage(dnf.clauses, arena))
+    return registry, lineages
+
+
+def timed_cold(make_dispatcher, lineages, runs=RUNS):
+    """Best wall time of ``runs`` passes, fresh dispatcher each pass."""
+    best = float("inf")
+    results = None
+    for _ in range(runs):
+        dispatcher = make_dispatcher()
+        started = time.perf_counter()
+        results = [dispatcher.probability(lineage) for lineage in lineages]
+        best = min(best, time.perf_counter() - started)
+    return best * 1e3, results
+
+
+def strategy_histogram(results):
+    counts = {}
+    for result in results:
+        for name, n in result.strategy_counts().items():
+            counts[name] = counts.get(name, 0) + n
+    return dict(sorted(counts.items()))
+
+
+def run_workload(name, registry, lineages):
+    auto_ms, auto_results = timed_cold(
+        lambda: ConfidenceDispatcher(registry), lineages
+    )
+    exact_ms, exact_results = timed_cold(
+        lambda: ConfidenceDispatcher(registry, DispatchPolicy(strategy="exact")),
+        lineages,
+    )
+    max_diff = max(
+        abs(a.probability - b.probability)
+        for a, b in zip(auto_results, exact_results)
+    )
+    record = {
+        "groups": len(lineages),
+        "auto_ms": round(auto_ms, 3),
+        "forced_exact_ms": round(exact_ms, 3),
+        "speedup": round(exact_ms / auto_ms, 3),
+        "auto_strategies": strategy_histogram(auto_results),
+        "max_probability_diff": max_diff,
+    }
+    print(
+        f"{name:>13}: auto {auto_ms:8.2f} ms  forced-exact {exact_ms:8.2f} ms  "
+        f"speedup {record['speedup']:6.2f}x  strategies {record['auto_strategies']}"
+    )
+    return record, auto_results, exact_results
+
+
+def main() -> int:
+    output_path = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_confidence.json"
+    )
+    record = {
+        "benchmark": "C-CONF (cost-based confidence dispatcher vs forced exact)",
+        "python": platform.python_version(),
+        "best_of": RUNS,
+        "workloads": {},
+    }
+    failures = []
+
+    # -- hierarchical: must choose SPROUT/closed-form and win >= 5x -----------
+    registry, lineages = build_hierarchical(
+        HIERARCHICAL_GROUPS, HIERARCHICAL_FANOUT
+    )
+    hierarchical, auto_results, _ = run_workload("hierarchical", registry, lineages)
+    record["workloads"]["hierarchical"] = hierarchical
+    chosen = set(hierarchical["auto_strategies"])
+    if not chosen <= {"sprout", "closed-form"}:
+        failures.append(
+            f"hierarchical workload dispatched to {chosen}, expected only "
+            "sprout/closed-form"
+        )
+    if hierarchical["speedup"] < 5.0:
+        failures.append(
+            f"hierarchical speedup {hierarchical['speedup']}x < 5x"
+        )
+    if hierarchical["max_probability_diff"] > 1e-9:
+        failures.append("hierarchical probabilities diverge from exact")
+
+    # -- independent components: closed form ---------------------------------
+    registry, lineages = build_independent(INDEPENDENT_GROUPS, INDEPENDENT_FANOUT)
+    independent, _, _ = run_workload("independent", registry, lineages)
+    record["workloads"]["independent"] = independent
+    if set(independent["auto_strategies"]) != {"closed-form"}:
+        failures.append("independent workload must dispatch to closed-form")
+    if independent["max_probability_diff"] > 1e-9:
+        failures.append("independent probabilities diverge from exact")
+
+    # -- adversarial: exact under budget, Monte Carlo beyond it --------------
+    registry, lineages = build_adversarial(
+        ADVERSARIAL_GROUPS, ADVERSARIAL_CLAUSES, ADVERSARIAL_VARIABLES
+    )
+    adversarial, _, exact_results = run_workload("adversarial", registry, lineages)
+    record["workloads"]["adversarial"] = adversarial
+    if "monte-carlo" in adversarial["auto_strategies"]:
+        failures.append("adversarial workload fell to Monte Carlo under the default budget")
+    if adversarial["max_probability_diff"] > 1e-9:
+        failures.append("adversarial probabilities diverge from exact")
+
+    # Tiny budget: the same lineages must degrade to Monte Carlo and stay
+    # within the (ε,δ) tolerance of the exact answers.
+    policy = DispatchPolicy(
+        exact_budget=1,
+        epsilon=MONTE_CARLO_EPSILON,
+        delta=MONTE_CARLO_DELTA,
+    )
+    mc_ms, mc_results = timed_cold(
+        lambda: ConfidenceDispatcher(registry, policy, random.Random(11)),
+        lineages,
+        runs=1,
+    )
+    mc_strategies = strategy_histogram(mc_results)
+    worst_relative = max(
+        abs(mc.probability - exact.probability) / max(exact.probability, 1e-12)
+        for mc, exact in zip(mc_results, exact_results)
+    )
+    record["workloads"]["adversarial_tiny_budget"] = {
+        "groups": len(lineages),
+        "monte_carlo_ms": round(mc_ms, 3),
+        "strategies": mc_strategies,
+        "worst_relative_error": round(worst_relative, 6),
+        "epsilon": MONTE_CARLO_EPSILON,
+        "delta": MONTE_CARLO_DELTA,
+    }
+    print(
+        f"{'tiny budget':>13}: monte-carlo {mc_ms:8.2f} ms  strategies "
+        f"{mc_strategies}  worst rel err {worst_relative:.4f}"
+    )
+    if set(mc_strategies) != {"monte-carlo"}:
+        failures.append("tiny budget must force the Monte-Carlo fallback")
+    if worst_relative > 3 * MONTE_CARLO_EPSILON:
+        failures.append(
+            f"Monte-Carlo fallback relative error {worst_relative:.4f} "
+            f"exceeds 3x epsilon"
+        )
+
+    output_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {output_path}")
+    if failures:
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

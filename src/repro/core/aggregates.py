@@ -23,12 +23,10 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.confidence.dklr import approximate_confidence
-from repro.core.confidence.exact import (
-    ExactConfidenceEngine,
-    group_lineages,
-    group_probabilities,
-)
+from repro.core.confidence import dispatch
+from repro.core.confidence.dispatch import ConfidenceDispatcher
+from repro.core.confidence.exact import ExactConfidenceEngine
+from repro.core.lineage import Lineage, group_lineages
 from repro.core.urelation import URelation
 from repro.engine.physical import group_key
 from repro.engine.relation import Relation
@@ -80,24 +78,71 @@ def _group_schema(
     return Schema(columns)
 
 
+def _cached_group_lineages(
+    urel: URelation, group_columns: Sequence[str]
+) -> Tuple[Dict[tuple, Tuple[tuple, List[int]]], List[tuple], List[Lineage]]:
+    """Group the relation and build per-group lineages, cached on the
+    relation object.
+
+    Table snapshots are cached per table version
+    (:meth:`repro.engine.storage.Table.snapshot`), so attaching the cache
+    to the relation keys it by *table version + group columns*: a repeated
+    ``conf()`` over an unchanged stored U-relation re-uses grouping,
+    interned clauses, and their probability caches; any mutation produces
+    a fresh snapshot object and therefore a fresh cache.
+    """
+    relation = urel.relation
+    key = (
+        tuple(group_columns),
+        urel.payload_arity,
+        urel.cond_arity,
+        id(urel.registry),
+    )
+    cache = relation._lineage_cache
+    if cache is not None:
+        entry = cache.get(key)
+        if entry is not None:
+            return entry
+    _, groups, order = _group_rows(urel, group_columns)
+    lineages = group_lineages(urel, [groups[k][1] for k in order])
+    entry = (groups, order, lineages)
+    if cache is None:
+        cache = relation._lineage_cache = {}
+    cache[key] = entry
+    return entry
+
+
 def conf(
     urel: URelation,
     group_columns: Sequence[str] = (),
     result_name: str = "conf",
     engine: Optional[ExactConfidenceEngine] = None,
+    dispatcher: Optional[ConfidenceDispatcher] = None,
 ) -> Relation:
-    """Exact confidence computation (the ``conf()`` aggregate).
+    """Confidence computation (the ``conf()`` aggregate).
 
     For each distinct value of ``group_columns``, the probability that at
-    least one tuple with that value is present: the exact probability of
-    the DNF of the group's row conditions.  With no group columns the
+    least one tuple with that value is present: the probability of the
+    disjunction of the group's row conditions.  With no group columns the
     result is a single row -- the probability that the relation is
     non-empty.
+
+    Each group's lineage goes through the cost-based dispatcher
+    (:mod:`repro.core.confidence.dispatch`), which picks closed-form /
+    SPROUT safe evaluation / exact ws-trees / Monte Carlo per independent
+    component.  Passing ``engine`` forces the exact ws-tree engine for
+    every group (the pre-dispatcher behaviour, kept for ablations and
+    benchmarks).
     """
-    _, groups, order = _group_rows(urel, group_columns)
-    probabilities = group_probabilities(
-        urel, [groups[key][1] for key in order], engine
-    )
+    groups, order, lineages = _cached_group_lineages(urel, group_columns)
+    if engine is not None:
+        probabilities = [engine.probability(lineage) for lineage in lineages]
+    else:
+        if dispatcher is None:
+            dispatcher = ConfidenceDispatcher(urel.registry)
+        results = dispatcher.group_probabilities(lineages)
+        dispatch.record_aggregate("conf", results)
+        probabilities = [result.probability for result in results]
     rows = [
         groups[key][0] + (probability,)
         for key, probability in zip(order, probabilities)
@@ -114,18 +159,34 @@ def aconf(
     group_columns: Sequence[str] = (),
     result_name: str = "aconf",
     rng: Optional[random.Random] = None,
+    dispatcher: Optional[ConfidenceDispatcher] = None,
 ) -> Relation:
     """Approximate confidence: ``aconf(ε, δ)``.
 
-    Per group, an estimate p̂ with P(|p̂ − p| > ε·p) < δ, via the
-    Karp-Luby estimator under the DKLR optimal Monte-Carlo driver.
+    Per group, an estimate p̂ with P(|p̂ − p| > ε·p) < δ.  The dispatcher
+    takes exact shortcuts that satisfy the guarantee trivially (closed
+    forms, hierarchical lineages); everything else runs the Karp-Luby
+    estimator under the DKLR optimal Monte-Carlo driver, drawing from
+    ``rng`` (or the dispatcher's session RNG) so results are reproducible
+    under a fixed seed.
     """
-    _, groups, order = _group_rows(urel, group_columns)
-    lineages = group_lineages(urel, [groups[key][1] for key in order])
-    rows = []
-    for key, dnf in zip(order, lineages):
-        result = approximate_confidence(dnf, urel.registry, epsilon, delta, rng)
-        rows.append(groups[key][0] + (result.estimate,))
+    groups, order, lineages = _cached_group_lineages(urel, group_columns)
+    if dispatcher is None:
+        dispatcher = ConfidenceDispatcher(urel.registry, rng=rng)
+    elif rng is not None:
+        dispatcher = ConfidenceDispatcher(
+            urel.registry, dispatcher.policy, rng=rng
+        )
+    results = [
+        dispatcher.approximate(lineage, epsilon, delta) for lineage in lineages
+    ]
+    dispatch.record_aggregate(
+        "aconf", results, detail=f"epsilon={epsilon:g}, delta={delta:g}"
+    )
+    rows = [
+        groups[key][0] + (result.probability,)
+        for key, result in zip(order, results)
+    ]
     if not group_columns and not rows:
         rows.append((0.0,))
     return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)
@@ -134,13 +195,27 @@ def aconf(
 def tconf(urel: URelation, result_name: str = "tconf") -> Relation:
     """Per-row marginal probability ("in isolation from the other
     (possibly duplicate) tuples"): payload columns plus the probability of
-    the row's own condition."""
+    the row's own condition.
+
+    Marginals are atom-product closed forms read straight off the
+    condition columns -- no dispatch decision to make, but the strategy
+    trace still records the call so EXPLAIN shows every confidence
+    computation of a query.
+    """
     columns = list(urel.payload_schema) + [Column(result_name, FLOAT)]
     payload_arity = urel.payload_arity
     rows = [
         row[:payload_arity] + (probability,)
         for row, probability in zip(urel.relation, urel.condition_probabilities())
     ]
+    if dispatch.tracing_active():
+        dispatch.record_event(
+            dispatch.ConfidenceEvent(
+                aggregate="tconf",
+                groups=len(rows),
+                strategy_counts=(("marginal", len(rows)),),
+            )
+        )
     return Relation(Schema(columns), rows)
 
 

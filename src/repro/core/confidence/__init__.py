@@ -22,10 +22,16 @@ from repro.core.confidence.dnf import DNF
 from repro.core.confidence.exact import exact_confidence, ExactConfidenceEngine
 from repro.core.confidence.karp_luby import KarpLubyEstimator
 from repro.core.confidence.dklr import aconf, approximate_confidence
+from repro.core.confidence.dispatch import (
+    ConfidenceDispatcher,
+    DispatchPolicy,
+    trace_confidence,
+)
 from repro.core.confidence.naive import (
     confidence_by_enumeration,
     confidence_by_inclusion_exclusion,
 )
+from repro.core.confidence.sprout import safe_lineage_confidence
 
 __all__ = [
     "DNF",
@@ -34,6 +40,10 @@ __all__ = [
     "KarpLubyEstimator",
     "aconf",
     "approximate_confidence",
+    "ConfidenceDispatcher",
+    "DispatchPolicy",
+    "trace_confidence",
     "confidence_by_enumeration",
     "confidence_by_inclusion_exclusion",
+    "safe_lineage_confidence",
 ]

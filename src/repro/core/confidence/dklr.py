@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.core.confidence.dnf import DNF
+from repro.core.confidence.dnf import LineageLike
 from repro.core.confidence.karp_luby import KarpLubyEstimator
 from repro.core.variables import VariableRegistry
 from repro.errors import ConfidenceError
@@ -151,7 +152,7 @@ def aa_estimate(
 
 
 def approximate_confidence(
-    dnf: DNF,
+    dnf: LineageLike,
     registry: VariableRegistry,
     epsilon: float = 0.1,
     delta: float = 0.05,
@@ -176,7 +177,7 @@ def approximate_confidence(
 
 
 def aconf(
-    dnf: DNF,
+    dnf: LineageLike,
     registry: VariableRegistry,
     epsilon: float = 0.1,
     delta: float = 0.05,

@@ -10,12 +10,18 @@ zero-probability clauses, absorbing subsumed clauses).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.conditions import Condition, TRUE_CONDITION
+from repro.core.lineage import ClauseArena, Lineage
 from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
 from repro.errors import ConfidenceError
+
+#: Inputs every confidence-engine entry point accepts: the shared lineage
+#: IR or the legacy DNF container (coerced via :meth:`Lineage.of`).  One
+#: definition, shared by exact/karp_luby/dklr/dispatch.
+LineageLike = Union["DNF", Lineage]
 
 
 class DNF:
@@ -46,6 +52,15 @@ class DNF:
             if payload is None or row == payload:
                 clauses.append(condition)
         return DNF(clauses)
+
+    # -- conversion ---------------------------------------------------------
+    def to_lineage(
+        self,
+        registry: VariableRegistry,
+        arena: Optional[ClauseArena] = None,
+    ) -> Lineage:
+        """This DNF as the shared lineage IR (clauses interned, not copied)."""
+        return Lineage.from_clauses(self.clauses, registry, arena)
 
     # -- protocol -----------------------------------------------------------
     def __len__(self) -> int:

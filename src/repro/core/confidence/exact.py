@@ -39,9 +39,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.confidence.dnf import DNF
+from repro.core.confidence.dnf import DNF, LineageLike
+from repro.core.lineage import Lineage
+from repro.core.lineage import group_lineages as _lineage_groups
 from repro.core.variables import VariableRegistry
-from repro.errors import ConfidenceError
+from repro.errors import ConfidenceError, CostBudgetExceededError
 
 
 @dataclass
@@ -118,6 +120,7 @@ class ExactConfidenceEngine:
         variable_heuristic: str = "frequency",
         memoize: bool = True,
         decompose: bool = True,
+        max_subproblems: Optional[int] = None,
     ):
         if variable_heuristic not in VARIABLE_HEURISTICS:
             raise ConfidenceError(
@@ -129,31 +132,57 @@ class ExactConfidenceEngine:
         self.variable_heuristic = variable_heuristic
         self.memoize = memoize
         self.decompose = decompose
+        self.max_subproblems = max_subproblems
         self.statistics = ExactStatistics()
         self._memo: Dict[tuple, float] = {}
+        self._budget_base = 0
 
     # -- public API ---------------------------------------------------------
-    def probability(self, dnf: DNF) -> float:
-        """P(dnf), exactly."""
-        normalized = dnf.normalized(self.registry)
-        probability, _ = self._solve(normalized)
+    def probability(self, dnf: LineageLike) -> float:
+        """P(dnf), exactly.
+
+        Accepts the shared lineage IR or a legacy DNF.  An
+        already-simplified lineage skips re-normalization (the IR did the
+        zero-probability/duplicate/subsumption work once for all engines).
+        Raises :class:`CostBudgetExceededError` when ``max_subproblems``
+        is set and the decomposition exceeds it.
+        """
+        probability, _ = self._solve(self._prepare(dnf))
         return probability
 
-    def probability_with_tree(self, dnf: DNF) -> Tuple[float, WSTreeNode]:
+    def probability_with_tree(self, dnf: LineageLike) -> Tuple[float, WSTreeNode]:
         """P(dnf) plus the decomposition tree (forces tree construction)."""
         saved = self.build_tree
         self.build_tree = True
         try:
-            normalized = dnf.normalized(self.registry)
-            probability, tree = self._solve(normalized)
+            probability, tree = self._solve(self._prepare(dnf))
             assert tree is not None
             return probability, tree
         finally:
             self.build_tree = saved
 
+    def _prepare(self, dnf: LineageLike) -> DNF:
+        # The budget is per top-level call (the engine is reused across
+        # groups for memo sharing, so the lifetime counter keeps growing).
+        self._budget_base = self.statistics.subproblems
+        if isinstance(dnf, Lineage):
+            # Clauses are shared Condition objects; wrapping them in the
+            # recursion's DNF container copies nothing.
+            return DNF(dnf.simplified().clauses)
+        return dnf.normalized(self.registry)
+
     # -- recursion ------------------------------------------------------------
     def _solve(self, dnf: DNF) -> Tuple[float, Optional[WSTreeNode]]:
         self.statistics.subproblems += 1
+        if (
+            self.max_subproblems is not None
+            and self.statistics.subproblems - self._budget_base
+            > self.max_subproblems
+        ):
+            raise CostBudgetExceededError(
+                f"exact decomposition exceeded its budget of "
+                f"{self.max_subproblems} subproblems"
+            )
 
         if dnf.is_false:
             return 0.0, self._leaf("false", 0.0)
@@ -238,8 +267,16 @@ class ExactConfidenceEngine:
             key=lambda var: (-counts[var], self.registry.domain_size(var), var),
         )
 
+    #: Memo-size safety valve.  The executor keeps one engine per session,
+    #: so without a bound the memo would grow for the process lifetime;
+    #: past this many entries the memo resets wholesale (crude epoch
+    #: eviction -- losing it costs recomputation, never correctness).
+    MAX_MEMO_ENTRIES = 1_000_000
+
     def _remember(self, key: tuple, probability: float) -> None:
         if self.memoize:
+            if len(self._memo) >= self.MAX_MEMO_ENTRIES:
+                self._memo.clear()
             self._memo[key] = probability
 
     def _leaf(self, kind: str, probability: float) -> Optional[WSTreeNode]:
@@ -249,35 +286,20 @@ class ExactConfidenceEngine:
 
 
 def exact_confidence(
-    dnf: DNF, registry: VariableRegistry
+    dnf: LineageLike, registry: VariableRegistry
 ) -> float:
-    """One-shot exact probability of a lineage DNF."""
+    """One-shot exact probability of a lineage (IR or DNF)."""
     return ExactConfidenceEngine(registry).probability(dnf)
 
 
 def group_lineages(
     urel, row_groups: Sequence[Sequence[int]]
-) -> List[DNF]:
-    """Per-group lineage DNFs read straight off a U-relation's condition
-    columns.
-
-    One memoized columnar decode covers the whole relation (see
-    :meth:`repro.core.urelation.URelation.conditions`), instead of
-    decoding each row's triples on its own; rows with contradictory
-    conditions (possible only before a consistency filter runs) represent
-    no world and contribute no clause.
-    """
-    conditions = urel.conditions()
-    return [
-        DNF(
-            [
-                conditions[index]
-                for index in indexes
-                if conditions[index] is not None
-            ]
-        )
-        for indexes in row_groups
-    ]
+) -> List[Lineage]:
+    """Per-group lineages read straight off a U-relation's condition
+    columns -- a thin alias of :func:`repro.core.lineage.group_lineages`,
+    kept here because the ``conf()`` aggregate historically imported it
+    from the exact engine."""
+    return _lineage_groups(urel, row_groups)
 
 
 def group_probabilities(
@@ -286,6 +308,6 @@ def group_probabilities(
     engine: Optional[ExactConfidenceEngine] = None,
 ) -> List[float]:
     """Exact confidence per group of row indexes of a U-relation: the
-    column-consuming entry point behind the ``conf()`` aggregate."""
+    column-consuming entry point behind the forced-exact ``conf()`` path."""
     engine = engine if engine is not None else ExactConfidenceEngine(urel.registry)
-    return [engine.probability(dnf) for dnf in group_lineages(urel, row_groups)]
+    return [engine.probability(lineage) for lineage in group_lineages(urel, row_groups)]

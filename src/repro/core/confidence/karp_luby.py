@@ -34,7 +34,8 @@ import itertools
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.confidence.dnf import DNF
+from repro.core.confidence.dnf import DNF, LineageLike
+from repro.core.lineage import Lineage
 from repro.core.variables import VariableRegistry
 from repro.engine.columnar import HAVE_NUMPY, np
 from repro.errors import ConfidenceError
@@ -44,33 +45,46 @@ _VECTOR_MIN_SAMPLES = 64
 
 
 class KarpLubyEstimator:
-    """Sampler for the Karp-Luby Bernoulli variable of a lineage DNF.
+    """Sampler for the Karp-Luby Bernoulli variable of a lineage.
 
-    Construction normalizes the DNF (drops inconsistent / zero-probability
-    clauses).  ``is_trivial`` reports DNFs whose probability is 0 or 1
-    outright; callers must check it before sampling.
+    Accepts the shared lineage IR or a legacy DNF; construction simplifies
+    (drops inconsistent / zero-probability / subsumed clauses) unless the
+    lineage is already simplified, and reads clause probabilities from the
+    IR's interned-clause cache.  ``is_trivial`` reports lineages whose
+    probability is 0 or 1 outright; callers must check it before sampling.
     """
 
-    def __init__(self, dnf: DNF, registry: VariableRegistry, rng: Optional[random.Random] = None):
+    def __init__(
+        self,
+        dnf: LineageLike,
+        registry: VariableRegistry,
+        rng: Optional[random.Random] = None,
+    ):
         self.registry = registry
         self.rng = rng if rng is not None else random.Random()
-        self.dnf = dnf.normalized(registry)
-        self.clause_probabilities = self.dnf.clause_probabilities(registry)
+        self.lineage = Lineage.of(dnf, registry).simplified()
+        self.clause_probabilities = self.lineage.clause_probabilities()
         self.total_weight = sum(self.clause_probabilities)  # U = Σ pᵢ
-        self.variables = sorted(self.dnf.variables())
+        self.variables = sorted(self.lineage.variables())
         self._cumulative = list(itertools.accumulate(self.clause_probabilities))
         self.samples_drawn = 0
+
+    @property
+    def dnf(self) -> DNF:
+        """The simplified lineage as a DNF (kept for callers that predate
+        the IR; the clause objects are shared, not copied)."""
+        return DNF(self.lineage.clauses)
 
     # -- trivial cases ------------------------------------------------------
     @property
     def is_trivial(self) -> bool:
-        return self.dnf.is_false or self.dnf.is_true
+        return self.lineage.is_false or self.lineage.is_true
 
     @property
     def trivial_probability(self) -> float:
-        if self.dnf.is_false:
+        if self.lineage.is_false:
             return 0.0
-        if self.dnf.is_true:
+        if self.lineage.is_true:
             return 1.0
         raise ConfidenceError("DNF is not trivial")
 
@@ -90,7 +104,7 @@ class KarpLubyEstimator:
             raise ConfidenceError("sampling a trivial DNF; use trivial_probability")
         self.samples_drawn += 1
         index = self._sample_clause_index()
-        clause = self.dnf.clauses[index]
+        clause = self.lineage.clauses[index]
         fixed = {var: value for var, value in clause}
         world: Dict[int, int] = {}
         for var in self.variables:
@@ -98,7 +112,7 @@ class KarpLubyEstimator:
                 world[var] = fixed[var]
             else:
                 world[var] = self.registry.sample_value(var, self.rng)
-        first = self.dnf.first_satisfied_clause(world)
+        first = self.lineage.first_satisfied_clause(world)
         # ``clause`` is satisfied by construction, so first is not None and
         # first <= index.
         return 1 if first == index else 0
@@ -146,8 +160,8 @@ class KarpLubyEstimator:
         chosen = np.searchsorted(
             cumulative_weight, rng.random(samples) * self.total_weight, side="right"
         )
-        chosen = np.minimum(chosen, len(self.dnf.clauses) - 1)
-        for clause_index, clause in enumerate(self.dnf.clauses):
+        chosen = np.minimum(chosen, len(self.lineage.clauses) - 1)
+        for clause_index, clause in enumerate(self.lineage.clauses):
             rows = chosen == clause_index
             if not rows.any():
                 continue
@@ -156,7 +170,7 @@ class KarpLubyEstimator:
 
         # First satisfied clause per sample; Z = (first == chosen).
         first = np.full(samples, -1, dtype=np.int64)
-        for clause_index, clause in enumerate(self.dnf.clauses):
+        for clause_index, clause in enumerate(self.lineage.clauses):
             satisfied = np.ones(samples, dtype=bool)
             for var, value in clause:
                 satisfied &= worlds[:, column_of[var]] == value
@@ -173,7 +187,7 @@ class KarpLubyEstimator:
 
 
 def karp_luby_confidence(
-    dnf: DNF,
+    dnf: LineageLike,
     registry: VariableRegistry,
     samples: int,
     rng: Optional[random.Random] = None,

@@ -23,8 +23,11 @@ from repro.core.variables import VariableRegistry
 from repro.core.worlds import enumerate_worlds
 
 
-def confidence_by_enumeration(dnf: DNF, registry: VariableRegistry) -> float:
-    """P(dnf) by summing over all worlds of the DNF's variables."""
+def confidence_by_enumeration(dnf, registry: VariableRegistry) -> float:
+    """P(dnf) by summing over all worlds of the lineage's variables.
+
+    Accepts the lineage IR or a DNF (both expose ``is_false``/``is_true``/
+    ``variables``/``satisfied_by``)."""
     if dnf.is_false:
         return 0.0
     if dnf.is_true:
@@ -37,7 +40,7 @@ def confidence_by_enumeration(dnf: DNF, registry: VariableRegistry) -> float:
     return total
 
 
-def confidence_by_inclusion_exclusion(dnf: DNF, registry: VariableRegistry) -> float:
+def confidence_by_inclusion_exclusion(dnf, registry: VariableRegistry) -> float:
     """P(dnf) = Σ_{∅≠S⊆clauses} (−1)^{|S|+1} P(⋀S).
 
     The conjunction of a clause subset is contradictory (probability 0)

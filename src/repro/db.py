@@ -18,9 +18,11 @@ log + table locks).  Typical use::
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List, Optional, Sequence, Union
 
+from repro.core.confidence.dispatch import DispatchPolicy
 from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
 from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
@@ -35,15 +37,77 @@ QueryOutput = Union[Relation, URelation]
 
 
 class MayBMS:
-    """A probabilistic database session."""
+    """A probabilistic database session.
 
-    def __init__(self, seed: int = 0):
+    - ``seed`` drives every Monte-Carlo draw of the session (``aconf`` and
+      the dispatcher's fallback), so approximate results are reproducible;
+      defaults to the ``REPRO_SEED`` environment variable, then 0.
+    - ``confidence_strategy`` tunes the cost-based confidence dispatcher:
+      ``"auto"`` (the default; closed-form → SPROUT → budgeted exact →
+      Monte Carlo per independent lineage component) or a forced
+      ``"sprout"`` / ``"exact"`` / ``"monte-carlo"``.  Defaults to the
+      ``REPRO_CONF_STRATEGY`` environment variable, then ``"auto"``.
+    - ``exact_budget`` caps the exact engine's ws-tree subproblems per
+      component before ``conf()`` degrades to an (ε,δ) estimate; None
+      means never degrade.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        confidence_strategy: Optional[str] = None,
+        exact_budget: Optional[int] = DispatchPolicy.exact_budget,
+    ):
+        if seed is None:
+            seed = int(os.environ.get("REPRO_SEED", "0"))
+        if confidence_strategy is None:
+            confidence_strategy = os.environ.get("REPRO_CONF_STRATEGY", "auto")
+        self.seed = seed
         self.catalog = Catalog()
         self.registry = VariableRegistry()
         self.locks = LockManager()
         self.wal = WriteAheadLog()
-        self.executor = Executor(self.catalog, self.registry, random.Random(seed))
+        policy = DispatchPolicy(
+            strategy=confidence_strategy, exact_budget=exact_budget
+        )
+        self.executor = Executor(
+            self.catalog,
+            self.registry,
+            random.Random(seed),
+            confidence_policy=policy,
+        )
         self._transaction: Optional[Transaction] = None
+
+    # -- confidence tuning ----------------------------------------------------
+    @property
+    def confidence_policy(self) -> DispatchPolicy:
+        """The dispatcher policy in force (see :mod:`repro.core.confidence.dispatch`)."""
+        return self.executor.dispatcher.policy
+
+    #: Sentinel for set_confidence_strategy: "keep the current budget"
+    #: (None itself is meaningful -- it means "never degrade to Monte
+    #: Carlo").
+    _KEEP_BUDGET = object()
+
+    def set_confidence_strategy(
+        self, strategy: str, exact_budget: object = _KEEP_BUDGET
+    ) -> None:
+        """Re-tune the confidence dispatcher mid-session.
+
+        ``exact_budget`` is left unchanged unless given; pass ``None``
+        explicitly to remove the budget (conf() never degrades to Monte
+        Carlo)."""
+        current = self.executor.dispatcher.policy
+        if exact_budget is MayBMS._KEEP_BUDGET:
+            exact_budget = current.exact_budget
+        self.executor.dispatcher.set_policy(
+            DispatchPolicy(
+                strategy=strategy,
+                exact_budget=exact_budget,  # type: ignore[arg-type]
+                epsilon=current.epsilon,
+                delta=current.delta,
+            )
+        )
 
     # -- SQL entry points ------------------------------------------------------
     def execute(self, sql: str) -> StatementResult:

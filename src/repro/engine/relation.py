@@ -27,12 +27,18 @@ class Relation:
     paths; the storage layer validates types on insert instead).
     """
 
-    __slots__ = ("schema", "rows", "_columns")
+    __slots__ = ("schema", "rows", "_columns", "_lineage_cache")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
         self.rows: List[Row] = [tuple(r) for r in rows]
         self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
+        # Grouped-lineage cache for the confidence dispatcher.  It lives on
+        # the relation because table snapshots are cached per version
+        # (storage.Table.snapshot), so "same relation object" means "same
+        # table contents": the cache is implicitly keyed by table version
+        # and dies with the snapshot.  See repro.core.aggregates.
+        self._lineage_cache: Optional[dict] = None
         arity = len(schema)
         for row in self.rows:
             if len(row) != arity:
@@ -52,6 +58,7 @@ class Relation:
         relation.schema = schema
         relation.rows = rows
         relation._columns = None
+        relation._lineage_cache = None
         return relation
 
     def columns(self) -> Tuple[Tuple[Any, ...], ...]:

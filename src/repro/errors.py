@@ -135,3 +135,14 @@ class NotTupleIndependentError(ConfidenceError):
 
 class UnsafeQueryError(ConfidenceError):
     """A SPROUT safe plan was requested for a non-hierarchical query."""
+
+
+class UnsafeLineageError(UnsafeQueryError):
+    """SPROUT-style safe evaluation was attempted on a lineage that is not
+    hierarchical (some connected clause component has no root variable).
+    The dispatcher catches this and falls back to the exact engine."""
+
+
+class CostBudgetExceededError(ConfidenceError):
+    """The exact engine exceeded its subproblem budget.  The dispatcher
+    catches this and falls back to Monte Carlo estimation."""

@@ -352,8 +352,11 @@ class Analyzer:
             raise AnalysisError("conf() takes no arguments")
         if name == "tconf" and arity != 0:
             raise AnalysisError("tconf() takes no arguments")
-        if name == "aconf" and arity != 2:
-            raise AnalysisError("aconf(epsilon, delta) takes two arguments")
+        if name == "aconf":
+            if arity != 2:
+                raise AnalysisError("aconf(epsilon, delta) takes two arguments")
+            for argument, what in zip(agg.args, ("epsilon", "delta")):
+                self._check_aconf_parameter(argument, what)
         if name == "esum" and arity != 1:
             raise AnalysisError("esum(expression) takes one argument")
         if name == "ecount" and arity > 1 and not agg.star:
@@ -364,6 +367,24 @@ class Analyzer:
             raise AnalysisError("count takes one argument or *")
         if name in ("sum", "avg", "min", "max") and (arity != 1 or agg.star):
             raise AnalysisError(f"{name} takes exactly one argument")
+
+    def _check_aconf_parameter(self, expr: ast.SqlExpr, what: str) -> None:
+        """``aconf(ε, δ)`` parameters must be numeric literals in (0, 1).
+
+        Validated here, at analysis time, so a bad call fails with a clear
+        :class:`SqlError` before any (possibly expensive) execution starts
+        instead of surfacing as a :class:`ConfidenceError` mid-query.
+        """
+        value = _numeric_literal_value(expr)
+        if value is None:
+            raise AnalysisError(
+                f"aconf {what} must be a numeric literal (the DKLR "
+                f"guarantee is fixed per query), got {expr!r}"
+            )
+        if not (0.0 < value < 1.0):
+            raise AnalysisError(
+                f"aconf {what} must be in the open interval (0, 1), got {value:g}"
+            )
 
     def _check_no_nested_aggregates(self, expr: ast.SqlExpr) -> None:
         for node in walk_expr(expr):
@@ -408,6 +429,20 @@ class Analyzer:
                 check(child, positive)
 
         check(where, True)
+
+
+def _numeric_literal_value(expr: ast.SqlExpr) -> Optional[float]:
+    """The value of a (possibly sign-prefixed) numeric literal, else None."""
+    if isinstance(expr, ast.SqlLiteral) and isinstance(expr.value, (int, float)):
+        if isinstance(expr.value, bool):
+            return None
+        return float(expr.value)
+    if isinstance(expr, ast.SqlUnary) and expr.op in ("-", "+"):
+        inner = _numeric_literal_value(expr.operand)
+        if inner is None:
+            return None
+        return -inner if expr.op == "-" else inner
+    return None
 
 
 def _children_of(node: ast.SqlExpr) -> Tuple[ast.SqlExpr, ...]:

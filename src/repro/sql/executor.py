@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import aggregates as agg
+from repro.core.confidence import dispatch
+from repro.core.confidence.dispatch import ConfidenceDispatcher, DispatchPolicy
 from repro.core.pick_tuples import pick_tuples
 from repro.core.repair_key import repair_key
 from repro.core.translate import u_join, u_project, u_rename, u_select, u_union
@@ -96,11 +98,18 @@ class Executor:
         catalog: Catalog,
         registry: VariableRegistry,
         rng: Optional[random.Random] = None,
+        confidence_policy: Optional[DispatchPolicy] = None,
     ):
         self.catalog = catalog
         self.registry = registry
         self.analyzer = Analyzer(catalog)
         self.rng = rng if rng is not None else random.Random(0)
+        # One dispatcher per executor: its exact-engine memo amortizes
+        # across queries and its RNG is the session RNG, so approximate
+        # confidence is reproducible under a fixed seed.
+        self.dispatcher = ConfidenceDispatcher(
+            registry, confidence_policy, rng=self.rng
+        )
         self._repair_counter = 0
 
     def _lower(self, expr: ast.SqlExpr) -> Expr:
@@ -152,9 +161,12 @@ class Executor:
         MayBMS lowers a query into a *pipeline* of relational plans (the
         parsimonious translation materializes per stage), so EXPLAIN
         reports each fragment in execution order, with the engine (row or
-        batch) that evaluated it.
+        batch) that evaluated it.  Confidence-computing aggregates run
+        outside the relational plans; their fragments report which
+        strategy the cost-based dispatcher chose per group component
+        (closed-form / sprout / exact / monte-carlo).
         """
-        with planner.trace_plans() as trace:
+        with planner.trace_plans() as trace, dispatch.trace_confidence() as conf_trace:
             output = self.evaluate_query(statement.query)
         kind = "U-relation" if isinstance(output, URelation) else "relation"
         lines = [
@@ -165,6 +177,12 @@ class Executor:
             lines.append(f"fragment {position + 1} [engine={engine}]:")
             for plan_line in node.explain().splitlines():
                 lines.append("  " + plan_line)
+        for position, event in enumerate(conf_trace):
+            lines.append(
+                f"confidence fragment {position + 1} "
+                f"[strategy={self.dispatcher.policy.strategy}]:"
+            )
+            lines.append("  " + event.render())
         relation = Relation(
             Schema([Column("plan", type_from_name("text"))]),
             [(line,) for line in lines],
@@ -789,12 +807,19 @@ class Executor:
         result_name: str,
     ) -> Relation:
         if node.name == "conf":
-            return agg.conf(prepared, group_names, result_name)
+            return agg.conf(
+                prepared, group_names, result_name, dispatcher=self.dispatcher
+            )
         if node.name == "aconf":
             epsilon = _literal_float(node.args[0], "aconf epsilon")
             delta = _literal_float(node.args[1], "aconf delta")
             return agg.aconf(
-                prepared, epsilon, delta, group_names, result_name, self.rng
+                prepared,
+                epsilon,
+                delta,
+                group_names,
+                result_name,
+                dispatcher=self.dispatcher,
             )
         if node.name == "esum":
             assert value_name is not None
@@ -1223,6 +1248,7 @@ def lower_expression(expr: ast.SqlExpr) -> Expr:
 def _literal_float(expr: ast.SqlExpr, what: str) -> float:
     if isinstance(expr, ast.SqlLiteral) and isinstance(expr.value, (int, float)):
         return float(expr.value)
-    if isinstance(expr, ast.SqlUnary) and expr.op == "-":
-        return -_literal_float(expr.operand, what)
+    if isinstance(expr, ast.SqlUnary) and expr.op in ("-", "+"):
+        value = _literal_float(expr.operand, what)
+        return -value if expr.op == "-" else value
     raise AnalysisError(f"{what} must be a numeric literal")
