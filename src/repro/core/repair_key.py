@@ -17,6 +17,7 @@ for key groups (Bryant, F), (Bryant, SE), (Bryant, SL).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.conditions import Condition
@@ -81,6 +82,11 @@ def repair_key(
             if w is None:
                 raise RepairKeyError(f"weight expression evaluated to NULL on {row!r}")
             w = float(w)
+            # NaN slips past a plain "w < 0" comparison (every comparison
+            # with NaN is False) and would poison the group normalization
+            # into NaN probabilities; infinities break it too.
+            if not math.isfinite(w):
+                raise RepairKeyError(f"non-finite weight {w!r} on row {row!r}")
             if w < 0:
                 raise RepairKeyError(f"negative weight {w} on row {row!r}")
             weights.append(w)

@@ -45,6 +45,12 @@ class VariableRegistry:
         }
         self._names: Dict[int, str] = {TOP_VARIABLE: "top"}
         self._next_id = 1
+        #: Optional hook called as ``on_register(var, name, distribution)``
+        #: after every :meth:`fresh` creation.  The session facade points it
+        #: at the write-ahead log so that variable registrations survive a
+        #: crash (condition columns are meaningless without them).  Restores
+        #: during recovery go through :meth:`restore` and do NOT fire it.
+        self.on_register = None
 
     # -- creation -------------------------------------------------------------
     def fresh(
@@ -66,6 +72,34 @@ class VariableRegistry:
         self._next_id += 1
         self._distributions[var] = dist
         self._names[var] = name if name is not None else f"x{var}"
+        if self.on_register is not None:
+            self.on_register(var, self._names[var], dict(dist))
+        return var
+
+    def restore(
+        self,
+        var: int,
+        distribution: Union[Mapping[int, float], Sequence[Tuple[int, float]]],
+        name: Optional[str] = None,
+    ) -> int:
+        """Re-register a variable under its original id (crash recovery).
+
+        Unlike :meth:`fresh` this pins the id, advances ``_next_id`` past
+        it, and never fires :attr:`on_register` (recovery must not re-log).
+        """
+        var = int(var)
+        if var == TOP_VARIABLE:
+            raise VariableError("variable id 0 is reserved for the top atom")
+        items = (
+            distribution.items()
+            if isinstance(distribution, Mapping)
+            else distribution
+        )
+        dist = {int(v): float(p) for v, p in items}
+        _validate_distribution(dist)
+        self._distributions[var] = dist
+        self._names[var] = name if name is not None else f"x{var}"
+        self._next_id = max(self._next_id, var + 1)
         return var
 
     def fresh_boolean(self, probability_true: float, name: Optional[str] = None) -> int:
@@ -125,11 +159,32 @@ class VariableRegistry:
         return count
 
     def copy(self) -> "VariableRegistry":
+        """An independent copy.  The :attr:`on_register` hook is deliberately
+        not copied: clones are scratch registries (conditioning, what-if
+        evaluation) whose variables must not be logged as durable state."""
         clone = VariableRegistry()
         clone._distributions = {v: dict(d) for v, d in self._distributions.items()}
         clone._names = dict(self._names)
         clone._next_id = self._next_id
         return clone
+
+    # -- checkpoint serialization ------------------------------------------------
+    def dump_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every user variable (for checkpoints)."""
+        return {
+            "next_id": self._next_id,
+            "variables": [
+                [var, self._names[var], sorted(self._distributions[var].items())]
+                for var in self._distributions
+                if var != TOP_VARIABLE
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`dump_state` snapshot into this registry."""
+        for var, name, dist in state["variables"]:  # type: ignore[index]
+            self.restore(var, dist, name)
+        self._next_id = max(self._next_id, int(state["next_id"]))  # type: ignore[arg-type]
 
     # -- sampling --------------------------------------------------------------
     def sample_value(self, var: int, rng: random.Random) -> int:

@@ -26,9 +26,10 @@ from repro.core.confidence.dispatch import DispatchPolicy
 from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
 from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
+from repro.engine.durability import DurabilityManager
 from repro.engine.relation import Relation
 from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
-from repro.errors import AnalysisError, TransactionError
+from repro.errors import AnalysisError, DurabilityError, TransactionError
 from repro.sql import ast_nodes as ast
 from repro.sql.executor import Executor, StatementResult
 from repro.sql.parser import parse_statement, parse_statements
@@ -50,6 +51,16 @@ class MayBMS:
     - ``exact_budget`` caps the exact engine's ws-tree subproblems per
       component before ``conf()`` degrades to an (ε,δ) estimate; None
       means never degrade.
+    - ``path`` makes the session durable: committed statements are
+      appended to an on-disk write-ahead log (fsynced per commit) under
+      that directory, and reopening ``MayBMS(path=...)`` recovers the
+      catalog *and the variable registry* — a recovered session answers
+      ``conf()`` over repair-key tables bit-identically.  Defaults to the
+      ``REPRO_DB_PATH`` environment variable; unset/empty means in-memory.
+    - ``checkpoint_every`` (durable sessions): automatically write a
+      snapshot checkpoint and rotate the WAL after this many commits
+      (``REPRO_CHECKPOINT_EVERY``, default 256; 0 disables).  ``CHECKPOINT``
+      is also a SQL statement, and :meth:`checkpoint` forces one.
     """
 
     def __init__(
@@ -57,16 +68,37 @@ class MayBMS:
         seed: Optional[int] = None,
         confidence_strategy: Optional[str] = None,
         exact_budget: Optional[int] = DispatchPolicy.exact_budget,
+        path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ):
         if seed is None:
             seed = int(os.environ.get("REPRO_SEED", "0"))
         if confidence_strategy is None:
             confidence_strategy = os.environ.get("REPRO_CONF_STRATEGY", "auto")
+        if path is None:
+            path = os.environ.get("REPRO_DB_PATH") or None
+        elif not path:
+            # An explicit empty path forces an in-memory session even when
+            # REPRO_DB_PATH is set (used by recover()).
+            path = None
+        if checkpoint_every is None:
+            checkpoint_every = int(os.environ.get("REPRO_CHECKPOINT_EVERY", "256"))
         self.seed = seed
+        self.path = path
+        self.checkpoint_every = checkpoint_every
         self.catalog = Catalog()
         self.registry = VariableRegistry()
         self.locks = LockManager()
-        self.wal = WriteAheadLog()
+        self.storage: Optional[DurabilityManager] = None
+        if path is not None:
+            # Recover BEFORE wiring the registry hook: restored variables
+            # must not be re-logged to the WAL they came from.
+            self.storage = DurabilityManager(path)
+            self.recovery_stats = self.storage.recover_into(
+                self.catalog, self.registry
+            )
+        self.wal = WriteAheadLog(sink=self.storage)
+        self.registry.on_register = self.wal.log_variable
         policy = DispatchPolicy(
             strategy=confidence_strategy, exact_budget=exact_budget
         )
@@ -75,8 +107,15 @@ class MayBMS:
             self.registry,
             random.Random(seed),
             confidence_policy=policy,
+            wal=self.wal,
+            transaction_supplier=self._current_transaction,
+            checkpoint_hook=self.checkpoint,
         )
         self._transaction: Optional[Transaction] = None
+        self._closed = False
+
+    def _current_transaction(self) -> Optional[Transaction]:
+        return self._transaction if self.in_transaction else None
 
     # -- confidence tuning ----------------------------------------------------
     @property
@@ -148,7 +187,9 @@ class MayBMS:
             else:
                 self.rollback()
             return StatementResult()
-        return self.executor.execute(statement)
+        result = self.executor.execute(statement)
+        self._maybe_checkpoint()
+        return result
 
     # -- transactions -------------------------------------------------------------
     @property
@@ -167,6 +208,7 @@ class MayBMS:
         assert self._transaction is not None
         self._transaction.commit()
         self._transaction = None
+        self._maybe_checkpoint()
 
     def rollback(self) -> None:
         if not self.in_transaction:
@@ -184,24 +226,26 @@ class MayBMS:
 
     # -- programmatic table management ------------------------------------------------
     def create_table_from_relation(self, name: str, relation: Relation) -> None:
-        """Register a standard table holding a copy of ``relation``."""
-        entry = self.catalog.create_table(
-            name, relation.schema.unqualified(), KIND_STANDARD
-        )
-        entry.table.insert_many(relation.rows)
+        """Register a standard table holding a copy of ``relation``
+        (WAL-logged like any other DML)."""
+        with self.executor.write_transaction() as txn:
+            txn.create_table(name, relation.schema.unqualified(), KIND_STANDARD)
+            txn.insert_many(name, relation.rows)
 
     def create_table_from_urelation(self, name: str, urel: URelation) -> None:
-        """Register a U-relation (wide encoding) as a catalog table."""
-        entry = self.catalog.create_table(
-            name,
-            urel.relation.schema.unqualified(),
-            KIND_URELATION,
-            properties={
-                "payload_arity": urel.payload_arity,
-                "cond_arity": urel.cond_arity,
-            },
-        )
-        entry.table.insert_many(urel.relation.rows)
+        """Register a U-relation (wide encoding) as a catalog table
+        (WAL-logged like any other DML)."""
+        with self.executor.write_transaction() as txn:
+            txn.create_table(
+                name,
+                urel.relation.schema.unqualified(),
+                KIND_URELATION,
+                properties={
+                    "payload_arity": urel.payload_arity,
+                    "cond_arity": urel.cond_arity,
+                },
+            )
+            txn.insert_many(name, urel.relation.rows)
 
     def table(self, name: str) -> Relation:
         """Snapshot of a standard table's contents."""
@@ -222,32 +266,104 @@ class MayBMS:
     def tables(self) -> List[str]:
         return self.catalog.table_names()
 
+    # -- durability ----------------------------------------------------------------
+    @property
+    def is_durable(self) -> bool:
+        return self.storage is not None
+
+    def checkpoint(self) -> bool:
+        """Write a durable snapshot (catalog + variable registry) and
+        rotate the write-ahead log.  Returns False for in-memory sessions
+        (nothing to persist).  Raises inside an open transaction: the
+        snapshot would capture uncommitted state."""
+        if self.storage is None:
+            return False
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot checkpoint inside an open transaction"
+            )
+        self.wal.flush()
+        self.storage.checkpoint(self.catalog, self.registry)
+        return True
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.storage is not None
+            and self.checkpoint_every
+            and not self.in_transaction
+            and self.storage.commits_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def close(self) -> None:
+        """Flush the WAL, write a final checkpoint, and release file
+        handles.  Idempotent; in-memory sessions just flush (a no-op)."""
+        if self._closed:
+            return
+        if self.in_transaction:
+            self.rollback()
+        self.wal.flush()
+        if self.storage is not None:
+            # Skip the snapshot when nothing committed since the last one:
+            # close() on a read-only session must not pay O(database size).
+            if self.storage.commits_since_checkpoint > 0:
+                self.checkpoint()
+            self.storage.close()
+        self._closed = True
+
+    def __enter__(self) -> "MayBMS":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- recovery ----------------------------------------------------------------
     def recover(self) -> "MayBMS":
         """Crash recovery: a fresh session rebuilt from this session's
-        write-ahead log.
+        in-memory write-ahead log.
 
-        Tables are replayed from the WAL; the variable registry (which the
-        WAL does not persist) is reconstructed from the inline probability
-        columns of the recovered U-relations -- the wide encoding is
-        self-describing (see :func:`repro.core.urelation.rebuild_registry`).
+        Only meaningful for in-memory sessions -- a durable session's WAL
+        records are dropped from memory once flushed to disk (the on-disk
+        log is the source of truth), so replaying them here would silently
+        produce an empty database.  Durable sessions recover by reopening
+        ``MayBMS(path=...)``; calling this instead raises.
+
+        Tables are replayed from the WAL; the variable registry is restored
+        from the WAL's ``register_variable`` records.  For logs predating
+        variable logging (hand-built WALs), the registry is reconstructed
+        from the inline probability columns of the recovered U-relations --
+        the wide encoding is self-describing (see
+        :func:`repro.core.urelation.rebuild_registry`).
         """
         from repro.core.urelation import rebuild_registry
 
-        recovered = MayBMS()
-        self.wal.replay(recovered.catalog)
-        urelations = []
-        for entry in recovered.catalog.entries():
-            if entry.is_urelation:
-                urelations.append(
-                    URelation(
-                        entry.table.snapshot(),
-                        int(entry.properties["payload_arity"]),
-                        int(entry.properties["cond_arity"]),
-                        recovered.registry,
+        if self.storage is not None:
+            raise DurabilityError(
+                "recover() replays the in-memory WAL, which durable "
+                "sessions truncate on flush; reopen MayBMS(path=...) to "
+                "recover from disk instead"
+            )
+        policy = self.executor.dispatcher.policy
+        recovered = MayBMS(
+            seed=self.seed,
+            confidence_strategy=policy.strategy,
+            exact_budget=policy.exact_budget,
+            path="",
+        )
+        self.wal.replay(recovered.catalog, recovered.registry)
+        if not self.wal.has_variable_records():
+            urelations = []
+            for entry in recovered.catalog.entries():
+                if entry.is_urelation:
+                    urelations.append(
+                        URelation(
+                            entry.table.snapshot(),
+                            int(entry.properties["payload_arity"]),
+                            int(entry.properties["cond_arity"]),
+                            recovered.registry,
+                        )
                     )
-                )
-        rebuild_registry(urelations, recovered.registry)
+            rebuild_registry(urelations, recovered.registry)
         return recovered
 
     # -- introspection ----------------------------------------------------------------

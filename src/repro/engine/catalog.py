@@ -18,7 +18,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from repro.engine.relation import Relation
 from repro.engine.schema import Column, Schema
 from repro.engine.storage import Table
-from repro.engine.types import BOOLEAN, INTEGER, TEXT
+from repro.engine.types import BOOLEAN, INTEGER, TEXT, type_from_name
 from repro.errors import CatalogError, TableExistsError, TableNotFoundError
 
 KIND_STANDARD = "standard"
@@ -116,6 +116,37 @@ class Catalog:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- checkpoint serialization --------------------------------------------------
+    def dump_state(self) -> List[Dict[str, Any]]:
+        """JSON-safe snapshot of every table: schema, kind, kind-specific
+        properties, and rows with their tuple ids (see
+        :meth:`repro.engine.storage.Table.dump_state`).  Entries are emitted
+        in registration order so a restore reproduces iteration order."""
+        out: List[Dict[str, Any]] = []
+        for entry in self._entries.values():
+            state = {
+                "name": entry.table.name,
+                "kind": entry.kind,
+                "properties": dict(entry.properties),
+                "columns": [[c.name, c.type.name] for c in entry.table.schema],
+            }
+            state.update(entry.table.dump_state())
+            out.append(state)
+        return out
+
+    def restore_state(self, state: List[Dict[str, Any]]) -> None:
+        """Rebuild tables from a :meth:`dump_state` snapshot."""
+        for table_state in state:
+            schema = Schema(
+                Column(name, type_from_name(type_name))
+                for name, type_name in table_state["columns"]
+            )
+            entry = self.create_table(
+                table_state["name"], schema, table_state["kind"],
+                table_state["properties"],
+            )
+            entry.table.load_state(table_state)
 
     # -- introspection relations -------------------------------------------------
     def sys_tables(self) -> Relation:

@@ -1,0 +1,405 @@
+"""Durable storage: an on-disk write-ahead log plus snapshot checkpoints.
+
+Section 2.3 of the paper claims recovery "causes surprisingly little
+difficulty" because U-relations are ordinary tables.  This module makes
+the claim real for the pure-Python engine: committed logical operations
+are appended to a checksummed on-disk log and fsynced per commit, and a
+*checkpoint* atomically snapshots the whole catalog **including the
+variable registry** (distributions, names, next-id -- without it a
+recovered U-relation's condition columns would reference variables with
+no distribution).  Crash recovery is snapshot-load + WAL-tail replay.
+
+On-disk layout (one directory per database)::
+
+    <path>/checkpoint.json   -- latest snapshot (atomic tmp+rename)
+    <path>/wal.<epoch>.log   -- redo records since that snapshot
+
+Log format: each record is a frame ``[length:4][crc32:4][payload]`` with
+a big-endian header and a JSON payload.  The reader stops at the first
+torn or corrupt frame (a crash mid-write truncates the tail), and commit
+units are atomic: records after the last ``commit`` marker are dropped.
+
+Checkpoint rotation: a checkpoint names the *next* WAL epoch, so the
+write order (snapshot tmp -> fsync -> rename -> switch to the new, empty
+WAL -> delete old logs) is crash-safe at every step -- either the old
+snapshot + old log or the new snapshot + empty log is recovered, never a
+double-applied mixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: single-writer check unavailable
+    fcntl = None
+
+from repro.engine.catalog import Catalog
+from repro.errors import DurabilityError, RecoveryError
+
+CHECKPOINT_NAME = "checkpoint.json"
+CHECKPOINT_TMP = "checkpoint.json.tmp"
+LOCK_NAME = "LOCK"
+SNAPSHOT_FORMAT = 1
+
+_HEADER = struct.Struct(">II")  # (payload length, crc32 of payload)
+
+
+# -- record framing ------------------------------------------------------------
+
+
+def encode_frame(record: Sequence[Any]) -> bytes:
+    """Serialize one logical record as a length-prefixed, checksummed frame."""
+    payload = json.dumps(list(record), separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def iter_frames(data: bytes):
+    """Yield ``(record, end_offset)`` for each well-formed frame.
+
+    Stops at the first torn (short) or corrupt (checksum-mismatched /
+    unparsable) frame, which is exactly the crash-truncation semantics --
+    everything before the bad frame was durably written, everything from
+    it on is discarded.
+    """
+    position = 0
+    total = len(data)
+    while position + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, position)
+        start = position + _HEADER.size
+        end = start + length
+        if end > total:
+            return  # torn tail: frame body missing
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return  # corrupt frame
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return
+        if not isinstance(decoded, list) or not decoded:
+            return
+        yield tuple(decoded), end
+        position = end
+
+
+def scan_frames(data: bytes) -> Tuple[List[Tuple[Any, ...]], int]:
+    """Decode frames from raw log bytes; returns ``(records, valid_bytes)``."""
+    records: List[Tuple[Any, ...]] = []
+    valid = 0
+    for record, end in iter_frames(data):
+        records.append(record)
+        valid = end
+    return records, valid
+
+
+def scan_committed(data: bytes) -> Tuple[List[Tuple[Any, ...]], int]:
+    """Records of complete commit units, plus the byte length of that
+    prefix -- the length the log file must be truncated to before a
+    recovered session appends new commits (appending after garbage would
+    make every later commit unreadable at the next recovery)."""
+    records: List[Tuple[Any, ...]] = []
+    committed_count = 0
+    committed_bytes = 0
+    for record, end in iter_frames(data):
+        records.append(record)
+        if record and record[0] == "commit":
+            committed_count = len(records)
+            committed_bytes = end
+    return records[:committed_count], committed_bytes
+
+
+def count_dml_units(records: Sequence[Sequence[Any]]) -> int:
+    """Commit units carrying DML (anything beyond variable registrations).
+
+    Drives the auto-checkpoint cadence: one repair-key statement can log
+    hundreds of variable-only units, which must not count as commits.
+    """
+    count = 0
+    unit_has_dml = False
+    for record in records:
+        op = record[0] if record else None
+        if op == "begin":
+            unit_has_dml = False
+        elif op == "commit":
+            if unit_has_dml:
+                count += 1
+        elif op != "register_variable":
+            unit_has_dml = True
+    return count
+
+
+# -- snapshot (checkpoint) serialization --------------------------------------
+
+
+def encode_snapshot(catalog: Catalog, registry: Any, wal_epoch: int) -> bytes:
+    snapshot = {
+        "format": SNAPSHOT_FORMAT,
+        "wal_epoch": wal_epoch,
+        "registry": registry.dump_state(),
+        "catalog": catalog.dump_state(),
+    }
+    body = json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
+    document = {"crc": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "snapshot": snapshot}
+    return json.dumps(document, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_snapshot(data: bytes) -> Dict[str, Any]:
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RecoveryError(f"checkpoint is not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or "snapshot" not in document:
+        raise RecoveryError("checkpoint document missing 'snapshot'")
+    snapshot = document["snapshot"]
+    body = json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != document.get("crc"):
+        raise RecoveryError("checkpoint checksum mismatch (corrupt snapshot)")
+    if snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise RecoveryError(
+            f"unsupported checkpoint format {snapshot.get('format')!r}"
+        )
+    return snapshot
+
+
+# -- the durability manager -----------------------------------------------------
+
+
+class DurabilityManager:
+    """Owns one database directory: the WAL file handle and checkpoints.
+
+    Acts as the :class:`~repro.engine.transactions.WriteAheadLog` sink
+    (:meth:`append` writes + fsyncs a batch of records) and performs
+    recovery and checkpoint rotation for the session facade.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            os.makedirs(path, exist_ok=True)
+        except OSError as exc:
+            raise DurabilityError(f"cannot create database directory {path!r}: {exc}")
+        self._epoch = 1
+        self._wal_handle: Optional[Any] = None
+        #: Commit units with DML content appended since the last checkpoint
+        #: (drives the session's periodic auto-checkpoint; variable-only
+        #: units don't count -- one repair-key statement can log hundreds).
+        self.commits_since_checkpoint = 0
+        self._closed = False
+        self._lock_handle: Optional[Any] = None
+        self._acquire_directory_lock()
+
+    def _acquire_directory_lock(self) -> None:
+        """Single-writer exclusion: two live sessions appending to one WAL
+        would interleave commit units from different catalogs, and either
+        one's checkpoint would delete the log the other is writing.  The
+        flock is released automatically if the process dies (so a crashed
+        session never wedges the database)."""
+        if fcntl is None:
+            return
+        handle = open(os.path.join(self.path, LOCK_NAME), "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise DurabilityError(
+                f"database directory {self.path!r} is locked by another "
+                "live MayBMS session; close it first"
+            ) from None
+        self._lock_handle = handle
+
+    # -- paths ------------------------------------------------------------
+    def _wal_path(self, epoch: int) -> str:
+        return os.path.join(self.path, f"wal.{epoch:06d}.log")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, CHECKPOINT_NAME)
+
+    @property
+    def wal_path(self) -> str:
+        return self._wal_path(self._epoch)
+
+    # -- recovery ----------------------------------------------------------
+    def recover_into(self, catalog: Catalog, registry: Any) -> Dict[str, int]:
+        """Load the latest checkpoint (if any) and replay the WAL tail.
+
+        Returns counters (``checkpoint_tables``, ``replayed_records``) for
+        diagnostics.  The catalog and registry must be empty/fresh.
+        """
+        from repro.engine.transactions import replay_records
+
+        stats = {"checkpoint_tables": 0, "replayed_records": 0}
+        if os.path.exists(self.checkpoint_path):
+            with open(self.checkpoint_path, "rb") as handle:
+                snapshot = decode_snapshot(handle.read())
+            registry.restore_state(snapshot["registry"])
+            catalog.restore_state(snapshot["catalog"])
+            self._epoch = int(snapshot["wal_epoch"])
+            stats["checkpoint_tables"] = len(snapshot["catalog"])
+        self._sweep_stale_wal_files()
+        records: List[Tuple[Any, ...]] = []
+        if os.path.exists(self.wal_path):
+            with open(self.wal_path, "rb") as handle:
+                raw = handle.read()
+            records, committed_bytes = scan_committed(raw)
+            # Truncate torn/corrupt/uncommitted tail bytes before this
+            # session appends: new commits written after garbage would be
+            # unreadable at the next recovery (the scan stops at the first
+            # bad frame), and a valid-but-uncommitted tail would get
+            # resurrected by a later commit marker.
+            if committed_bytes < len(raw):
+                with open(self.wal_path, "r+b") as handle:
+                    handle.truncate(committed_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            replay_records(records, catalog, registry)
+        # Seed the auto-checkpoint counter with the replayed tail: a
+        # crash-looping workload that never reaches checkpoint_every fresh
+        # commits per life would otherwise grow the WAL without bound.
+        self.commits_since_checkpoint = count_dml_units(records)
+        stats["replayed_records"] = len(records)
+        return stats
+
+    def _sweep_stale_wal_files(self) -> None:
+        """Delete logs from epochs before the current one.  Normally the
+        checkpoint deletes them, but a crash between the snapshot rename
+        and the deletion orphans the superseded log forever (no later
+        checkpoint looks at old epochs)."""
+        prefix, suffix = "wal.", ".log"
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            try:
+                epoch = int(name[len(prefix) : -len(suffix)])
+            except ValueError:
+                continue
+            if epoch < self._epoch:
+                try:
+                    os.remove(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+    # -- the WAL sink -------------------------------------------------------
+    def append(self, records: Sequence[Sequence[Any]]) -> None:
+        """Durably append a batch of records: one write, one fsync."""
+        self._require_open()
+        if not records:
+            return
+        handle = self._ensure_wal_handle()
+        buffer = bytearray()
+        for record in records:
+            buffer += encode_frame(record)
+        start = handle.tell()
+        try:
+            handle.write(buffer)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except BaseException:
+            # The caller treats this commit as failed and rolls back, so any
+            # frames that did reach the file must not linger: a later
+            # successful commit would fsync right after them, making the
+            # rolled-back transaction durable (its commit marker is in the
+            # batch).  Truncate back; if even that fails, poison the
+            # manager so no further append can legitimize the tail.
+            self._repair_failed_append(start)
+            raise
+        # Flush batches always consist of whole units (the WAL appends
+        # complete begin..commit groups).
+        self.commits_since_checkpoint += count_dml_units(records)
+
+    def _repair_failed_append(self, start: int) -> None:
+        broken = self._wal_handle
+        self._wal_handle = None
+        try:
+            if broken is not None:
+                try:
+                    broken.close()  # may flush stray buffered bytes...
+                except OSError:
+                    pass
+            with open(self.wal_path, "r+b") as fix:
+                fix.truncate(start)  # ...which this truncation removes
+                fix.flush()
+                os.fsync(fix.fileno())
+        except OSError:
+            self._closed = True
+
+    def _ensure_wal_handle(self):
+        if self._wal_handle is None:
+            creating = not os.path.exists(self.wal_path)
+            self._wal_handle = open(self.wal_path, "ab")
+            if creating:
+                # The file's *directory entry* must be durable too, or a
+                # power loss can drop the whole log despite per-commit
+                # fsyncs of the file itself.
+                self._fsync_directory()
+        return self._wal_handle
+
+    # -- checkpointing -------------------------------------------------------
+    def checkpoint(self, catalog: Catalog, registry: Any) -> str:
+        """Write an atomic snapshot and rotate to a fresh WAL epoch.
+
+        Order matters for crash safety: the snapshot (naming the *next*
+        epoch) is durable before the new log is ever written, and the old
+        log is deleted only afterwards.
+        """
+        self._require_open()
+        new_epoch = self._epoch + 1
+        data = encode_snapshot(catalog, registry, new_epoch)
+        tmp_path = os.path.join(self.path, CHECKPOINT_TMP)
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+        self._fsync_directory()
+        # Snapshot is durable; switch epochs and drop the superseded log.
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        old_epoch = self._epoch
+        self._epoch = new_epoch
+        self.commits_since_checkpoint = 0
+        for epoch in range(old_epoch, new_epoch):
+            stale = self._wal_path(epoch)
+            if os.path.exists(stale):
+                try:
+                    os.remove(stale)
+                except OSError:
+                    pass  # stale log is harmless: the checkpoint supersedes it
+        return self.checkpoint_path
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- lifecycle ----------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DurabilityError("durable storage is closed")
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing the fd releases the flock
+            self._lock_handle = None
+        self._closed = True

@@ -187,6 +187,48 @@ class Table:
                 index.delete(tid, row)
         return removed
 
+    # -- checkpoint serialization --------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of rows keyed by tuple id, the tid counter,
+        and index *definitions* (entries re-derive from rows on load).
+        Tids must be preserved exactly: snapshot and lineage caches are
+        keyed by (version, tid), and WAL redo records address rows by
+        tid."""
+        indexes = []
+        for index in self._indexes.values():
+            if isinstance(index, HashIndex):
+                indexes.append(
+                    ["hash", index.name, list(index.positions), index.unique]
+                )
+            elif isinstance(index, SortedIndex):
+                indexes.append(
+                    ["sorted", index.name, list(index.positions), False]
+                )
+        return {
+            "next_tid": self._next_tid,
+            "rows": [[tid, list(row)] for tid, row in self._rows.items()],
+            "indexes": indexes,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`dump_state` snapshot into this (empty) table."""
+        if self._rows:
+            raise StorageError(
+                f"cannot load checkpoint state into non-empty table {self.name!r}"
+            )
+        for tid, row in state["rows"]:
+            self.restore(int(tid), row)
+        self._next_tid = max(self._next_tid, int(state["next_tid"]))
+        for kind, name, positions, unique in state.get("indexes", ()):
+            positions = [int(p) for p in positions]
+            if kind == "hash":
+                index: Any = HashIndex(name, positions, bool(unique))
+            else:
+                index = SortedIndex(name, positions)
+            for tid, row in self._rows.items():
+                index.insert(tid, row)
+            self._register_index(name, index)
+
     # -- indexes ---------------------------------------------------------------
     def create_hash_index(
         self, index_name: str, column_names: Sequence[str], unique: bool = False

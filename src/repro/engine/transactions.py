@@ -10,16 +10,26 @@ machinery so that the claim can be exercised:
   replays inverse operations in reverse order.
 - :class:`LockManager` -- table-granularity reader/writer locks (MayBMS
   inherits PostgreSQL's concurrency control; table locks are the simplest
-  faithful equivalent for an in-memory engine).
+  faithful equivalent for an in-memory engine), with shared->exclusive
+  upgrade support.
 - :class:`WriteAheadLog` -- a redo log of committed logical operations
-  that can be replayed into an empty catalog to recover state.
+  that can be replayed into an empty catalog to recover state.  When
+  given a durable sink (:class:`repro.engine.durability.DurabilityManager`)
+  every commit is flushed to the on-disk log before returning.
+
+Redo records address rows by tuple id, not by value: tables may hold
+duplicate rows, and value-matching replay can assign different tids than
+the pre-crash state, which invalidates every (version, tid)-keyed snapshot
+and lineage cache.  Variable registrations (``repair key`` / ``pick
+tuples``) are logged too -- a replayed catalog whose condition columns
+reference variables with no distribution cannot answer ``conf()``.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.schema import Column, Schema
@@ -108,15 +118,26 @@ class Transaction:
         table = self.catalog.table(table_name)
         tid = table.insert(row)
         self._undo.append(_UndoInsert(table, tid))
-        self._redo.append(("insert", table_name, tuple(row)))
+        self._redo.append(("insert", table_name, tid, list(table.get(tid))))
         return tid
+
+    def insert_many(
+        self, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> List[int]:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        tids = table.insert_many(rows)
+        for tid in tids:
+            self._undo.append(_UndoInsert(table, tid))
+            self._redo.append(("insert", table_name, tid, list(table.get(tid))))
+        return tids
 
     def delete(self, table_name: str, tid: int) -> tuple:
         self._require_active()
         table = self.catalog.table(table_name)
         row = table.delete(tid)
         self._undo.append(_UndoDelete(table, tid, row))
-        self._redo.append(("delete_row", table_name, row))
+        self._redo.append(("delete_row", table_name, tid))
         return row
 
     def update(self, table_name: str, tid: int, row: Sequence[Any]) -> tuple:
@@ -124,7 +145,7 @@ class Transaction:
         table = self.catalog.table(table_name)
         old = table.update(tid, row)
         self._undo.append(_UndoUpdate(table, tid, old))
-        self._redo.append(("update_row", table_name, old, tuple(row)))
+        self._redo.append(("update_row", table_name, tid, list(table.get(tid))))
         return old
 
     def delete_where(self, table_name: str, predicate: Callable[[tuple], bool]) -> int:
@@ -133,8 +154,39 @@ class Transaction:
         victims = table.delete_where(predicate)
         for tid, row in victims:
             self._undo.append(_UndoDelete(table, tid, row))
-            self._redo.append(("delete_row", table_name, row))
+            self._redo.append(("delete_row", table_name, tid))
         return len(victims)
+
+    def update_where(
+        self,
+        table_name: str,
+        predicate: Callable[[tuple], bool],
+        transform: Callable[[tuple], Sequence[Any]],
+    ) -> List[Tuple[int, tuple]]:
+        """Row-at-a-time scan (not ``Table.update_where``) so every applied
+        update is journaled before the next transform runs -- a transform
+        raising mid-scan leaves only undoable changes behind."""
+        self._require_active()
+        table = self.catalog.table(table_name)
+        touched: List[Tuple[int, tuple]] = []
+        for tid, row in list(table.items()):
+            if predicate(row):
+                old = table.update(tid, transform(row))
+                self._undo.append(_UndoUpdate(table, tid, old))
+                self._redo.append(
+                    ("update_row", table_name, tid, list(table.get(tid)))
+                )
+                touched.append((tid, old))
+        return touched
+
+    def truncate(self, table_name: str) -> List[Tuple[int, tuple]]:
+        self._require_active()
+        table = self.catalog.table(table_name)
+        removed = table.truncate()
+        for tid, row in removed:
+            self._undo.append(_UndoDelete(table, tid, row))
+        self._redo.append(("truncate", table_name))
+        return removed
 
     def create_table(
         self,
@@ -164,10 +216,28 @@ class Transaction:
         self._undo.append(_UndoDropTable(self.catalog, entry))
         self._redo.append(("drop_table", name))
 
+    # -- savepoints ----------------------------------------------------------
+    def savepoint(self) -> Tuple[int, int]:
+        """Mark the current undo/redo high-water marks.  Used for
+        statement-level atomicity inside an explicit transaction: a failed
+        statement rolls back to its savepoint without aborting the whole
+        transaction."""
+        self._require_active()
+        return (len(self._undo), len(self._redo))
+
+    def rollback_to(self, mark: Tuple[int, int]) -> None:
+        """Undo every mutation recorded after ``mark`` (in reverse) and
+        drop its redo records; earlier work is untouched."""
+        self._require_active()
+        undo_mark, redo_mark = mark
+        while len(self._undo) > undo_mark:
+            self._undo.pop().undo()
+        del self._redo[redo_mark:]
+
     # -- termination ---------------------------------------------------------
     def commit(self) -> None:
         self._require_active()
-        if self.wal is not None:
+        if self.wal is not None and self._redo:
             self.wal.append_committed(self._redo)
         self._undo.clear()
         self._redo.clear()
@@ -183,52 +253,103 @@ class Transaction:
 
 
 class LockManager:
-    """Table-granularity shared/exclusive locks.
+    """Table-granularity shared/exclusive locks with upgrade support.
 
-    A minimal multiple-readers / single-writer scheme with a condition
-    variable per manager.  Lock requests are granted in arrival order per
-    table; no deadlock detection (callers should acquire in a consistent
-    order, as the tests do).
+    A multiple-readers / single-writer scheme with a condition variable
+    per manager.  Shared holds are tracked per thread, so a thread holding
+    a shared lock may call :meth:`acquire_exclusive` to *upgrade*: its own
+    shared holds are discounted from the reader count it waits on (the
+    naive scheme deadlocks forever on its own reader).  If two threads
+    holding shared locks both try to upgrade the same table, the second
+    request fails fast with :class:`TransactionError` instead of
+    deadlocking -- each would wait on the other's shared hold.
     """
 
     def __init__(self):
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
-        self._readers: Dict[str, int] = {}
+        #: table -> {thread ident -> number of shared holds}
+        self._readers: Dict[str, Dict[int, int]] = {}
         self._writer: Dict[str, Optional[int]] = {}
+        #: table -> thread ident currently waiting to upgrade
+        self._upgrading: Dict[str, int] = {}
+
+    def _other_readers(self, key: str, me: int) -> int:
+        holders = self._readers.get(key)
+        if not holders:
+            return 0
+        return sum(count for ident, count in holders.items() if ident != me)
 
     def acquire_shared(self, table_name: str, timeout: Optional[float] = None) -> None:
         key = table_name.lower()
         me = threading.get_ident()
         with self._condition:
-            granted = self._condition.wait_for(
-                lambda: self._writer.get(key) in (None, me), timeout=timeout
-            )
+
+            def admissible() -> bool:
+                if self._writer.get(key) not in (None, me):
+                    return False
+                # New readers queue behind a pending upgrader (otherwise the
+                # upgrade starves); a thread already holding shared may
+                # re-enter freely.
+                pending = self._upgrading.get(key)
+                if pending is not None and pending != me:
+                    return self._readers.get(key, {}).get(me, 0) > 0
+                return True
+
+            granted = self._condition.wait_for(admissible, timeout=timeout)
             if not granted:
                 raise TransactionError(f"timeout acquiring shared lock on {table_name!r}")
-            self._readers[key] = self._readers.get(key, 0) + 1
+            holders = self._readers.setdefault(key, {})
+            holders[me] = holders.get(me, 0) + 1
 
     def release_shared(self, table_name: str) -> None:
         key = table_name.lower()
+        me = threading.get_ident()
         with self._condition:
-            count = self._readers.get(key, 0)
+            holders = self._readers.get(key, {})
+            count = holders.get(me, 0)
             if count <= 0:
                 raise TransactionError(f"shared lock on {table_name!r} not held")
             if count == 1:
-                del self._readers[key]
+                del holders[me]
+                if not holders:
+                    del self._readers[key]
             else:
-                self._readers[key] = count - 1
+                holders[me] = count - 1
             self._condition.notify_all()
 
     def acquire_exclusive(self, table_name: str, timeout: Optional[float] = None) -> None:
         key = table_name.lower()
         me = threading.get_ident()
         with self._condition:
-            granted = self._condition.wait_for(
-                lambda: self._readers.get(key, 0) == 0
-                and self._writer.get(key) in (None, me),
-                timeout=timeout,
-            )
+            upgrading = self._readers.get(key, {}).get(me, 0) > 0
+            if upgrading:
+                other = self._upgrading.get(key)
+                if other is not None and other != me:
+                    # Both upgraders would wait on each other's shared hold.
+                    raise TransactionError(
+                        f"lock upgrade deadlock on {table_name!r}: another "
+                        "thread holding a shared lock is already upgrading; "
+                        "release the shared lock and retry"
+                    )
+                self._upgrading[key] = me
+
+            def admissible() -> bool:
+                if self._writer.get(key) not in (None, me):
+                    return False
+                if self._other_readers(key, me) != 0:
+                    return False
+                pending = self._upgrading.get(key)
+                return pending is None or pending == me
+
+            try:
+                granted = self._condition.wait_for(admissible, timeout=timeout)
+            finally:
+                if self._upgrading.get(key) == me:
+                    del self._upgrading[key]
+                    # Readers queue behind a pending upgrade; if it timed
+                    # out (or was granted) they must re-check the predicate.
+                    self._condition.notify_all()
             if not granted:
                 raise TransactionError(
                     f"timeout acquiring exclusive lock on {table_name!r}"
@@ -249,17 +370,74 @@ class WriteAheadLog:
     """A redo log of committed logical operations.
 
     Records are (op, *args) tuples using only plain Python values, so the
-    log could be serialized; :meth:`replay` rebuilds catalog state from
-    scratch, which is what crash recovery amounts to for this engine.
+    log serializes to the durable on-disk format (length-prefixed,
+    CRC-checksummed JSON frames -- see :mod:`repro.engine.durability`).
+    :meth:`replay` rebuilds catalog *and registry* state from scratch,
+    which is what crash recovery amounts to for this engine.
+
+    Record vocabulary::
+
+        ("begin",) / ("commit",)                    -- commit unit markers
+        ("create_table", name, columns, kind, properties)
+        ("drop_table", name)
+        ("insert", name, tid, row)                  -- row pinned to its tid
+        ("delete_row", name, tid)
+        ("update_row", name, tid, new_row)
+        ("truncate", name)
+        ("register_variable", var, name, [[value, p], ...])
+
+    When ``sink`` is given, every commit unit is flushed (written +
+    fsynced) before :meth:`append_committed` returns.  Variable
+    registrations are buffered and ride along with the next flush: nothing
+    durable can reference a variable before some committed DML does, so
+    lazily flushing them preserves recoverability at one fsync per commit.
     """
 
-    def __init__(self):
+    def __init__(self, sink: Optional[Any] = None):
         self._records: List[Tuple[Any, ...]] = []
+        self.sink = sink
 
     def append_committed(self, records: Sequence[Tuple[Any, ...]]) -> None:
+        mark = len(self._records)
         self._records.append(("begin",))
-        self._records.extend(records)
+        self._records.extend(tuple(r) for r in records)
         self._records.append(("commit",))
+        try:
+            self.flush()
+        except BaseException:
+            # The unit never became durable: drop it from the in-memory log
+            # too, so a later flush cannot resurrect the transaction the
+            # caller is about to roll back.  (Pending variable units before
+            # ``mark`` stay queued -- registry state still exists in memory,
+            # and their replay is idempotent.)
+            del self._records[mark:]
+            raise
+
+    def log_variable(
+        self, var: int, name: str, distribution: Mapping[int, float]
+    ) -> None:
+        """Log a fresh-variable registration as its own committed unit.
+
+        Durability is lazy (see class docstring); the in-memory record is
+        visible to :meth:`replay` immediately.
+        """
+        self._records.append(("begin",))
+        self._records.append(
+            ("register_variable", int(var), name, sorted(distribution.items()))
+        )
+        self._records.append(("commit",))
+
+    def flush(self) -> None:
+        """Push pending records to the durable sink (no-op without one).
+
+        Durable sessions drop flushed records from memory -- the on-disk
+        log is the source of truth and a long-lived session would otherwise
+        grow its redo list without bound.  In-memory sessions keep them
+        (they ARE the log, and :meth:`replay` / ``MayBMS.recover()`` read
+        them back)."""
+        if self.sink is not None and self._records:
+            self.sink.append(self._records)
+            self._records.clear()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -267,38 +445,61 @@ class WriteAheadLog:
     def records(self) -> List[Tuple[Any, ...]]:
         return list(self._records)
 
-    def replay(self, catalog: Optional[Catalog] = None) -> Catalog:
-        """Rebuild a catalog by replaying every committed operation."""
+    def has_variable_records(self) -> bool:
+        return any(r and r[0] == "register_variable" for r in self._records)
+
+    def replay(
+        self,
+        catalog: Optional[Catalog] = None,
+        registry: Optional[Any] = None,
+    ) -> Catalog:
+        """Rebuild a catalog (and optionally a registry) by replaying every
+        committed operation."""
         catalog = catalog if catalog is not None else Catalog()
-        for record in self._records:
-            op = record[0]
-            if op in ("begin", "commit"):
-                continue
-            if op == "create_table":
-                _, name, columns, kind, properties = record
-                schema = Schema(
-                    Column(col_name, type_from_name(type_name))
-                    for col_name, type_name in columns
-                )
-                catalog.create_table(name, schema, kind, properties)
-            elif op == "drop_table":
-                catalog.drop_table(record[1])
-            elif op == "insert":
-                catalog.table(record[1]).insert(record[2])
-            elif op == "delete_row":
-                _, name, row = record
-                table = catalog.table(name)
-                for tid, existing in list(table.items()):
-                    if existing == row:
-                        table.delete(tid)
-                        break
-            elif op == "update_row":
-                _, name, old, new = record
-                table = catalog.table(name)
-                for tid, existing in list(table.items()):
-                    if existing == old:
-                        table.update(tid, new)
-                        break
-            else:
-                raise TransactionError(f"unknown WAL record {record!r}")
+        replay_records(self._records, catalog, registry)
         return catalog
+
+
+def replay_records(
+    records: Sequence[Sequence[Any]],
+    catalog: Catalog,
+    registry: Optional[Any] = None,
+) -> None:
+    """Apply logical redo records to a catalog / variable registry.
+
+    Shared by in-memory WAL replay and on-disk crash recovery (the durable
+    scanner yields the same record shapes, with JSON lists in place of
+    tuples).  Rows are re-inserted under their logged tids via
+    :meth:`Table.restore`, so the recovered tid assignment is identical to
+    the pre-crash one even on tables with duplicate rows.
+    """
+    for record in records:
+        op = record[0]
+        if op in ("begin", "commit"):
+            continue
+        if op == "create_table":
+            _, name, columns, kind, properties = record
+            schema = Schema(
+                Column(col_name, type_from_name(type_name))
+                for col_name, type_name in columns
+            )
+            catalog.create_table(name, schema, kind, dict(properties))
+        elif op == "drop_table":
+            catalog.drop_table(record[1])
+        elif op == "insert":
+            _, name, tid, row = record
+            catalog.table(name).restore(int(tid), row)
+        elif op == "delete_row":
+            _, name, tid = record
+            catalog.table(name).delete(int(tid))
+        elif op == "update_row":
+            _, name, tid, new = record
+            catalog.table(name).update(int(tid), new)
+        elif op == "truncate":
+            catalog.table(record[1]).truncate()
+        elif op == "register_variable":
+            _, var, var_name, distribution = record
+            if registry is not None:
+                registry.restore(int(var), distribution, var_name)
+        else:
+            raise TransactionError(f"unknown WAL record {record!r}")

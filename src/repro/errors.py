@@ -58,6 +58,14 @@ class TransactionError(EngineError):
     """Illegal transaction state transition (commit without begin, ...)."""
 
 
+class DurabilityError(EngineError):
+    """The on-disk log or checkpoint could not be written or read."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery failed (corrupt checkpoint, malformed WAL record)."""
+
+
 class ExpressionError(EngineError):
     """An expression could not be evaluated (bad function, arity, ...)."""
 

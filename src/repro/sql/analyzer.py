@@ -162,8 +162,9 @@ class Analyzer:
             self.analyze_query(statement.query)
         elif isinstance(statement, ast.Explain):
             self.analyze_query(statement.query)
-        # Other statements (DDL/DML over one table) have nothing query-like
-        # to validate beyond what execution checks anyway.
+        # Other statements (DDL/DML over one table, CHECKPOINT, transaction
+        # control) have nothing query-like to validate beyond what execution
+        # checks anyway.
 
     def analyze_query(self, query: ast.SqlQuery) -> None:
         if isinstance(query, ast.UnionQuery):

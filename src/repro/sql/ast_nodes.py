@@ -257,6 +257,13 @@ class TransactionStatement:
 
 
 @dataclass(frozen=True)
+class Checkpoint:
+    """``CHECKPOINT``: force a durable snapshot of the catalog and variable
+    registry, then rotate the write-ahead log.  A no-op for in-memory
+    sessions (there is nothing to persist)."""
+
+
+@dataclass(frozen=True)
 class Explain:
     """``EXPLAIN <query>``: run the query's pipeline and report every
     relational plan fragment it executed, annotated with the engine
@@ -274,6 +281,7 @@ Statement = Union[
     Update,
     Delete,
     TransactionStatement,
+    Checkpoint,
     Explain,
     SelectQuery,
     UnionQuery,

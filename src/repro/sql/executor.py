@@ -15,8 +15,9 @@ The central value type is :class:`QueryOutput`: a t-certain
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core import aggregates as agg
 from repro.core.confidence import dispatch
@@ -49,6 +50,7 @@ from repro.engine.expressions import (
 )
 from repro.engine.relation import Relation
 from repro.engine.schema import Column, Schema
+from repro.engine.transactions import Transaction, WriteAheadLog
 from repro.engine.types import type_from_name
 from repro.errors import (
     AnalysisError,
@@ -99,6 +101,9 @@ class Executor:
         registry: VariableRegistry,
         rng: Optional[random.Random] = None,
         confidence_policy: Optional[DispatchPolicy] = None,
+        wal: Optional[WriteAheadLog] = None,
+        transaction_supplier: Optional[Callable[[], Optional[Transaction]]] = None,
+        checkpoint_hook: Optional[Callable[[], Any]] = None,
     ):
         self.catalog = catalog
         self.registry = registry
@@ -111,6 +116,53 @@ class Executor:
             registry, confidence_policy, rng=self.rng
         )
         self._repair_counter = 0
+        #: Redo destination for DML.  With a WAL, every statement outside an
+        #: explicit transaction auto-commits (undo journal discarded, redo
+        #: flushed); inside one, mutations join the session transaction so
+        #: ROLLBACK undoes them and COMMIT makes them durable.
+        self.wal = wal
+        self.transaction_supplier = transaction_supplier
+        #: Wired by the session facade to its durable checkpoint; None for
+        #: a bare executor (CHECKPOINT is then a no-op).
+        self.checkpoint_hook = checkpoint_hook
+
+    @contextmanager
+    def write_transaction(self) -> Iterator[Transaction]:
+        """The transaction a mutating statement should run in.
+
+        Yields the session's open transaction when one exists (commit and
+        rollback stay with the session); otherwise an ephemeral auto-commit
+        transaction.  Either way each statement is atomic: an error
+        mid-statement rolls back its partial effects -- to the statement's
+        savepoint inside an explicit transaction (earlier statements keep
+        their effects), or entirely in auto-commit mode.
+        """
+        supplied = (
+            self.transaction_supplier() if self.transaction_supplier else None
+        )
+        if supplied is not None:
+            mark = supplied.savepoint()
+            try:
+                yield supplied
+            except BaseException:
+                supplied.rollback_to(mark)
+                raise
+            return
+        txn = Transaction(self.catalog, self.wal)
+        try:
+            yield txn
+        except BaseException:
+            txn.rollback()
+            raise
+        try:
+            txn.commit()
+        except BaseException:
+            # A commit-time durability failure (closed storage, full disk)
+            # must not leave the statement's effects applied in memory when
+            # they never reached the log -- the undo journal is still
+            # intact because commit raises before clearing it.
+            txn.rollback()
+            raise
 
     def _lower(self, expr: ast.SqlExpr) -> Expr:
         """Lower a syntactic expression, pre-evaluating any t-certain
@@ -133,8 +185,7 @@ class Executor:
         if isinstance(statement, ast.CreateTableAs):
             return self._execute_create_table_as(statement)
         if isinstance(statement, ast.DropTable):
-            self.catalog.drop_table(statement.name, statement.if_exists)
-            return StatementResult()
+            return self._execute_drop_table(statement)
         if isinstance(statement, ast.InsertValues):
             return self._execute_insert_values(statement)
         if isinstance(statement, ast.InsertQuery):
@@ -148,6 +199,10 @@ class Executor:
                 "transaction statements are handled by the MayBMS session "
                 "(use MayBMS.begin/commit/rollback or execute through it)"
             )
+        if isinstance(statement, ast.Checkpoint):
+            if self.checkpoint_hook is not None:
+                self.checkpoint_hook()
+            return StatementResult()
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement)
         # A query.
@@ -191,38 +246,44 @@ class Executor:
 
     # -- DDL / DML ---------------------------------------------------------------
     def _execute_create_table(self, statement: ast.CreateTable) -> StatementResult:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return StatementResult()
         schema = Schema(
             Column(name, type_from_name(type_name))
             for name, type_name in statement.columns
         )
-        self.catalog.create_table(
-            statement.name, schema, KIND_STANDARD, if_not_exists=statement.if_not_exists
-        )
+        with self.write_transaction() as txn:
+            txn.create_table(statement.name, schema, KIND_STANDARD)
+        return StatementResult()
+
+    def _execute_drop_table(self, statement: ast.DropTable) -> StatementResult:
+        if statement.if_exists and not self.catalog.has_table(statement.name):
+            return StatementResult()
+        with self.write_transaction() as txn:
+            txn.drop_table(statement.name)
         return StatementResult()
 
     def _execute_create_table_as(self, statement: ast.CreateTableAs) -> StatementResult:
         output = self.evaluate_query(statement.query)
         if isinstance(output, Relation):
-            entry = self.catalog.create_table(
-                statement.name,
-                output.schema.unqualified(),
-                KIND_STANDARD,
-                if_not_exists=statement.if_not_exists,
-            )
-            entry.table.insert_many(output.rows)
+            schema = output.schema.unqualified()
+            kind = KIND_STANDARD
+            properties: Optional[Dict[str, Any]] = None
+            rows = output.rows
         else:
-            wide = output.relation
-            entry = self.catalog.create_table(
-                statement.name,
-                wide.schema.unqualified(),
-                KIND_URELATION,
-                properties={
-                    "payload_arity": output.payload_arity,
-                    "cond_arity": output.cond_arity,
-                },
-                if_not_exists=statement.if_not_exists,
-            )
-            entry.table.insert_many(wide.rows)
+            schema = output.relation.schema.unqualified()
+            kind = KIND_URELATION
+            properties = {
+                "payload_arity": output.payload_arity,
+                "cond_arity": output.cond_arity,
+            }
+            rows = output.relation.rows
+        with self.write_transaction() as txn:
+            if statement.if_not_exists and self.catalog.has_table(statement.name):
+                entry = self.catalog.entry(statement.name)
+            else:
+                entry = txn.create_table(statement.name, schema, kind, properties)
+            txn.insert_many(statement.name, rows)
         return StatementResult(row_count=len(entry.table))
 
     def _execute_insert_values(self, statement: ast.InsertValues) -> StatementResult:
@@ -243,7 +304,8 @@ class Executor:
             for position, value in zip(target_positions, values):
                 full[position] = value
             full_rows.append(full)
-        table.insert_many(full_rows)
+        with self.write_transaction() as txn:
+            txn.insert_many(statement.table, full_rows)
         return StatementResult(row_count=len(full_rows))
 
     def _insert_positions(
@@ -276,7 +338,8 @@ class Executor:
                     "wrap it with repair key / pick tuples first"
                 )
             rows = output.rows
-        tids = entry.table.insert_many(rows)
+        with self.write_transaction() as txn:
+            tids = txn.insert_many(statement.table, rows)
         return StatementResult(row_count=len(tids))
 
     def _execute_update(self, statement: ast.Update) -> StatementResult:
@@ -299,18 +362,25 @@ class Executor:
                 out[position] = fn(row)
             return tuple(out)
 
-        touched = table.update_where(lambda row: predicate(row) is True, transform)
+        with self.write_transaction() as txn:
+            touched = txn.update_where(
+                statement.table, lambda row: predicate(row) is True, transform
+            )
         return StatementResult(row_count=len(touched))
 
     def _execute_delete(self, statement: ast.Delete) -> StatementResult:
         entry = self.catalog.entry(statement.table)
         table = entry.table
         if statement.where is None:
-            removed = table.truncate()
+            with self.write_transaction() as txn:
+                removed = txn.truncate(statement.table)
             return StatementResult(row_count=len(removed))
         predicate = self._lower(statement.where).compile(table.schema)
-        victims = table.delete_where(lambda row: predicate(row) is True)
-        return StatementResult(row_count=len(victims))
+        with self.write_transaction() as txn:
+            count = txn.delete_where(
+                statement.table, lambda row: predicate(row) is True
+            )
+        return StatementResult(row_count=count)
 
     # -- queries ---------------------------------------------------------------
     def evaluate_query(self, query: ast.SqlQuery) -> QueryOutput:

@@ -20,7 +20,7 @@ KEYWORDS = frozenset(
     and or not null true false is in between case when then else end cast
     create table drop if exists insert into values update set delete
     repair key weight pick tuples independently with probability possible
-    having asc desc begin commit rollback explain
+    having asc desc begin commit rollback explain checkpoint
     """.split()
 )
 

@@ -39,7 +39,7 @@ _COMPARISONS = ("=", "<>", "!=", "<", "<=", ">", ">=")
 #: natural column names in the paper's own examples.
 NONRESERVED_KEYWORDS = frozenset(
     {"weight", "key", "probability", "tuples", "independently", "begin",
-     "commit", "rollback", "set", "values", "with"}
+     "commit", "rollback", "set", "values", "with", "checkpoint"}
 )
 
 
@@ -126,6 +126,9 @@ class _Parser:
         if token.is_keyword("begin", "commit", "rollback"):
             self.advance()
             return ast.TransactionStatement(token.text)
+        if token.is_keyword("checkpoint"):
+            self.advance()
+            return ast.Checkpoint()
         if token.is_keyword("explain"):
             self.advance()
             return ast.Explain(self.parse_query())

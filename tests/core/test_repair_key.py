@@ -161,6 +161,25 @@ class TestWeights:
         with pytest.raises(RepairKeyError):
             repair_key(relation, ["k"], registry, weight_by="w")
 
+    def test_nan_weight_rejected(self):
+        """Regression: NaN passed the ``w < 0`` check (every comparison
+        with NaN is False) and poisoned group normalization into NaN
+        probabilities."""
+        schema = Schema.of(("k", INTEGER), ("w", FLOAT))
+        relation = Relation(schema, [(1, float("nan")), (1, 1.0)])
+        registry = VariableRegistry()
+        with pytest.raises(RepairKeyError):
+            repair_key(relation, ["k"], registry, weight_by="w")
+        # No variable was created for the poisoned group.
+        assert len(registry) == 0
+
+    def test_infinite_weight_rejected(self):
+        schema = Schema.of(("k", INTEGER), ("w", FLOAT))
+        relation = Relation(schema, [(1, float("inf")), (1, 1.0)])
+        registry = VariableRegistry()
+        with pytest.raises(RepairKeyError):
+            repair_key(relation, ["k"], registry, weight_by="w")
+
 
 class TestAgainstWorldsOracle:
     def test_distribution_equals_product_of_group_choices(self, fitness):

@@ -1,0 +1,394 @@
+"""Tests for the on-disk WAL format, checkpoint snapshots, and the
+durability manager's recovery / rotation protocol."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.core.variables import VariableRegistry
+from repro.engine.catalog import KIND_URELATION, Catalog
+from repro.engine.durability import (
+    DurabilityManager,
+    count_dml_units,
+    decode_snapshot,
+    encode_frame,
+    encode_snapshot,
+    scan_committed,
+    scan_frames,
+)
+from repro.engine.schema import Schema
+from repro.engine.storage import Table
+from repro.engine.transactions import Transaction, WriteAheadLog
+from repro.engine.types import FLOAT, INTEGER, TEXT
+from repro.errors import RecoveryError, StorageError
+
+
+class TestFrameFormat:
+    def test_roundtrip(self):
+        records = [("begin",), ("insert", "t", 1, [1, "a"]), ("commit",)]
+        data = b"".join(encode_frame(r) for r in records)
+        decoded, valid = scan_frames(data)
+        assert decoded == [("begin",), ("insert", "t", 1, [1, "a"]), ("commit",)]
+        assert valid == len(data)
+
+    def test_torn_tail_truncated(self):
+        good = encode_frame(("begin",)) + encode_frame(("commit",))
+        torn = encode_frame(("insert", "t", 1, [5]))[:-3]  # body cut short
+        decoded, valid = scan_frames(good + torn)
+        assert decoded == [("begin",), ("commit",)]
+        assert valid == len(good)
+
+    def test_corrupt_checksum_stops_scan(self):
+        first = encode_frame(("begin",))
+        second = bytearray(encode_frame(("insert", "t", 1, [5])))
+        second[-1] ^= 0xFF  # flip a payload byte; crc no longer matches
+        third = encode_frame(("commit",))
+        decoded, valid = scan_frames(first + bytes(second) + third)
+        assert decoded == [("begin",)]
+        assert valid == len(first)
+
+    def test_garbage_header_stops_scan(self):
+        good = encode_frame(("begin",)) + encode_frame(("commit",))
+        # A "length" pointing far past the end of file reads as torn.
+        garbage = struct.pack(">II", 1 << 30, 0)
+        decoded, _ = scan_frames(good + garbage + b"xxxx")
+        assert decoded == [("begin",), ("commit",)]
+
+    def test_scan_committed_drops_uncommitted_tail(self):
+        records = [
+            ("begin",), ("insert", "t", 1, [1]), ("commit",),
+            ("begin",), ("insert", "t", 2, [2]),  # crash before commit frame
+        ]
+        data = b"".join(encode_frame(r) for r in records)
+        committed, committed_bytes = scan_committed(data)
+        assert committed == list(records[:3])
+        # The committed byte length covers exactly the first three frames.
+        assert committed_bytes == len(
+            b"".join(encode_frame(r) for r in records[:3])
+        )
+
+    def test_scan_committed_empty_when_no_commit(self):
+        data = b"".join(
+            encode_frame(r) for r in [("begin",), ("insert", "t", 1, [1])]
+        )
+        assert scan_committed(data) == ([], 0)
+
+    def test_count_dml_units(self):
+        assert count_dml_units([
+            ("begin",), ("insert", "t", 1, [1]), ("commit",),
+            ("begin",), ("register_variable", 1, "x", [[0, 1.0]]), ("commit",),
+            ("begin",), ("commit",),
+        ]) == 1
+
+
+class TestSnapshotFormat:
+    def _catalog(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of(("x", INTEGER), ("s", TEXT)))
+        catalog.table("t").insert((1, "a"))
+        catalog.table("t").insert((2, "b"))
+        return catalog
+
+    def test_roundtrip(self):
+        catalog = self._catalog()
+        registry = VariableRegistry()
+        var = registry.fresh({0: 0.25, 1: 0.75}, name="x1")
+        data = encode_snapshot(catalog, registry, wal_epoch=3)
+
+        snapshot = decode_snapshot(data)
+        assert snapshot["wal_epoch"] == 3
+        restored_catalog = Catalog()
+        restored_registry = VariableRegistry()
+        restored_registry.restore_state(snapshot["registry"])
+        restored_catalog.restore_state(snapshot["catalog"])
+        assert list(restored_catalog.table("t").items()) == [
+            (1, (1, "a")), (2, (2, "b")),
+        ]
+        assert restored_registry.distribution(var) == {0: 0.25, 1: 0.75}
+        assert restored_registry.name(var) == "x1"
+
+    def test_corrupt_snapshot_rejected(self):
+        data = encode_snapshot(self._catalog(), VariableRegistry(), wal_epoch=1)
+        document = json.loads(data)
+        document["snapshot"]["wal_epoch"] = 99  # tamper
+        with pytest.raises(RecoveryError):
+            decode_snapshot(json.dumps(document).encode())
+
+    def test_not_json_rejected(self):
+        with pytest.raises(RecoveryError):
+            decode_snapshot(b"\x00\x01 not json")
+
+
+class TestTableState:
+    def test_dump_preserves_tids_and_counter(self):
+        table = Table("t", Schema.of(("x", INTEGER)))
+        table.insert((1,))
+        tid = table.insert((2,))
+        table.insert((3,))
+        table.delete(tid)
+        state = table.dump_state()
+
+        fresh = Table("t", Schema.of(("x", INTEGER)))
+        fresh.load_state(state)
+        assert list(fresh.items()) == [(1, (1,)), (3, (3,))]
+        # The tid counter survives even past deleted tids: a new insert must
+        # not reuse tid 2.
+        assert fresh.insert((9,)) == 4
+
+    def test_index_definitions_roundtrip(self):
+        """Checkpoints persist index definitions (entries re-derive from
+        rows); in particular unique constraints survive a reopen."""
+        table = Table("t", Schema.of(("k", INTEGER), ("s", TEXT)))
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        table.create_hash_index("by_k", ["k"], unique=True)
+        table.create_sorted_index("ord_k", ["k"])
+        state = table.dump_state()
+
+        fresh = Table("t", Schema.of(("k", INTEGER), ("s", TEXT)))
+        fresh.load_state(state)
+        assert sorted(fresh.index_names()) == ["by_k", "ord_k"]
+        assert fresh.lookup("by_k", (2,)) == [(2, "b")]
+        with pytest.raises(StorageError, match="unique"):
+            fresh.insert((1, "dup"))
+
+    def test_load_into_nonempty_rejected(self):
+        table = Table("t", Schema.of(("x", INTEGER)))
+        table.insert((1,))
+        with pytest.raises(StorageError):
+            table.load_state({"next_tid": 1, "rows": []})
+
+
+class TestDurabilityManager:
+    def test_append_then_recover(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = Catalog()
+        wal = WriteAheadLog(sink=manager)
+        txn = Transaction(catalog, wal)
+        txn.create_table("t", Schema.of(("x", INTEGER), ("p", FLOAT)))
+        txn.insert("t", (1, 0.5))
+        txn.insert("t", (2, 0.75))
+        txn.commit()
+        manager.close()
+
+        recovered_catalog = Catalog()
+        recovered_registry = VariableRegistry()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered_catalog, recovered_registry)
+        assert stats["replayed_records"] > 0
+        assert list(recovered_catalog.table("t").items()) == [
+            (1, (1, 0.5)), (2, (2, 0.75)),
+        ]
+
+    def test_checkpoint_rotates_and_tail_replays(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = Catalog()
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+
+        txn = Transaction(catalog, wal)
+        txn.create_table("t", Schema.of(("x", INTEGER)))
+        txn.insert("t", (1,))
+        txn.commit()
+        first_wal = manager.wal_path
+        manager.checkpoint(catalog, registry)
+        assert not os.path.exists(first_wal)  # rotated away
+        assert manager.commits_since_checkpoint == 0
+
+        txn = Transaction(catalog, wal)
+        txn.insert("t", (2,))
+        txn.commit()
+        assert os.path.exists(manager.wal_path)
+        manager.close()
+
+        recovered_catalog = Catalog()
+        again = DurabilityManager(path)
+        again.recover_into(recovered_catalog, VariableRegistry())
+        assert sorted(recovered_catalog.table("t").rows()) == [(1,), (2,)]
+
+    def test_commit_counter_counts_dml_units_only(self, tmp_path):
+        """Variable-registration units don't advance the auto-checkpoint
+        counter: one repair-key statement can log hundreds of them."""
+        manager = DurabilityManager(str(tmp_path / "db"))
+        manager.append([
+            ("begin",), ("insert", "t", 1, [1]), ("commit",),
+            ("begin",), ("register_variable", 1, "x1", [[0, 0.5], [1, 0.5]]),
+            ("commit",),
+            ("begin",), ("delete_row", "t", 1), ("commit",),
+        ])
+        assert manager.commits_since_checkpoint == 2
+
+    def test_recovery_truncates_bad_tail_bytes(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+        ])
+        wal_file = manager.wal_path
+        good_size = os.path.getsize(wal_file)
+        manager.close()
+        with open(wal_file, "ab") as handle:
+            handle.write(b"\x01\x02 garbage")
+
+        again = DurabilityManager(path)
+        again.recover_into(Catalog(), VariableRegistry())
+        assert os.path.getsize(wal_file) == good_size
+        again.close()
+
+    def test_concurrent_managers_rejected(self, tmp_path):
+        from repro.errors import DurabilityError
+
+        path = str(tmp_path / "db")
+        first = DurabilityManager(path)
+        with pytest.raises(DurabilityError, match="locked"):
+            DurabilityManager(path)
+        first.close()
+        DurabilityManager(path).close()
+
+    def test_failed_append_truncates_its_frames(self, tmp_path, monkeypatch):
+        """A failed write/fsync must not leave the unit's frames in the
+        file: the caller rolls the commit back, and a later successful
+        commit fsyncing after them would make the rolled-back transaction
+        durable (its commit marker is in the batch)."""
+        import repro.engine.durability as durability_module
+
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+        ])
+        good_size = os.path.getsize(manager.wal_path)
+
+        real_fsync = os.fsync
+        failures = {"remaining": 1}
+
+        def flaky_fsync(fd):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise OSError("simulated EIO at fsync")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(durability_module.os, "fsync", flaky_fsync)
+        with pytest.raises(OSError):
+            manager.append([("begin",), ("insert", "t", 1, [99]), ("commit",)])
+        monkeypatch.setattr(durability_module.os, "fsync", real_fsync)
+        assert os.path.getsize(manager.wal_path) == good_size
+
+        manager.append([("begin",), ("insert", "t", 1, [1]), ("commit",)])
+        manager.close()
+        recovered = Catalog()
+        DurabilityManager(path).recover_into(recovered, VariableRegistry())
+        assert list(recovered.table("t").rows()) == [(1,)]  # no 99
+
+    def test_recovery_seeds_commit_counter_from_tail(self, tmp_path):
+        """A crash-looping workload must still reach the auto-checkpoint
+        threshold: the replayed tail counts toward it."""
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+            ("begin",), ("insert", "t", 1, [1]), ("commit",),
+        ])
+        manager.close()
+
+        again = DurabilityManager(path)
+        again.recover_into(Catalog(), VariableRegistry())
+        assert again.commits_since_checkpoint == 2
+        again.close()
+
+    def test_recovery_sweeps_orphaned_old_epoch_logs(self, tmp_path):
+        """A crash between the checkpoint rename and the old-log deletion
+        orphans the superseded WAL; recovery reclaims it."""
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = Catalog()
+        wal = WriteAheadLog(sink=manager)
+        txn = Transaction(catalog, wal)
+        txn.create_table("t", Schema.of(("x", INTEGER)))
+        txn.commit()
+        manager.checkpoint(catalog, VariableRegistry())  # now at epoch 2
+        manager.close()
+        # Simulate the orphan: a stale epoch-1 log left behind.
+        stale = os.path.join(path, "wal.000001.log")
+        with open(stale, "wb") as handle:
+            handle.write(encode_frame(("begin",)))
+
+        again = DurabilityManager(path)
+        again.recover_into(Catalog(), VariableRegistry())
+        assert not os.path.exists(stale)
+        again.close()
+
+    def test_torn_wal_tail_is_ignored(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = Catalog()
+        wal = WriteAheadLog(sink=manager)
+        txn = Transaction(catalog, wal)
+        txn.create_table("t", Schema.of(("x", INTEGER)))
+        txn.insert("t", (1,))
+        txn.commit()
+        wal_file = manager.wal_path
+        manager.close()
+        with open(wal_file, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x10 torn garbage")
+
+        recovered = Catalog()
+        DurabilityManager(path).recover_into(recovered, VariableRegistry())
+        assert list(recovered.table("t").rows()) == [(1,)]
+
+    def test_uncommitted_durable_tail_dropped(self, tmp_path):
+        """Frames of a commit unit written without its commit marker (crash
+        between write and the marker reaching disk) must not replay."""
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+            ("begin",),
+            ("insert", "t", 1, [7]),
+        ])
+        manager.close()
+
+        recovered = Catalog()
+        DurabilityManager(path).recover_into(recovered, VariableRegistry())
+        assert recovered.has_table("t")
+        assert len(recovered.table("t")) == 0
+
+    def test_urelation_kind_and_variables_survive(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = Catalog()
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+        registry.on_register = wal.log_variable
+        var = registry.fresh({0: 0.5, 1: 0.5}, name="coin")
+        txn = Transaction(catalog, wal)
+        txn.create_table(
+            "u",
+            Schema.of(("a", INTEGER), ("_v0", INTEGER), ("_d0", INTEGER), ("_p0", FLOAT)),
+            kind=KIND_URELATION,
+            properties={"payload_arity": 1, "cond_arity": 1},
+        )
+        txn.insert("u", (1, var, 0, 0.5))
+        txn.commit()
+        manager.close()
+
+        recovered_catalog = Catalog()
+        recovered_registry = VariableRegistry()
+        DurabilityManager(path).recover_into(recovered_catalog, recovered_registry)
+        entry = recovered_catalog.entry("u")
+        assert entry.is_urelation
+        assert entry.properties["cond_arity"] == 1
+        assert recovered_registry.distribution(var) == {0: 0.5, 1: 0.5}
+        assert recovered_registry.name(var) == "coin"

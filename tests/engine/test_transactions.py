@@ -147,6 +147,88 @@ class TestWriteAheadLog:
         assert list(recovered.table("v").rows()) == [(2,)]
 
 
+class TestWalReplayFidelity:
+    """Regression tests: replay used to lose probabilistic state (variable
+    registrations were never logged) and to match deleted/updated rows by
+    value, which diverges on duplicate rows."""
+
+    def test_replay_restores_variable_registry(self, catalog):
+        from repro.core.variables import VariableRegistry
+
+        wal = WriteAheadLog()
+        registry = VariableRegistry()
+        registry.on_register = wal.log_variable
+        var = registry.fresh({0: 0.2, 1: 0.8}, name="choice")
+
+        recovered_registry = VariableRegistry()
+        wal.replay(registry=recovered_registry)
+        assert recovered_registry.distribution(var) == {0: 0.2, 1: 0.8}
+        assert recovered_registry.name(var) == "choice"
+        # next-id advances past restored variables: no id collisions.
+        assert recovered_registry.fresh({0: 1.0}) == var + 1
+
+    def test_replay_deletes_by_tid_on_duplicate_rows(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("dup", Schema.of(("x", INTEGER)))
+        first = txn.insert("dup", (7,))
+        second = txn.insert("dup", (7,))
+        third = txn.insert("dup", (7,))
+        txn.delete("dup", second)
+        txn.update("dup", third, (8,))
+        txn.commit()
+
+        recovered = wal.replay()
+        assert list(recovered.table("dup").items()) == [
+            (first, (7,)), (third, (8,)),
+        ]
+
+    def test_replay_preserves_tid_counter_across_delete(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("v", Schema.of(("x", INTEGER)))
+        tid = txn.insert("v", (1,))
+        txn.delete("v", tid)
+        txn.commit()
+        recovered = wal.replay()
+        # A post-recovery insert must not reuse the deleted tid.
+        assert recovered.table("v").insert((2,)) == tid + 1
+
+    def test_replay_truncate(self, catalog):
+        wal = WriteAheadLog()
+        txn = Transaction(catalog, wal)
+        txn.create_table("v", Schema.of(("x", INTEGER)))
+        txn.insert("v", (1,))
+        txn.truncate("v")
+        txn.insert("v", (2,))
+        txn.commit()
+        recovered = wal.replay()
+        assert list(recovered.table("v").rows()) == [(2,)]
+
+
+class TestBulkTransactionMethods:
+    def test_insert_many_rollback(self, catalog):
+        txn = Transaction(catalog)
+        txn.insert_many("t", [(3, "c"), (4, "d")])
+        assert len(catalog.table("t")) == 4
+        txn.rollback()
+        assert len(catalog.table("t")) == 2
+
+    def test_update_where_rollback(self, catalog):
+        txn = Transaction(catalog)
+        txn.update_where("t", lambda row: row[0] == 1, lambda row: (99, row[1]))
+        assert catalog.table("t").get(1) == (99, "a")
+        txn.rollback()
+        assert catalog.table("t").get(1) == (1, "a")
+
+    def test_truncate_rollback(self, catalog):
+        txn = Transaction(catalog)
+        txn.truncate("t")
+        assert len(catalog.table("t")) == 0
+        txn.rollback()
+        assert sorted(catalog.table("t").rows()) == [(1, "a"), (2, "b")]
+
+
 class TestLockManager:
     def test_shared_locks_coexist(self):
         locks = LockManager()
@@ -222,6 +304,162 @@ class TestLockManager:
         thread.join(timeout=5)
         assert result == ["timeout"]
         locks.release_exclusive("t")
+
+    def test_shared_to_exclusive_upgrade(self):
+        """Regression: a thread holding a shared lock used to deadlock
+        forever in acquire_exclusive, waiting on its own reader count."""
+        locks = LockManager()
+        locks.acquire_shared("t")
+        locks.acquire_exclusive("t", timeout=1)  # must not block on itself
+        locks.release_exclusive("t")
+        locks.release_shared("t")
+        # The table is fully free again afterwards.
+        locks.acquire_exclusive("t", timeout=1)
+        locks.release_exclusive("t")
+
+    def test_upgrade_waits_for_other_readers(self):
+        locks = LockManager()
+        upgraded = []
+        reader_holding = threading.Event()
+        release_reader = threading.Event()
+
+        def other_reader():
+            locks.acquire_shared("t", timeout=5)
+            reader_holding.set()
+            release_reader.wait(timeout=5)
+            locks.release_shared("t")
+
+        def upgrader():
+            locks.acquire_shared("t", timeout=5)
+            locks.acquire_exclusive("t", timeout=5)
+            upgraded.append(True)
+            locks.release_exclusive("t")
+            locks.release_shared("t")
+
+        reader = threading.Thread(target=other_reader)
+        reader.start()
+        assert reader_holding.wait(timeout=5)
+        thread = threading.Thread(target=upgrader)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert not upgraded  # still waiting on the other reader's hold
+        release_reader.set()
+        reader.join(timeout=5)
+        thread.join(timeout=5)
+        assert upgraded
+
+    def test_competing_upgrades_fail_fast(self):
+        """Two shared holders both upgrading would deadlock on each other;
+        the second request must raise instead of hanging."""
+        locks = LockManager()
+        locks.acquire_shared("t")  # main thread holds shared
+        started = threading.Event()
+        outcome = []
+
+        def first_upgrader():
+            locks.acquire_shared("t", timeout=5)
+            started.set()
+            try:
+                locks.acquire_exclusive("t", timeout=5)
+                outcome.append("upgraded")
+                locks.release_exclusive("t")
+            except TransactionError:
+                outcome.append("error")
+            locks.release_shared("t")
+
+        thread = threading.Thread(target=first_upgrader)
+        thread.start()
+        assert started.wait(timeout=5)
+        # Main also holds shared and now competes for the upgrade.
+        with pytest.raises(TransactionError, match="upgrade deadlock"):
+            locks.acquire_exclusive("t", timeout=5)
+        # Main backs off: releasing its shared hold unblocks the winner.
+        locks.release_shared("t")
+        thread.join(timeout=5)
+        assert outcome == ["upgraded"]
+
+    def test_new_readers_queue_behind_pending_upgrade(self):
+        """A pending upgrade must not be starved by a stream of new
+        readers: late shared requests queue behind it."""
+        import time
+
+        locks = LockManager()
+        locks.acquire_shared("t")  # main's hold keeps the upgrade pending
+        worker_ready = threading.Event()
+        release_worker = threading.Event()
+
+        def worker():
+            locks.acquire_shared("t", timeout=5)
+            worker_ready.set()
+            try:
+                locks.acquire_exclusive("t", timeout=5)  # waits on main
+                release_worker.wait(timeout=5)
+                locks.release_exclusive("t")
+            finally:
+                locks.release_shared("t")
+
+        blocked = []
+
+        def late_reader():
+            try:
+                locks.acquire_shared("t", timeout=0.05)
+                blocked.append("acquired")
+                locks.release_shared("t")
+            except TransactionError:
+                blocked.append("timeout")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert worker_ready.wait(timeout=5)
+        time.sleep(0.05)  # let the worker enter its upgrade wait
+        reader = threading.Thread(target=late_reader)
+        reader.start()
+        reader.join(timeout=5)
+        assert blocked == ["timeout"]  # queued behind the upgrader
+        locks.release_shared("t")  # main backs off; worker upgrades
+        release_worker.set()
+        thread.join(timeout=5)
+
+    def test_reader_unblocks_after_upgrade_timeout(self):
+        """When a pending upgrade times out, readers queued behind it must
+        be woken -- clearing the marker without notify_all left them
+        blocked even though shared access was admissible again."""
+        import time
+
+        locks = LockManager()
+        locks.acquire_shared("t")  # main's hold makes the upgrade pend
+        events = []
+        upgrader_holding = threading.Event()
+        let_upgrader_finish = threading.Event()
+
+        def upgrader():
+            locks.acquire_shared("t", timeout=5)
+            upgrader_holding.set()
+            try:
+                locks.acquire_exclusive("t", timeout=0.2)
+            except TransactionError:
+                events.append("upgrade-timeout")
+            # Keep the shared hold: the queued reader must be woken by the
+            # timeout cleanup itself, not by this thread's release.
+            let_upgrader_finish.wait(timeout=5)
+            locks.release_shared("t")
+
+        def late_reader():
+            locks.acquire_shared("t", timeout=5)
+            events.append("reader-acquired")
+            locks.release_shared("t")
+
+        upgrade_thread = threading.Thread(target=upgrader)
+        upgrade_thread.start()
+        assert upgrader_holding.wait(timeout=5)
+        time.sleep(0.05)  # let the upgrader enter its wait
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        reader_thread.join(timeout=5)
+        assert events == ["upgrade-timeout", "reader-acquired"]
+        let_upgrader_finish.set()
+        upgrade_thread.join(timeout=5)
+        locks.release_shared("t")
 
     def test_concurrent_counter_with_exclusive_lock(self, catalog):
         """Many writers incrementing a row stay serializable under the lock."""

@@ -376,6 +376,53 @@ class TestTransactionsThroughSql:
         with pytest.raises(TransactionError):
             db.execute("commit")
 
+    def test_sql_dml_rolls_back(self, db):
+        """SQL DML inside an explicit transaction joins its undo journal:
+        ROLLBACK undoes it (it used to bypass the transaction entirely)."""
+        db.execute("begin")
+        db.execute("insert into items values ('temp', 1, 1.0)")
+        assert len(db.table("items")) == 5
+        db.execute("rollback")
+        assert len(db.table("items")) == 4
+
+    def test_sql_ddl_rolls_back(self, db):
+        db.execute("begin")
+        db.execute("create table scratch (x integer)")
+        db.execute("insert into scratch values (1)")
+        db.execute("rollback")
+        assert "scratch" not in db.tables()
+
+    def test_sql_dml_commit_survives(self, db):
+        db.execute("begin")
+        db.execute("insert into items values ('kept', 1, 1.0)")
+        db.execute("commit")
+        assert len(db.table("items")) == 5
+
+    def test_failing_update_is_atomic(self, db):
+        """An error mid-UPDATE rolls back the rows already transformed
+        (each statement outside a transaction auto-commits atomically)."""
+        db.execute("create table nums (x integer)")
+        db.execute("insert into nums values (5), (0), (7)")
+        before = sorted(db.query("select x from nums").rows)
+        with pytest.raises(MayBMSError):
+            db.execute("update nums set x = 10 / x")
+        assert sorted(db.query("select x from nums").rows) == before
+
+    def test_failing_statement_inside_transaction_rolls_back_to_savepoint(self, db):
+        """Inside BEGIN, a failing statement rolls back to its own
+        savepoint: earlier statements keep their effects and COMMIT must
+        not persist the failed statement's partial updates."""
+        db.execute("create table nums (x integer)")
+        db.execute("insert into nums values (5), (0), (7)")
+        db.execute("begin")
+        db.execute("insert into nums values (11)")
+        with pytest.raises(MayBMSError):
+            db.execute("update nums set x = 10 / x")
+        db.execute("commit")
+        assert sorted(db.query("select x from nums").rows) == [
+            (0,), (5,), (7,), (11,),
+        ]
+
 
 class TestIntrospection:
     def test_sys_tables(self, db):
