@@ -1,0 +1,201 @@
+"""A thin blocking client for the MayBMS server.
+
+Speaks the length-prefixed JSON protocol of :mod:`repro.server.protocol`
+over one TCP connection; the server binds the connection to one
+server-side session, so transaction state (BEGIN/COMMIT/ROLLBACK) is
+per-client, exactly like a PostgreSQL backend::
+
+    from repro.client import Client
+
+    with Client("127.0.0.1", 8642) as db:
+        db.execute("create table t (a integer, p float)")
+        db.execute("insert into t values (1, 0.6), (2, 0.4)")
+        result = db.query("select a, conf() as p from (repair key a in t "
+                          "weight by p) r group by a")
+        for row in result.rows:
+            print(row)
+
+Statement failures raise :class:`~repro.errors.ServerError` carrying the
+server-side exception class name; the connection stays usable.  Results
+come back as plain :class:`ClientResult` values (column names + row
+tuples), not live relations -- the client deliberately has no dependency
+on the engine beyond the error hierarchy.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServerError
+from repro.server import protocol
+
+
+@dataclass
+class ClientResult:
+    """One statement's outcome, decoded from the wire.
+
+    ``kind`` is ``"relation"`` (t-certain), ``"urelation"`` (wide
+    encoding, with ``payload_arity``/``cond_arity`` set), or ``"none"``
+    (DDL/DML/transaction control, with ``row_count`` for DML).
+    """
+
+    kind: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    row_count: Optional[int] = None
+    payload_arity: Optional[int] = None
+    cond_arity: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ServerError(
+                "ClientResult",
+                f"scalar() needs exactly one row and column, got "
+                f"{len(self.rows)}x{len(self.columns)}",
+            )
+        return self.rows[0][0]
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ClientResult":
+        return cls(
+            kind=str(payload.get("kind", "none")),
+            columns=[name for name, _, _ in payload.get("columns", [])],
+            rows=[tuple(row) for row in payload.get("rows", [])],
+            row_count=payload.get("row_count"),
+            payload_arity=payload.get("payload_arity"),
+            cond_arity=payload.get("cond_arity"),
+        )
+
+
+class Client:
+    """A blocking MayBMS connection (one server-side session).
+
+    ``read_only=True`` asks the server for a read-only session: DML, DDL,
+    CHECKPOINT, and transactions are rejected server-side, and such a
+    session can never block a checkpoint or another writer.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        read_only: bool = False,
+        timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_delay: float = 0.1,
+    ):
+        last_error: Optional[OSError] = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt < connect_retries:
+                    time.sleep(retry_delay)
+        else:
+            assert last_error is not None
+            raise last_error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        self.server_info = self._request({"op": "hello", "read_only": read_only})
+        self.read_only = bool(self.server_info.get("read_only", read_only))
+
+    # -- plumbing -----------------------------------------------------------
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise ProtocolError("client connection is closed")
+        protocol.send_message(self._sock, message)
+        response = protocol.recv_message(self._sock)
+        if response is None:
+            self._closed = True
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServerError(
+                str(error.get("type", "MayBMSError")),
+                str(error.get("message", "unknown server error")),
+            )
+        return response
+
+    # -- statements ----------------------------------------------------------
+    def execute(self, sql: str) -> ClientResult:
+        """Execute one SQL statement of any kind."""
+        response = self._request({"op": "execute", "sql": sql})
+        return ClientResult.from_wire(response.get("result", {}))
+
+    def execute_script(self, sql: str) -> List[ClientResult]:
+        """Execute a semicolon-separated batch, atomically per statement."""
+        response = self._request({"op": "script", "sql": sql})
+        return [ClientResult.from_wire(r) for r in response.get("results", [])]
+
+    def query(self, sql: str) -> ClientResult:
+        """Execute a statement that must produce a t-certain relation."""
+        result = self.execute(sql)
+        if result.kind != "relation":
+            raise ServerError(
+                "AnalysisError",
+                f"query produced {result.kind!r}, expected a t-certain relation",
+            )
+        return result
+
+    def uncertain_query(self, sql: str) -> ClientResult:
+        """Execute a statement that must produce a U-relation."""
+        result = self.execute(sql)
+        if result.kind != "urelation":
+            raise ServerError(
+                "AnalysisError",
+                f"query produced {result.kind!r}, expected an uncertain relation",
+            )
+        return result
+
+    # -- transactions ---------------------------------------------------------
+    def begin(self) -> None:
+        self.execute("begin")
+
+    def commit(self) -> None:
+        self.execute("commit")
+
+    def rollback(self) -> None:
+        self.execute("rollback")
+
+    # -- misc -----------------------------------------------------------------
+    def tables(self) -> List[str]:
+        response = self._request({"op": "tables"})
+        return list(response.get("tables", []))
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("ok", False))
+
+    def close(self) -> None:
+        """Close the connection (the server rolls back any open transaction
+        and releases the session).  Idempotent."""
+        if self._closed:
+            return
+        try:
+            protocol.send_message(self._sock, {"op": "close"})
+            protocol.recv_message(self._sock)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import InvalidDistributionError, VariableError
@@ -45,10 +46,16 @@ class VariableRegistry:
         }
         self._names: Dict[int, str] = {TOP_VARIABLE: "top"}
         self._next_id = 1
+        #: Guards id allocation and the distribution maps: concurrent
+        #: sessions register variables (repair key inside queries) while a
+        #: checkpoint thread serializes the whole registry.
+        self._mutex = threading.RLock()
         #: Optional hook called as ``on_register(var, name, distribution)``
-        #: after every :meth:`fresh` creation.  The session facade points it
-        #: at the write-ahead log so that variable registrations survive a
-        #: crash (condition columns are meaningless without them).  Restores
+        #: after every :meth:`fresh` creation.  The session facade routes it
+        #: into the registering transaction (so a rollback unregisters the
+        #: variable and the registration never reaches a committed WAL
+        #: unit) or, outside any transaction, straight to the write-ahead
+        #: log -- condition columns are meaningless without it.  Restores
         #: during recovery go through :meth:`restore` and do NOT fire it.
         self.on_register = None
 
@@ -68,13 +75,32 @@ class VariableRegistry:
         else:
             dist = {i: float(p) for i, p in enumerate(distribution)}
         _validate_distribution(dist)
-        var = self._next_id
-        self._next_id += 1
-        self._distributions[var] = dist
-        self._names[var] = name if name is not None else f"x{var}"
+        with self._mutex:
+            var = self._next_id
+            self._next_id += 1
+            self._distributions[var] = dist
+            self._names[var] = name if name is not None else f"x{var}"
         if self.on_register is not None:
             self.on_register(var, self._names[var], dict(dist))
         return var
+
+    def unregister(self, var: int) -> None:
+        """Remove a variable (rollback of the statement that created it).
+
+        The id is reclaimed only when it is the most recently allocated
+        one, so undoing a transaction in reverse order restores the
+        registry -- including ``_next_id`` -- to its exact prior state.
+        """
+        var = int(var)
+        if var == TOP_VARIABLE:
+            raise VariableError("variable id 0 (the top atom) cannot be unregistered")
+        with self._mutex:
+            if var not in self._distributions:
+                raise VariableError(f"unknown variable id {var}")
+            del self._distributions[var]
+            del self._names[var]
+            if var == self._next_id - 1:
+                self._next_id = var
 
     def restore(
         self,
@@ -97,9 +123,10 @@ class VariableRegistry:
         )
         dist = {int(v): float(p) for v, p in items}
         _validate_distribution(dist)
-        self._distributions[var] = dist
-        self._names[var] = name if name is not None else f"x{var}"
-        self._next_id = max(self._next_id, var + 1)
+        with self._mutex:
+            self._distributions[var] = dist
+            self._names[var] = name if name is not None else f"x{var}"
+            self._next_id = max(self._next_id, var + 1)
         return var
 
     def fresh_boolean(self, probability_true: float, name: Optional[str] = None) -> int:
@@ -163,22 +190,24 @@ class VariableRegistry:
         not copied: clones are scratch registries (conditioning, what-if
         evaluation) whose variables must not be logged as durable state."""
         clone = VariableRegistry()
-        clone._distributions = {v: dict(d) for v, d in self._distributions.items()}
-        clone._names = dict(self._names)
-        clone._next_id = self._next_id
+        with self._mutex:
+            clone._distributions = {v: dict(d) for v, d in self._distributions.items()}
+            clone._names = dict(self._names)
+            clone._next_id = self._next_id
         return clone
 
     # -- checkpoint serialization ------------------------------------------------
     def dump_state(self) -> Dict[str, object]:
         """JSON-safe snapshot of every user variable (for checkpoints)."""
-        return {
-            "next_id": self._next_id,
-            "variables": [
-                [var, self._names[var], sorted(self._distributions[var].items())]
-                for var in self._distributions
-                if var != TOP_VARIABLE
-            ],
-        }
+        with self._mutex:
+            return {
+                "next_id": self._next_id,
+                "variables": [
+                    [var, self._names[var], sorted(self._distributions[var].items())]
+                    for var in self._distributions
+                    if var != TOP_VARIABLE
+                ],
+            }
 
     def restore_state(self, state: Mapping[str, object]) -> None:
         """Restore a :meth:`dump_state` snapshot into this registry."""

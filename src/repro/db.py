@@ -14,13 +14,34 @@ log + table locks).  Typical use::
         group by player, final
     ''')
     print(result.pretty())
+
+One store also serves **many concurrent sessions** (the paper builds
+MayBMS inside PostgreSQL precisely so concurrent clients get storage,
+concurrency control, and recovery for free).  :meth:`MayBMS.session`
+spawns a :class:`Session` sharing the catalog, variable registry, lock
+manager, and write-ahead log, but with its own transaction state and
+executor, so reader sessions run concurrently with a writer:
+
+    store = MayBMS(path="/data/db")
+    writer = store.session()
+    reader = store.session(read_only=True)
+
+Every statement acquires table locks through the shared
+:class:`~repro.engine.transactions.LockManager`: shared for tables it
+reads, exclusive for tables it writes (auto-commit statements release at
+statement end; explicit transactions hold them to commit/rollback --
+strict two-phase locking).  Under a durable store, concurrent commits
+coalesce in the group committer
+(:class:`~repro.engine.durability.DurabilityManager`): one fsync makes a
+whole batch of commits durable.
 """
 
 from __future__ import annotations
 
 import os
 import random
-from typing import List, Optional, Sequence, Union
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.confidence.dispatch import DispatchPolicy
 from repro.core.urelation import URelation
@@ -31,91 +52,40 @@ from repro.engine.relation import Relation
 from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
 from repro.errors import AnalysisError, DurabilityError, TransactionError
 from repro.sql import ast_nodes as ast
+from repro.sql.analyzer import creates_variables, referenced_tables
 from repro.sql.executor import Executor, StatementResult
 from repro.sql.parser import parse_statement, parse_statements
 
 QueryOutput = Union[Relation, URelation]
 
+#: Pseudo-table serializing checkpoints against in-flight writers: every
+#: writing statement holds it shared (for the whole transaction, once the
+#: transaction has written), a checkpoint takes it exclusive -- so a
+#: snapshot never captures another session's uncommitted changes.
+_STORE_GATE = "__store_gate__"
 
-class MayBMS:
-    """A probabilistic database session.
 
-    - ``seed`` drives every Monte-Carlo draw of the session (``aconf`` and
-      the dispatcher's fallback), so approximate results are reproducible;
-      defaults to the ``REPRO_SEED`` environment variable, then 0.
-    - ``confidence_strategy`` tunes the cost-based confidence dispatcher:
-      ``"auto"`` (the default; closed-form → SPROUT → budgeted exact →
-      Monte Carlo per independent lineage component) or a forced
-      ``"sprout"`` / ``"exact"`` / ``"monte-carlo"``.  Defaults to the
-      ``REPRO_CONF_STRATEGY`` environment variable, then ``"auto"``.
-    - ``exact_budget`` caps the exact engine's ws-tree subproblems per
-      component before ``conf()`` degrades to an (ε,δ) estimate; None
-      means never degrade.
-    - ``path`` makes the session durable: committed statements are
-      appended to an on-disk write-ahead log (fsynced per commit) under
-      that directory, and reopening ``MayBMS(path=...)`` recovers the
-      catalog *and the variable registry* — a recovered session answers
-      ``conf()`` over repair-key tables bit-identically.  Defaults to the
-      ``REPRO_DB_PATH`` environment variable; unset/empty means in-memory.
-    - ``checkpoint_every`` (durable sessions): automatically write a
-      snapshot checkpoint and rotate the WAL after this many commits
-      (``REPRO_CHECKPOINT_EVERY``, default 256; 0 disables).  ``CHECKPOINT``
-      is also a SQL statement, and :meth:`checkpoint` forces one.
-    """
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
 
-    def __init__(
-        self,
-        seed: Optional[int] = None,
-        confidence_strategy: Optional[str] = None,
-        exact_budget: Optional[int] = DispatchPolicy.exact_budget,
-        path: Optional[str] = None,
-        checkpoint_every: Optional[int] = None,
-    ):
-        if seed is None:
-            seed = int(os.environ.get("REPRO_SEED", "0"))
-        if confidence_strategy is None:
-            confidence_strategy = os.environ.get("REPRO_CONF_STRATEGY", "auto")
-        if path is None:
-            path = os.environ.get("REPRO_DB_PATH") or None
-        elif not path:
-            # An explicit empty path forces an in-memory session even when
-            # REPRO_DB_PATH is set (used by recover()).
-            path = None
-        if checkpoint_every is None:
-            checkpoint_every = int(os.environ.get("REPRO_CHECKPOINT_EVERY", "256"))
-        self.seed = seed
-        self.path = path
-        self.checkpoint_every = checkpoint_every
-        self.catalog = Catalog()
-        self.registry = VariableRegistry()
-        self.locks = LockManager()
-        self.storage: Optional[DurabilityManager] = None
-        if path is not None:
-            # Recover BEFORE wiring the registry hook: restored variables
-            # must not be re-logged to the WAL they came from.
-            self.storage = DurabilityManager(path)
-            self.recovery_stats = self.storage.recover_into(
-                self.catalog, self.registry
-            )
-        self.wal = WriteAheadLog(sink=self.storage)
-        self.registry.on_register = self.wal.log_variable
-        policy = DispatchPolicy(
-            strategy=confidence_strategy, exact_budget=exact_budget
-        )
-        self.executor = Executor(
-            self.catalog,
-            self.registry,
-            random.Random(seed),
-            confidence_policy=policy,
-            wal=self.wal,
-            transaction_supplier=self._current_transaction,
-            checkpoint_hook=self.checkpoint,
-        )
-        self._transaction: Optional[Transaction] = None
-        self._closed = False
 
-    def _current_transaction(self) -> Optional[Transaction]:
-        return self._transaction if self.in_transaction else None
+class _SessionBase:
+    """Behaviour shared by the root :class:`MayBMS` facade and the
+    lightweight :class:`Session` objects it spawns: SQL entry points,
+    transaction control, statement-scoped lock acquisition, and table
+    accessors.  Subclasses provide the shared state (catalog, registry,
+    locks, WAL) and ``self._store`` (the owning :class:`MayBMS`)."""
+
+    catalog: Catalog
+    registry: VariableRegistry
+    locks: LockManager
+    wal: WriteAheadLog
+    executor: Executor
+    read_only: bool
+    lock_timeout: float
 
     # -- confidence tuning ----------------------------------------------------
     @property
@@ -137,7 +107,7 @@ class MayBMS:
         explicitly to remove the budget (conf() never degrades to Monte
         Carlo)."""
         current = self.executor.dispatcher.policy
-        if exact_budget is MayBMS._KEEP_BUDGET:
+        if exact_budget is _SessionBase._KEEP_BUDGET:
             exact_budget = current.exact_budget
         self.executor.dispatcher.set_policy(
             DispatchPolicy(
@@ -178,6 +148,7 @@ class MayBMS:
         return result.output
 
     def _dispatch(self, statement: ast.Statement) -> StatementResult:
+        self._require_open()
         if isinstance(statement, ast.TransactionStatement):
             action = statement.action
             if action == "begin":
@@ -187,16 +158,133 @@ class MayBMS:
             else:
                 self.rollback()
             return StatementResult()
-        result = self.executor.execute(statement)
-        self._maybe_checkpoint()
+        reads, writes = referenced_tables(statement)
+        if self.read_only:
+            if writes or isinstance(statement, ast.Checkpoint):
+                raise TransactionError(
+                    "session is read-only; open a read-write session for "
+                    "DML, DDL, and CHECKPOINT"
+                )
+            if creates_variables(statement):
+                # repair key / pick tuples mint durable shared registry
+                # state even inside a SELECT.
+                raise TransactionError(
+                    "session is read-only; repair key / pick tuples create "
+                    "random variables in the shared store -- use a "
+                    "read-write session"
+                )
+        acquired = self._acquire_statement_locks(reads, writes)
+        store = self._store
+        previous = getattr(store._executing, "session", None)
+        store._executing.session = self
+        try:
+            result = self.executor.execute(statement)
+        finally:
+            store._executing.session = previous
+            if not self.in_transaction:
+                self._release_locks(acquired)
+        if not self.in_transaction:
+            store._maybe_checkpoint()
         return result
 
+    # -- locking ----------------------------------------------------------------
+    def _acquire_statement_locks(
+        self, reads: Set[str], writes: Set[str]
+    ) -> List[Tuple[str, str]]:
+        """Take the locks one statement needs: the store gate (shared) when
+        it writes, then table locks in sorted order (shared for reads,
+        exclusive for writes, upgrading in place when the session already
+        holds shared).  Returns what was newly acquired, so a failed
+        acquisition or an auto-commit statement can release exactly that.
+        Locks persist in ``self._held_locks`` for the duration of an
+        explicit transaction (strict two-phase locking)."""
+        if not reads and not writes:
+            return []
+        acquired: List[Tuple[str, str]] = []
+        try:
+            if writes:
+                self._acquire_one(_STORE_GATE, "shared", acquired)
+            for name in sorted(reads | writes):
+                mode = "exclusive" if name in writes else "shared"
+                self._acquire_one(name, mode, acquired)
+        except BaseException:
+            self._release_locks(acquired)
+            raise
+        return acquired
+
+    def _acquire_one(
+        self, name: str, mode: str, acquired: List[Tuple[str, str]]
+    ) -> None:
+        held = self._held_locks.get(name)
+        held_mode = held[0] if held else None
+        if held_mode in ("exclusive", "both"):
+            return  # exclusive covers everything
+        me = threading.get_ident()
+        if mode == "shared":
+            if held_mode == "shared":
+                return
+            self.locks.acquire_shared(name, timeout=self.lock_timeout)
+            self._held_locks[name] = ("shared", me)
+            acquired.append((name, "shared"))
+        else:
+            # Upgrades shared -> exclusive when this session holds shared
+            # (the LockManager discounts our own hold and fails fast on
+            # competing upgrades instead of deadlocking).
+            self.locks.acquire_exclusive(name, timeout=self.lock_timeout)
+            self._held_locks[name] = (
+                "both" if held_mode == "shared" else "exclusive",
+                me,
+            )
+            acquired.append((name, "exclusive"))
+
+    def _release_locks(self, acquired: List[Tuple[str, str]]) -> None:
+        for name, mode in reversed(acquired):
+            held = self._held_locks.get(name)
+            ident = held[1] if held else None
+            if mode == "exclusive":
+                self.locks.release_exclusive(name, ident)
+                if held is not None and held[0] == "both":
+                    self._held_locks[name] = ("shared", ident)
+                else:
+                    self._held_locks.pop(name, None)
+            else:
+                self.locks.release_shared(name, ident)
+                self._held_locks.pop(name, None)
+
+    def _release_all_locks(self) -> None:
+        """Release everything this session holds.  Locks are released under
+        their acquiring thread's identity, so a session abandoned by its
+        worker thread can still be cleaned up from the store's thread.
+        Best-effort: a hold the manager no longer recognizes (two
+        same-thread sessions shared one thread-keyed lock) must not abort
+        the cleanup of the remaining locks."""
+        for name, (mode, ident) in reversed(list(self._held_locks.items())):
+            try:
+                if mode in ("exclusive", "both"):
+                    self.locks.release_exclusive(name, ident)
+                if mode in ("shared", "both"):
+                    self.locks.release_shared(name, ident)
+            except TransactionError:
+                pass
+        self._held_locks.clear()
+
+    def _require_open(self) -> None:
+        pass  # the root facade stays permissive; Session overrides
+
     # -- transactions -------------------------------------------------------------
+    def _current_transaction(self) -> Optional[Transaction]:
+        return self._transaction if self.in_transaction else None
+
     @property
     def in_transaction(self) -> bool:
         return self._transaction is not None and self._transaction.is_active
 
     def begin(self) -> Transaction:
+        self._require_open()
+        if self.read_only:
+            raise TransactionError(
+                "read-only sessions do not support transactions"
+            )
         if self.in_transaction:
             raise TransactionError("a transaction is already in progress")
         self._transaction = Transaction(self.catalog, self.wal)
@@ -208,7 +296,8 @@ class MayBMS:
         assert self._transaction is not None
         self._transaction.commit()
         self._transaction = None
-        self._maybe_checkpoint()
+        self._release_all_locks()
+        self._store._maybe_checkpoint()
 
     def rollback(self) -> None:
         if not self.in_transaction:
@@ -216,6 +305,7 @@ class MayBMS:
         assert self._transaction is not None
         self._transaction.rollback()
         self._transaction = None
+        self._release_all_locks()
 
     @property
     def transaction(self) -> Transaction:
@@ -227,15 +317,20 @@ class MayBMS:
     # -- programmatic table management ------------------------------------------------
     def create_table_from_relation(self, name: str, relation: Relation) -> None:
         """Register a standard table holding a copy of ``relation``
-        (WAL-logged like any other DML)."""
-        with self.executor.write_transaction() as txn:
-            txn.create_table(name, relation.schema.unqualified(), KIND_STANDARD)
-            txn.insert_many(name, relation.rows)
+        (WAL-logged and lock-protected like any other DML)."""
+        self._programmatic_write(
+            name,
+            lambda txn: (
+                txn.create_table(name, relation.schema.unqualified(), KIND_STANDARD),
+                txn.insert_many(name, relation.rows),
+            ),
+        )
 
     def create_table_from_urelation(self, name: str, urel: URelation) -> None:
         """Register a U-relation (wide encoding) as a catalog table
-        (WAL-logged like any other DML)."""
-        with self.executor.write_transaction() as txn:
+        (WAL-logged and lock-protected like any other DML)."""
+
+        def build(txn: Transaction) -> None:
             txn.create_table(
                 name,
                 urel.relation.schema.unqualified(),
@@ -246,6 +341,20 @@ class MayBMS:
                 },
             )
             txn.insert_many(name, urel.relation.rows)
+
+        self._programmatic_write(name, build)
+
+    def _programmatic_write(self, name: str, build) -> None:
+        self._require_open()
+        if self.read_only:
+            raise TransactionError("session is read-only")
+        acquired = self._acquire_statement_locks(set(), {name.lower()})
+        try:
+            with self.executor.write_transaction() as txn:
+                build(txn)
+        finally:
+            if not self.in_transaction:
+                self._release_locks(acquired)
 
     def table(self, name: str) -> Relation:
         """Snapshot of a standard table's contents."""
@@ -269,39 +378,250 @@ class MayBMS:
     # -- durability ----------------------------------------------------------------
     @property
     def is_durable(self) -> bool:
-        return self.storage is not None
+        return self._store.storage is not None
 
     def checkpoint(self) -> bool:
         """Write a durable snapshot (catalog + variable registry) and
         rotate the write-ahead log.  Returns False for in-memory sessions
         (nothing to persist).  Raises inside an open transaction: the
-        snapshot would capture uncommitted state."""
-        if self.storage is None:
+        snapshot would capture uncommitted state.  Waits (up to the lock
+        timeout) for concurrent writers to commit -- the store gate
+        guarantees the snapshot never contains another session's
+        uncommitted changes."""
+        if self._store.storage is None:
             return False
         if self.in_transaction:
             raise TransactionError(
                 "cannot checkpoint inside an open transaction"
             )
-        self.wal.flush()
-        self.storage.checkpoint(self.catalog, self.registry)
+        return self._store._gated_checkpoint(self.lock_timeout)
+
+    # -- introspection ----------------------------------------------------------------
+    def sys_tables(self) -> Relation:
+        return self.catalog.sys_tables()
+
+    def sys_columns(self) -> Relation:
+        return self.catalog.sys_columns()
+
+
+class MayBMS(_SessionBase):
+    """A probabilistic database store, which is also its root session.
+
+    - ``seed`` drives every Monte-Carlo draw of the session (``aconf`` and
+      the dispatcher's fallback), so approximate results are reproducible;
+      defaults to the ``REPRO_SEED`` environment variable, then 0.
+    - ``confidence_strategy`` tunes the cost-based confidence dispatcher:
+      ``"auto"`` (the default; closed-form → SPROUT → budgeted exact →
+      Monte Carlo per independent lineage component) or a forced
+      ``"sprout"`` / ``"exact"`` / ``"monte-carlo"``.  Defaults to the
+      ``REPRO_CONF_STRATEGY`` environment variable, then ``"auto"``.
+    - ``exact_budget`` caps the exact engine's ws-tree subproblems per
+      component before ``conf()`` degrades to an (ε,δ) estimate; None
+      means never degrade.
+    - ``path`` makes the session durable: committed statements are
+      appended to an on-disk write-ahead log (fsynced per commit) under
+      that directory, and reopening ``MayBMS(path=...)`` recovers the
+      catalog *and the variable registry* — a recovered session answers
+      ``conf()`` over repair-key tables bit-identically.  Defaults to the
+      ``REPRO_DB_PATH`` environment variable; unset/empty means in-memory.
+    - ``checkpoint_every`` (durable sessions): automatically write a
+      snapshot checkpoint and rotate the WAL after this many commits
+      (``REPRO_CHECKPOINT_EVERY``, default 256; 0 disables).  ``CHECKPOINT``
+      is also a SQL statement, and :meth:`checkpoint` forces one.
+    - ``group_commit`` (durable sessions): concurrent commits coalesce
+      into one fsync performed by a group leader (``REPRO_GROUP_COMMIT``,
+      default on).  Single-threaded behaviour is identical -- one fsync
+      per commit -- and every commit still blocks until durable.
+    - ``lock_timeout``: seconds a statement waits for a table lock before
+      failing with :class:`TransactionError` (``REPRO_LOCK_TIMEOUT``,
+      default 30).  The timeout is the deadlock backstop for explicit
+      transactions that acquire locks in conflicting orders.
+
+    :meth:`session` spawns additional concurrent sessions over this
+    store; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        confidence_strategy: Optional[str] = None,
+        exact_budget: Optional[int] = DispatchPolicy.exact_budget,
+        path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        group_commit: Optional[bool] = None,
+        lock_timeout: Optional[float] = None,
+    ):
+        if seed is None:
+            seed = int(os.environ.get("REPRO_SEED", "0"))
+        if confidence_strategy is None:
+            confidence_strategy = os.environ.get("REPRO_CONF_STRATEGY", "auto")
+        if path is None:
+            path = os.environ.get("REPRO_DB_PATH") or None
+        elif not path:
+            # An explicit empty path forces an in-memory session even when
+            # REPRO_DB_PATH is set (used by recover()).
+            path = None
+        if checkpoint_every is None:
+            checkpoint_every = int(os.environ.get("REPRO_CHECKPOINT_EVERY", "256"))
+        if group_commit is None:
+            group_commit = _env_flag("REPRO_GROUP_COMMIT", True)
+        if lock_timeout is None:
+            lock_timeout = float(os.environ.get("REPRO_LOCK_TIMEOUT", "30"))
+        self.seed = seed
+        self.path = path
+        self.checkpoint_every = checkpoint_every
+        self.lock_timeout = lock_timeout
+        self.read_only = False
+        self.catalog = Catalog()
+        self.registry = VariableRegistry()
+        self.locks = LockManager()
+        self._store = self
+        #: Which session is executing a statement on the current thread --
+        #: the on_register hook routes variable registrations into that
+        #: session's in-flight transaction.
+        self._executing = threading.local()
+        self._sessions: List["Session"] = []
+        self._session_mutex = threading.Lock()
+        self.storage: Optional[DurabilityManager] = None
+        if path is not None:
+            # Recover BEFORE wiring the registry hook: restored variables
+            # must not be re-logged to the WAL they came from.
+            self.storage = DurabilityManager(path, group_commit=group_commit)
+            self.recovery_stats = self.storage.recover_into(
+                self.catalog, self.registry
+            )
+        self.wal = WriteAheadLog(sink=self.storage)
+        self.registry.on_register = self._route_variable_registration
+        policy = DispatchPolicy(
+            strategy=confidence_strategy, exact_budget=exact_budget
+        )
+        self.executor = Executor(
+            self.catalog,
+            self.registry,
+            random.Random(seed),
+            confidence_policy=policy,
+            wal=self.wal,
+            transaction_supplier=self._current_transaction,
+            checkpoint_hook=self.checkpoint,
+        )
+        self._transaction: Optional[Transaction] = None
+        self._held_locks: Dict[str, Tuple[str, int]] = {}
+        self._closed = False
+
+    # -- variable registration routing ---------------------------------------------
+    def _route_variable_registration(self, var, name, distribution) -> None:
+        """The registry's ``on_register`` hook: journal fresh variables in
+        the registering session's in-flight transaction when there is one
+        (rollback then unregisters them, and they reach the WAL only
+        inside that transaction's committed unit); otherwise log them
+        straight to the WAL as their own units (plain SELECT with repair
+        key)."""
+        session = getattr(self._executing, "session", None) or self
+        txn = session.executor.active_write_transaction
+        if txn is None:
+            txn = session._current_transaction()
+        if txn is not None and txn.is_active:
+            txn.register_variable(self.registry, var, name, distribution)
+        else:
+            self.wal.log_variable(var, name, distribution)
+
+    # -- concurrent sessions ---------------------------------------------------
+    def session(
+        self,
+        read_only: bool = False,
+        seed: Optional[int] = None,
+        confidence_strategy: Optional[str] = None,
+    ) -> "Session":
+        """Open a new session over this store.
+
+        The session shares the catalog, variable registry, lock manager,
+        durable storage, and write-ahead log, but has its own transaction
+        state, RNG, and confidence dispatcher -- so concurrent sessions
+        interleave safely (statement-scoped table locks) and approximate
+        answers stay reproducible per session.  ``read_only`` sessions
+        reject DML, DDL, CHECKPOINT, and transactions, and can never
+        block a checkpoint.  Close sessions before closing the store.
+        """
+        if self._closed:
+            raise TransactionError("store is closed")
+        session = Session(
+            self,
+            read_only=read_only,
+            seed=self.seed if seed is None else seed,
+            confidence_strategy=confidence_strategy,
+        )
+        with self._session_mutex:
+            self._sessions.append(session)
+        return session
+
+    def sessions(self) -> List["Session"]:
+        """The currently open sessions spawned from this store."""
+        with self._session_mutex:
+            return [s for s in self._sessions if not s._closed]
+
+    # -- durability ----------------------------------------------------------------
+    def _gated_checkpoint(self, timeout: float) -> bool:
+        """Snapshot + WAL rotation under the store gate (exclusive): no
+        statement can be mid-write, so the snapshot is transactionally
+        consistent.  Times out with :class:`TransactionError` if writers
+        keep the gate busy.
+
+        Two writer shapes escape the gate and are checked explicitly once
+        it is held: a writer session living on the *checkpointing thread*
+        (the LockManager keys ownership by thread, so its gate hold looks
+        like our own and the exclusive acquire succeeds as an upgrade),
+        and a *programmatic* transaction (``db.begin()`` +
+        ``db.transaction.insert(...)``) which never takes statement locks
+        at all.  Any session with a dirty open transaction fails the
+        checkpoint instead of corrupting it."""
+        self.locks.acquire_exclusive(_STORE_GATE, timeout=timeout)
+        try:
+            with self._session_mutex:
+                holders = [self] + list(self._sessions)
+            for holder in holders:
+                transaction = holder._transaction
+                if (
+                    transaction is not None
+                    and transaction.is_active
+                    and transaction.is_dirty
+                ):
+                    raise TransactionError(
+                        "cannot checkpoint: a session has an open "
+                        "transaction with uncommitted writes"
+                    )
+            self.wal.flush()
+            assert self.storage is not None
+            self.storage.checkpoint(self.catalog, self.registry)
+        finally:
+            self.locks.release_exclusive(_STORE_GATE)
         return True
 
     def _maybe_checkpoint(self) -> None:
         if (
             self.storage is not None
             and self.checkpoint_every
-            and not self.in_transaction
             and self.storage.commits_since_checkpoint >= self.checkpoint_every
         ):
-            self.checkpoint()
+            try:
+                # Best effort with a short gate timeout: under write load
+                # another commit will retrigger soon enough.
+                self._gated_checkpoint(min(self.lock_timeout, 1.0))
+            except TransactionError:
+                pass
 
     def close(self) -> None:
-        """Flush the WAL, write a final checkpoint, and release file
-        handles.  Idempotent; in-memory sessions just flush (a no-op)."""
+        """Close spawned sessions, flush the WAL, write a final checkpoint,
+        and release file handles.  Idempotent; in-memory stores just flush
+        (a no-op)."""
         if self._closed:
             return
+        with self._session_mutex:
+            open_sessions = list(self._sessions)
+        for session in open_sessions:
+            session.close()
         if self.in_transaction:
             self.rollback()
+        self._release_all_locks()
         self.wal.flush()
         if self.storage is not None:
             # Skip the snapshot when nothing committed since the last one:
@@ -366,9 +686,74 @@ class MayBMS:
             rebuild_registry(urelations, recovered.registry)
         return recovered
 
-    # -- introspection ----------------------------------------------------------------
-    def sys_tables(self) -> Relation:
-        return self.catalog.sys_tables()
 
-    def sys_columns(self) -> Relation:
-        return self.catalog.sys_columns()
+class Session(_SessionBase):
+    """A lightweight concurrent session over a shared :class:`MayBMS` store.
+
+    Created by :meth:`MayBMS.session`.  Shares the store's catalog,
+    variable registry, locks, durable storage, and WAL; owns its
+    transaction state, statement locks, RNG, and confidence dispatcher.
+    ``read_only`` sessions reject DML/DDL/CHECKPOINT/transactions.
+    """
+
+    def __init__(
+        self,
+        store: MayBMS,
+        read_only: bool = False,
+        seed: Optional[int] = None,
+        confidence_strategy: Optional[str] = None,
+    ):
+        self._store = store
+        self.catalog = store.catalog
+        self.registry = store.registry
+        self.locks = store.locks
+        self.wal = store.wal
+        self.read_only = read_only
+        self.lock_timeout = store.lock_timeout
+        self.seed = store.seed if seed is None else seed
+        base = store.confidence_policy
+        policy = DispatchPolicy(
+            strategy=(
+                base.strategy if confidence_strategy is None else confidence_strategy
+            ),
+            exact_budget=base.exact_budget,
+            epsilon=base.epsilon,
+            delta=base.delta,
+        )
+        self.executor = Executor(
+            self.catalog,
+            self.registry,
+            random.Random(self.seed),
+            confidence_policy=policy,
+            wal=self.wal,
+            transaction_supplier=self._current_transaction,
+            checkpoint_hook=self.checkpoint,
+        )
+        self._transaction: Optional[Transaction] = None
+        self._held_locks: Dict[str, Tuple[str, int]] = {}
+        self._closed = False
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("session is closed")
+
+    def close(self) -> None:
+        """Roll back any open transaction, release held locks, and detach
+        from the store.  Idempotent."""
+        if self._closed:
+            return
+        if self.in_transaction:
+            self.rollback()
+        self._release_all_locks()
+        self._closed = True
+        with self._store._session_mutex:
+            try:
+                self._store._sessions.remove(self)
+            except ValueError:
+                pass
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

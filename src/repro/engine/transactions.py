@@ -88,6 +88,15 @@ class _UndoDropTable:
         self.catalog.register(self.entry)
 
 
+@dataclass
+class _UndoRegisterVariable:
+    registry: Any
+    var: int
+
+    def undo(self) -> None:
+        self.registry.unregister(self.var)
+
+
 class Transaction:
     """An explicit transaction over catalog tables.
 
@@ -107,6 +116,12 @@ class Transaction:
     @property
     def is_active(self) -> bool:
         return self._state == "active"
+
+    @property
+    def is_dirty(self) -> bool:
+        """Has this transaction applied any not-yet-committed mutation?
+        (Checkpoints must not snapshot a store with dirty transactions.)"""
+        return bool(self._undo)
 
     def _require_active(self) -> None:
         if self._state != "active":
@@ -216,6 +231,24 @@ class Transaction:
         self._undo.append(_UndoDropTable(self.catalog, entry))
         self._redo.append(("drop_table", name))
 
+    def register_variable(
+        self,
+        registry: Any,
+        var: int,
+        name: str,
+        distribution: Mapping[int, float],
+    ) -> None:
+        """Journal a fresh-variable registration (``repair key`` / ``pick
+        tuples``) so it is *undoable*: rollback unregisters the variable,
+        and the registration only reaches the WAL inside this
+        transaction's committed unit.  Called (via the session facade's
+        ``on_register`` hook) *after* the registry created the variable."""
+        self._require_active()
+        self._undo.append(_UndoRegisterVariable(registry, var))
+        self._redo.append(
+            ("register_variable", int(var), name, sorted(distribution.items()))
+        )
+
     # -- savepoints ----------------------------------------------------------
     def savepoint(self) -> Tuple[int, int]:
         """Mark the current undo/redo high-water marks.  Used for
@@ -302,9 +335,12 @@ class LockManager:
             holders = self._readers.setdefault(key, {})
             holders[me] = holders.get(me, 0) + 1
 
-    def release_shared(self, table_name: str) -> None:
+    def release_shared(self, table_name: str, ident: Optional[int] = None) -> None:
+        """Release one shared hold.  ``ident`` names the owning thread when
+        the release happens on a different thread (session cleanup after
+        its worker thread exited); defaults to the calling thread."""
         key = table_name.lower()
-        me = threading.get_ident()
+        me = ident if ident is not None else threading.get_ident()
         with self._condition:
             holders = self._readers.get(key, {})
             count = holders.get(me, 0)
@@ -356,9 +392,10 @@ class LockManager:
                 )
             self._writer[key] = me
 
-    def release_exclusive(self, table_name: str) -> None:
+    def release_exclusive(self, table_name: str, ident: Optional[int] = None) -> None:
+        """Release the exclusive lock; ``ident`` as in :meth:`release_shared`."""
         key = table_name.lower()
-        me = threading.get_ident()
+        me = ident if ident is not None else threading.get_ident()
         with self._condition:
             if self._writer.get(key) != me:
                 raise TransactionError(f"exclusive lock on {table_name!r} not held")
@@ -388,29 +425,50 @@ class WriteAheadLog:
 
     When ``sink`` is given, every commit unit is flushed (written +
     fsynced) before :meth:`append_committed` returns.  Variable
-    registrations are buffered and ride along with the next flush: nothing
-    durable can reference a variable before some committed DML does, so
-    lazily flushing them preserves recoverability at one fsync per commit.
+    registrations made inside a transaction travel in that transaction's
+    redo records; registrations outside any transaction (plain SELECT with
+    ``repair key``) are buffered as their own units and ride along with
+    the next flush: nothing durable can reference a variable before some
+    committed DML does, so lazily flushing them preserves recoverability
+    at one fsync per commit.
+
+    The log is thread-safe: one WAL is shared by every session of a
+    multi-session store, and concurrent commits must not interleave their
+    records inside each other's begin..commit units.  The mutex only
+    guards the in-memory record list -- the durable ``sink.append`` runs
+    outside it, so concurrent commits can coalesce in the sink's group
+    committer instead of serializing on the WAL.
     """
 
     def __init__(self, sink: Optional[Any] = None):
         self._records: List[Tuple[Any, ...]] = []
+        self._mutex = threading.Lock()
         self.sink = sink
 
     def append_committed(self, records: Sequence[Tuple[Any, ...]]) -> None:
-        mark = len(self._records)
-        self._records.append(("begin",))
-        self._records.extend(tuple(r) for r in records)
-        self._records.append(("commit",))
+        unit: List[Tuple[Any, ...]] = [("begin",)]
+        unit.extend(tuple(r) for r in records)
+        unit.append(("commit",))
+        if self.sink is None:
+            with self._mutex:
+                self._records.extend(unit)
+            return
+        # Take any buffered variable-only units along (they must precede
+        # DML that references them only in memory -- replay order is
+        # irrelevant across units) and release the mutex before the
+        # durable append so concurrent commits group-commit in the sink.
+        with self._mutex:
+            pending = self._records
+            self._records = []
         try:
-            self.flush()
+            self.sink.append(pending + unit)
         except BaseException:
-            # The unit never became durable: drop it from the in-memory log
-            # too, so a later flush cannot resurrect the transaction the
-            # caller is about to roll back.  (Pending variable units before
-            # ``mark`` stay queued -- registry state still exists in memory,
-            # and their replay is idempotent.)
-            del self._records[mark:]
+            # The unit never became durable: drop it, so a later flush
+            # cannot resurrect the transaction the caller is about to roll
+            # back.  Buffered variable units are re-queued -- registry
+            # state still exists in memory, and their replay is idempotent.
+            with self._mutex:
+                self._records = pending + self._records
             raise
 
     def log_variable(
@@ -418,14 +476,16 @@ class WriteAheadLog:
     ) -> None:
         """Log a fresh-variable registration as its own committed unit.
 
-        Durability is lazy (see class docstring); the in-memory record is
-        visible to :meth:`replay` immediately.
+        Used for registrations outside any transaction.  Durability is
+        lazy (see class docstring); the in-memory record is visible to
+        :meth:`replay` immediately.
         """
-        self._records.append(("begin",))
-        self._records.append(
-            ("register_variable", int(var), name, sorted(distribution.items()))
-        )
-        self._records.append(("commit",))
+        with self._mutex:
+            self._records.append(("begin",))
+            self._records.append(
+                ("register_variable", int(var), name, sorted(distribution.items()))
+            )
+            self._records.append(("commit",))
 
     def flush(self) -> None:
         """Push pending records to the durable sink (no-op without one).
@@ -435,18 +495,31 @@ class WriteAheadLog:
         grow its redo list without bound.  In-memory sessions keep them
         (they ARE the log, and :meth:`replay` / ``MayBMS.recover()`` read
         them back)."""
-        if self.sink is not None and self._records:
-            self.sink.append(self._records)
-            self._records.clear()
+        if self.sink is None:
+            return
+        with self._mutex:
+            if not self._records:
+                return
+            pending = self._records
+            self._records = []
+        try:
+            self.sink.append(pending)
+        except BaseException:
+            with self._mutex:
+                self._records = pending + self._records
+            raise
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._mutex:
+            return len(self._records)
 
     def records(self) -> List[Tuple[Any, ...]]:
-        return list(self._records)
+        with self._mutex:
+            return list(self._records)
 
     def has_variable_records(self) -> bool:
-        return any(r and r[0] == "register_variable" for r in self._records)
+        with self._mutex:
+            return any(r and r[0] == "register_variable" for r in self._records)
 
     def replay(
         self,
@@ -456,7 +529,7 @@ class WriteAheadLog:
         """Rebuild a catalog (and optionally a registry) by replaying every
         committed operation."""
         catalog = catalog if catalog is not None else Catalog()
-        replay_records(self._records, catalog, registry)
+        replay_records(self.records(), catalog, registry)
         return catalog
 
 

@@ -109,6 +109,29 @@ class UncertainDistinctError(AnalysisError):
     ``possible`` construct (Section 2.2)."""
 
 
+class ServingError(MayBMSError):
+    """Base class for errors in the client/server serving layer."""
+
+
+class ProtocolError(ServingError):
+    """A wire-protocol message was malformed, oversized, or truncated."""
+
+
+class ServerError(ServingError):
+    """A statement failed server-side; carries the original error type.
+
+    Raised by the client when a response reports ``ok: false``.  The
+    server-side exception class name is in :attr:`error_type` so callers
+    can distinguish, say, an :class:`AnalysisError` from a
+    :class:`TransactionError` without sharing exception identity across
+    the wire."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.server_message = message
+
+
 class ProbabilisticError(MayBMSError):
     """Base class for errors in the probabilistic layer."""
 

@@ -1,0 +1,25 @@
+"""Multi-session serving: socket server + wire protocol.
+
+See :mod:`repro.server.server` for the server and
+:mod:`repro.server.protocol` for the message format; the matching
+blocking client lives in :mod:`repro.client`.  The ``maybms-server``
+console entry point (``python -m repro.server``) starts a standalone
+server process.
+"""
+
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    encode_result,
+    recv_message,
+    send_message,
+)
+from repro.server.server import DEFAULT_HOST, MayBMSServer
+
+__all__ = [
+    "DEFAULT_HOST",
+    "MAX_MESSAGE_BYTES",
+    "MayBMSServer",
+    "encode_result",
+    "recv_message",
+    "send_message",
+]

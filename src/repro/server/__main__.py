@@ -1,0 +1,88 @@
+"""``maybms-server``: serve one MayBMS store to concurrent clients.
+
+Examples::
+
+    maybms-server --path /data/mydb --port 8642
+    python -m repro.server --path /tmp/db --port 0   # ephemeral port
+
+The server prints one status line (``listening on <host>:<port> ...``)
+once it accepts connections, so wrappers can scrape the bound port when
+using ``--port 0``.  Stop it with Ctrl-C (orderly: open transactions
+roll back, a final checkpoint is written) -- or ``kill -9`` it and let
+crash recovery replay the WAL on the next start.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.server.server import DEFAULT_HOST, MayBMSServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="maybms-server",
+        description="Serve a MayBMS probabilistic database to concurrent clients.",
+    )
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="database directory (durable WAL + checkpoints); omit for an "
+        "in-memory store",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="session RNG seed")
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="auto-checkpoint after this many commits (default 256)",
+    )
+    parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="fsync each commit individually instead of group commit",
+    )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        help="seconds a statement waits for a table lock (default 30)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = MayBMSServer(
+        host=args.host,
+        port=args.port,
+        path=args.path,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        group_commit=False if args.no_group_commit else None,
+        lock_timeout=args.lock_timeout,
+    )
+    store = args.path if args.path else "in-memory"
+    print(
+        f"maybms-server listening on {server.host}:{server.port} "
+        f"(store={store}, group_commit="
+        f"{'off' if args.no_group_commit else 'on'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""The MayBMS server: one durable store, many concurrent client sessions.
+
+The paper's architectural bet is that a probabilistic DBMS built inside a
+conventional one inherits serving for free -- storage, concurrency
+control, and recovery all come from the host.  This module supplies the
+equivalent for the pure-Python engine: a socket server that hosts a
+single :class:`~repro.db.MayBMS` store and speaks the length-prefixed
+JSON protocol of :mod:`repro.server.protocol`.
+
+Each accepted connection gets its own thread and its own
+:meth:`MayBMS.session` (read-only on request), so per-connection
+transaction state behaves like one PostgreSQL backend: statements from
+different clients interleave under the shared
+:class:`~repro.engine.transactions.LockManager` (readers run concurrently
+with a writer; writers serialize per table), and concurrent commits
+coalesce in the durable store's group committer -- one fsync per *batch*
+of commits under load.
+
+Statement errors are reported to the offending client and the connection
+keeps serving; protocol errors and disconnects tear the connection down,
+rolling back its open transaction.  ``kill -9`` of the whole process is
+exactly the crash the WAL is for: restarting the server on the same
+``--path`` recovers every committed statement bit-identically.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.db import MayBMS, Session
+from repro.errors import MayBMSError, ProtocolError
+from repro.server import protocol
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class MayBMSServer:
+    """A threaded socket server over one (optionally durable) store.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    construction).  Pass ``db`` to serve an existing store -- e.g. an
+    in-process benchmark that wants to read the store's fsync counters --
+    otherwise one is created from the remaining keyword arguments and
+    closed with the server.
+    """
+
+    def __init__(
+        self,
+        db: Optional[MayBMS] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        path: Optional[str] = None,
+        seed: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        group_commit: Optional[bool] = None,
+        lock_timeout: Optional[float] = None,
+        backlog: int = 64,
+    ):
+        if db is None:
+            db = MayBMS(
+                seed=seed,
+                path=path if path is not None else "",
+                checkpoint_every=checkpoint_every,
+                group_commit=group_commit,
+                lock_timeout=lock_timeout,
+            )
+            self._owns_db = True
+        else:
+            self._owns_db = False
+        self.db = db
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._threads_mutex = threading.Lock()
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._session_counter = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- serving -----------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`close` (blocking)."""
+        # A finite accept timeout lets the loop observe close() promptly --
+        # closing a socket does not reliably wake a thread blocked in
+        # accept().
+        self._listener.settimeout(0.2)
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed
+            connection.settimeout(None)
+            thread = threading.Thread(
+                target=self._handle_connection,
+                args=(connection,),
+                daemon=True,
+                name=f"maybms-client-{connection.fileno()}",
+            )
+            with self._threads_mutex:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+                self._connections.append(connection)
+            thread.start()
+
+    def start(self) -> "MayBMSServer":
+        """Serve on a background thread (for embedding in tests/benchmarks)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True, name="maybms-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, disconnect clients, close the store.
+
+        Idle handler threads block in ``recv``; shutting their sockets
+        down wakes them immediately, so they run their own session
+        cleanup (rollback + close) before the store is closed."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        with self._threads_mutex:
+            threads = list(self._threads)
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=5)
+        if self._owns_db:
+            self.db.close()
+
+    def __enter__(self) -> "MayBMSServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- per-connection handling ----------------------------------------------
+    def _handle_connection(self, connection: socket.socket) -> None:
+        session: Optional[Session] = None
+        try:
+            with connection:
+                connection.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                while not self._stopping.is_set():
+                    try:
+                        request = protocol.recv_message(connection)
+                    except ProtocolError:
+                        break  # malformed framing: drop the connection
+                    if request is None:
+                        break
+                    if session is None:
+                        session = self._open_session(request)
+                    response, done = self._respond(session, request)
+                    try:
+                        protocol.send_message(connection, response)
+                    except ProtocolError as exc:
+                        # The *response* was oversized (a huge result set).
+                        # The statement itself succeeded or failed normally;
+                        # report the encoding failure as a statement error
+                        # and keep the connection (and its transaction).
+                        try:
+                            protocol.send_message(
+                                connection,
+                                {"ok": False, "error": protocol.encode_error(exc)},
+                            )
+                        except (OSError, ProtocolError):
+                            break
+                    except OSError:
+                        break
+                    if done:
+                        break
+        finally:
+            if session is not None:
+                session.close()
+            with self._threads_mutex:
+                try:
+                    self._connections.remove(connection)
+                except ValueError:
+                    pass
+
+    def _open_session(self, request: Dict[str, Any]) -> Session:
+        read_only = bool(request.get("read_only", False))
+        with self._threads_mutex:
+            self._session_counter += 1
+        return self.db.session(read_only=read_only)
+
+    def _respond(
+        self, session: Session, request: Dict[str, Any]
+    ) -> "tuple[Dict[str, Any], bool]":
+        op = request.get("op")
+        try:
+            if op == "hello":
+                return (
+                    {
+                        "ok": True,
+                        "server": "maybms",
+                        "session": self._session_counter,
+                        "read_only": session.read_only,
+                        "durable": session.is_durable,
+                    },
+                    False,
+                )
+            if op == "ping":
+                return {"ok": True}, False
+            if op == "close":
+                return {"ok": True}, True
+            if op == "execute":
+                result = session.execute(str(request.get("sql", "")))
+                return {"ok": True, "result": protocol.encode_result(result)}, False
+            if op == "script":
+                results = session.execute_script(str(request.get("sql", "")))
+                return (
+                    {
+                        "ok": True,
+                        "results": [protocol.encode_result(r) for r in results],
+                    },
+                    False,
+                )
+            if op == "tables":
+                return {"ok": True, "tables": session.tables()}, False
+            raise ProtocolError(f"unknown operation {op!r}")
+        except MayBMSError as exc:
+            # Statement-level failure: report and keep serving.  The
+            # executor already rolled back the statement's effects.
+            return {"ok": False, "error": protocol.encode_error(exc)}, False
+        except Exception as exc:  # pragma: no cover - defensive
+            return {"ok": False, "error": protocol.encode_error(exc)}, False

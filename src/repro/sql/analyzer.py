@@ -98,6 +98,141 @@ def aggregates_in(expr: ast.SqlExpr) -> List[ast.SqlFunction]:
     ]
 
 
+def referenced_tables(statement: ast.Statement) -> Tuple[Set[str], Set[str]]:
+    """The ``(read, write)`` table-name sets a statement touches.
+
+    Drives statement-scoped lock acquisition in the multi-session facade:
+    read tables take shared locks, write tables exclusive locks.  Names
+    are lower-cased (the catalog folds identifiers); tables that do not
+    exist yet (CREATE TABLE targets) are included -- locks are by name,
+    which also serializes two sessions racing to create the same table.
+    """
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+
+    def add_expr(expr: Optional[ast.SqlExpr]) -> None:
+        if expr is None:
+            return
+        for node in walk_expr(expr):
+            if isinstance(node, (ast.SqlInQuery, ast.SqlScalarSubquery)):
+                add_query(node.query)
+
+    def add_query(query: ast.SqlQuery) -> None:
+        if isinstance(query, ast.UnionQuery):
+            add_query(query.left)
+            add_query(query.right)
+            return
+        if isinstance(query, (ast.RepairKeyRef, ast.PickTuplesRef)):
+            source = query.source
+            if isinstance(source, ast.TableRef):
+                reads.add(source.name.lower())
+            else:
+                add_query(source)
+            add_expr(getattr(query, "weight", None))
+            add_expr(getattr(query, "probability", None))
+            return
+        assert isinstance(query, ast.SelectQuery)
+        for item in query.from_items:
+            if isinstance(item, ast.TableRef):
+                reads.add(item.name.lower())
+            elif isinstance(item, ast.SubqueryRef):
+                add_query(item.query)
+            elif isinstance(item, (ast.RepairKeyRef, ast.PickTuplesRef)):
+                add_query(item)
+        for select_item in query.items:
+            add_expr(select_item.expr)
+        for group_expr in query.group_by:
+            add_expr(group_expr)
+        add_expr(query.where)
+        add_expr(query.having)
+        for order_expr, _ in query.order_by:
+            add_expr(order_expr)
+
+    if isinstance(statement, ast.CreateTable):
+        writes.add(statement.name.lower())
+    elif isinstance(statement, ast.CreateTableAs):
+        writes.add(statement.name.lower())
+        add_query(statement.query)
+    elif isinstance(statement, ast.DropTable):
+        writes.add(statement.name.lower())
+    elif isinstance(statement, ast.InsertValues):
+        writes.add(statement.table.lower())
+        for row in statement.rows:
+            for expr in row:
+                add_expr(expr)
+    elif isinstance(statement, ast.InsertQuery):
+        writes.add(statement.table.lower())
+        add_query(statement.query)
+    elif isinstance(statement, ast.Update):
+        writes.add(statement.table.lower())
+        add_expr(statement.where)
+        for _, expr in statement.assignments:
+            add_expr(expr)
+    elif isinstance(statement, ast.Delete):
+        writes.add(statement.table.lower())
+        add_expr(statement.where)
+    elif isinstance(statement, ast.Explain):
+        add_query(statement.query)
+    elif isinstance(
+        statement,
+        (ast.SelectQuery, ast.UnionQuery, ast.RepairKeyRef, ast.PickTuplesRef),
+    ):
+        add_query(statement)
+    # TransactionStatement / Checkpoint touch no tables; CHECKPOINT takes
+    # the store gate itself.
+    reads -= writes
+    return reads, writes
+
+
+def creates_variables(statement: ast.Statement) -> bool:
+    """Does the statement contain ``repair key`` / ``pick tuples``?
+
+    These constructs mint fresh random variables in the *shared* registry
+    (and, on a durable store, append ``register_variable`` WAL units), so
+    read-only sessions reject them: a read must never grow store state.
+    """
+    found = False
+
+    def scan_expr(expr: Optional[ast.SqlExpr]) -> None:
+        if expr is None:
+            return
+        for node in walk_expr(expr):
+            if isinstance(node, (ast.SqlInQuery, ast.SqlScalarSubquery)):
+                scan_query(node.query)
+
+    def scan_query(query: ast.SqlQuery) -> None:
+        nonlocal found
+        if found:
+            return
+        if isinstance(query, ast.UnionQuery):
+            scan_query(query.left)
+            scan_query(query.right)
+            return
+        if isinstance(query, (ast.RepairKeyRef, ast.PickTuplesRef)):
+            found = True
+            return
+        assert isinstance(query, ast.SelectQuery)
+        for item in query.from_items:
+            if isinstance(item, (ast.RepairKeyRef, ast.PickTuplesRef)):
+                found = True
+                return
+            if isinstance(item, ast.SubqueryRef):
+                scan_query(item.query)
+        for select_item in query.items:
+            scan_expr(select_item.expr)
+        scan_expr(query.where)
+        scan_expr(query.having)
+
+    if isinstance(
+        statement,
+        (ast.SelectQuery, ast.UnionQuery, ast.RepairKeyRef, ast.PickTuplesRef),
+    ):
+        scan_query(statement)
+    elif isinstance(statement, (ast.CreateTableAs, ast.InsertQuery, ast.Explain)):
+        scan_query(statement.query)
+    return found
+
+
 class Analyzer:
     """Validates statements against a catalog before execution."""
 

@@ -125,6 +125,12 @@ class Executor:
         #: Wired by the session facade to its durable checkpoint; None for
         #: a bare executor (CHECKPOINT is then a no-op).
         self.checkpoint_hook = checkpoint_hook
+        #: The transaction of the statement currently inside
+        #: :meth:`write_transaction`, if any.  The session facade routes
+        #: variable registrations (``repair key`` / ``pick tuples``) into
+        #: it so they are undone by rollback and reach the WAL only inside
+        #: the statement's committed unit.
+        self.active_write_transaction: Optional[Transaction] = None
 
     @contextmanager
     def write_transaction(self) -> Iterator[Transaction]:
@@ -140,29 +146,35 @@ class Executor:
         supplied = (
             self.transaction_supplier() if self.transaction_supplier else None
         )
-        if supplied is not None:
-            mark = supplied.savepoint()
+        txn = supplied if supplied is not None else Transaction(self.catalog, self.wal)
+        previous = self.active_write_transaction
+        self.active_write_transaction = txn
+        try:
+            if supplied is not None:
+                mark = supplied.savepoint()
+                try:
+                    yield supplied
+                except BaseException:
+                    supplied.rollback_to(mark)
+                    raise
+                return
             try:
-                yield supplied
+                yield txn
             except BaseException:
-                supplied.rollback_to(mark)
+                txn.rollback()
                 raise
-            return
-        txn = Transaction(self.catalog, self.wal)
-        try:
-            yield txn
-        except BaseException:
-            txn.rollback()
-            raise
-        try:
-            txn.commit()
-        except BaseException:
-            # A commit-time durability failure (closed storage, full disk)
-            # must not leave the statement's effects applied in memory when
-            # they never reached the log -- the undo journal is still
-            # intact because commit raises before clearing it.
-            txn.rollback()
-            raise
+            try:
+                txn.commit()
+            except BaseException:
+                # A commit-time durability failure (closed storage, full
+                # disk) must not leave the statement's effects applied in
+                # memory when they never reached the log -- the undo
+                # journal is still intact because commit raises before
+                # clearing it.
+                txn.rollback()
+                raise
+        finally:
+            self.active_write_transaction = previous
 
     def _lower(self, expr: ast.SqlExpr) -> Expr:
         """Lower a syntactic expression, pre-evaluating any t-certain
@@ -264,21 +276,25 @@ class Executor:
         return StatementResult()
 
     def _execute_create_table_as(self, statement: ast.CreateTableAs) -> StatementResult:
-        output = self.evaluate_query(statement.query)
-        if isinstance(output, Relation):
-            schema = output.schema.unqualified()
-            kind = KIND_STANDARD
-            properties: Optional[Dict[str, Any]] = None
-            rows = output.rows
-        else:
-            schema = output.relation.schema.unqualified()
-            kind = KIND_URELATION
-            properties = {
-                "payload_arity": output.payload_arity,
-                "cond_arity": output.cond_arity,
-            }
-            rows = output.relation.rows
+        # The query is evaluated *inside* the write transaction: repair-key
+        # and pick-tuples sources register fresh variables, which must roll
+        # back with the statement (and must ride in the statement's commit
+        # unit so a recovered table never references unknown variables).
         with self.write_transaction() as txn:
+            output = self.evaluate_query(statement.query)
+            if isinstance(output, Relation):
+                schema = output.schema.unqualified()
+                kind = KIND_STANDARD
+                properties: Optional[Dict[str, Any]] = None
+                rows = output.rows
+            else:
+                schema = output.relation.schema.unqualified()
+                kind = KIND_URELATION
+                properties = {
+                    "payload_arity": output.payload_arity,
+                    "cond_arity": output.cond_arity,
+                }
+                rows = output.relation.rows
             if statement.if_not_exists and self.catalog.has_table(statement.name):
                 entry = self.catalog.entry(statement.name)
             else:
@@ -317,28 +333,31 @@ class Executor:
 
     def _execute_insert_query(self, statement: ast.InsertQuery) -> StatementResult:
         entry = self.catalog.entry(statement.table)
-        output = self.evaluate_query(statement.query)
-        if isinstance(output, URelation):
-            if not entry.is_urelation:
-                raise AnalysisError(
-                    "cannot INSERT an uncertain result into a standard table; "
-                    "create the table with CREATE TABLE ... AS first"
-                )
-            target_arity = int(entry.properties.get("cond_arity", 0))
-            if output.cond_arity > target_arity:
-                raise SchemaError(
-                    f"uncertain result needs {output.cond_arity} condition "
-                    f"columns, table has {target_arity}"
-                )
-            rows = output.pad_to(target_arity).relation.rows
-        else:
-            if entry.is_urelation:
-                raise AnalysisError(
-                    "cannot INSERT a t-certain result into a U-relation; "
-                    "wrap it with repair key / pick tuples first"
-                )
-            rows = output.rows
+        # Evaluate inside the write transaction so variables registered by
+        # the source query roll back with the statement (see
+        # _execute_create_table_as).
         with self.write_transaction() as txn:
+            output = self.evaluate_query(statement.query)
+            if isinstance(output, URelation):
+                if not entry.is_urelation:
+                    raise AnalysisError(
+                        "cannot INSERT an uncertain result into a standard table; "
+                        "create the table with CREATE TABLE ... AS first"
+                    )
+                target_arity = int(entry.properties.get("cond_arity", 0))
+                if output.cond_arity > target_arity:
+                    raise SchemaError(
+                        f"uncertain result needs {output.cond_arity} condition "
+                        f"columns, table has {target_arity}"
+                    )
+                rows = output.pad_to(target_arity).relation.rows
+            else:
+                if entry.is_urelation:
+                    raise AnalysisError(
+                        "cannot INSERT a t-certain result into a U-relation; "
+                        "wrap it with repair key / pick tuples first"
+                    )
+                rows = output.rows
             tids = txn.insert_many(statement.table, rows)
         return StatementResult(row_count=len(tids))
 
@@ -499,10 +518,19 @@ class Executor:
                 (self._lower(i.expr), self._item_name(i, k))
                 for k, i in enumerate(items)
             ]
+            # Self-joins project the same bare column name from both sides
+            # (``select x.a, y.a from t x, t y``); qualify the colliding
+            # output columns by their table alias so the output schema is
+            # legal (duplicate bare names under distinct qualifiers).
+            qualifiers = _output_qualifiers(items, [n for _, n in lowered_items])
             # ORDER BY may reference input columns that are not projected
             # (standard SQL); carry them through as hidden sort columns.
-            hidden = self._hidden_sort_columns(query, body, lowered_items)
-            projected = u_project(body, lowered_items + hidden)
+            hidden = self._hidden_sort_columns(
+                query, body, lowered_items, qualifiers
+            )
+            projected = _project_qualified(
+                body, lowered_items + hidden, qualifiers + [None] * len(hidden)
+            )
             if query.possible:
                 result = agg.possible(projected)
             elif body_certain:
@@ -530,15 +558,18 @@ class Executor:
         query: ast.SelectQuery,
         body: URelation,
         lowered_items: List[Tuple[Expr, str]],
+        qualifiers: Optional[List[Optional[str]]] = None,
     ) -> List[Tuple[Expr, str]]:
         """Sort expressions not computable from the select list become
         hidden projection columns ``_s{i}`` (stripped after ordering)."""
         if not query.order_by:
             return []
+        if qualifiers is None:
+            qualifiers = [None] * len(lowered_items)
         body_schema = body.payload_schema
         visible = Schema(
-            Column(name, expr.infer_type(body_schema))
-            for expr, name in lowered_items
+            Column(name, expr.infer_type(body_schema), qualifier)
+            for (expr, name), qualifier in zip(lowered_items, qualifiers)
         )
         hidden: List[Tuple[Expr, str]] = []
         for position, (sort_expr, _) in enumerate(query.order_by):
@@ -784,13 +815,16 @@ class Executor:
         out_rows: List[List[Any]] = [[] for _ in order]
         agg_by_id = {id(node): result_name for node, result_name, _ in agg_specs}
 
+        out_names = [self._item_name(item, k) for k, item in enumerate(items)]
+        out_qualifiers = _output_qualifiers(items, out_names)
         for position, item in enumerate(items):
-            name = self._item_name(item, position)
+            name = out_names[position]
+            qualifier = out_qualifiers[position]
             if isinstance(item.expr, ast.SqlFunction) and aggregate_kind(
                 item.expr.name
             ) == "uncertain":
                 result_name = agg_by_id[id(item.expr)]
-                out_columns.append(Column(name, type_from_name("float")))
+                out_columns.append(Column(name, type_from_name("float"), qualifier))
                 for row_index, key in enumerate(order):
                     out_rows[row_index].append(merged[key].get(result_name, 0.0))
             else:
@@ -799,7 +833,7 @@ class Executor:
                 source_type = self._lower(item.expr).infer_type(
                     body.payload_schema
                 )
-                out_columns.append(Column(name, source_type))
+                out_columns.append(Column(name, source_type, qualifier))
                 for row_index, key in enumerate(order):
                     out_rows[row_index].append(group_values[key][index])
 
@@ -923,17 +957,21 @@ class Executor:
     def _evaluate_tconf(
         self, items: List[ast.SelectItem], body: URelation
     ) -> Relation:
+        # Plain items are projected under positional placeholder names so
+        # that a self-join's duplicate output names (``x.a``, ``y.a``)
+        # never collide; the real (alias-qualified) names are attached to
+        # the assembled output below.
+        out_names = [self._item_name(item, k) for k, item in enumerate(items)]
+        out_qualifiers = _output_qualifiers(items, out_names)
         plain_items: List[Tuple[Expr, str]] = []
-        tconf_names: List[str] = []
-        layout: List[Tuple[str, str]] = []  # ("plain", name) | ("tconf", name)
+        layout: List[Tuple[str, str]] = []  # ("plain", internal) | ("tconf", "")
         for position, item in enumerate(items):
-            name = self._item_name(item, position)
             if isinstance(item.expr, ast.SqlFunction) and item.expr.name == "tconf":
-                tconf_names.append(name)
-                layout.append(("tconf", name))
+                layout.append(("tconf", ""))
             else:
-                plain_items.append((self._lower(item.expr), name))
-                layout.append(("plain", name))
+                internal = f"_q{position}"
+                plain_items.append((self._lower(item.expr), internal))
+                layout.append(("plain", internal))
         if not plain_items:
             plain_items = [(Literal(1), "_dummy")]
         projected = u_project(body, plain_items)
@@ -941,15 +979,17 @@ class Executor:
         # Reorder into the requested select-list order.
         columns: List[Column] = []
         positions: List[int] = []
-        for kind, name in layout:
+        for position, (kind, internal) in enumerate(layout):
+            name = out_names[position]
+            qualifier = out_qualifiers[position]
             if kind == "tconf":
                 positions.append(len(with_probability.schema) - 1)
-                columns.append(Column(name, type_from_name("float")))
+                columns.append(Column(name, type_from_name("float"), qualifier))
             else:
-                index = with_probability.schema.resolve(name)
+                index = with_probability.schema.resolve(internal)
                 positions.append(index)
                 columns.append(
-                    Column(name, with_probability.schema[index].type)
+                    Column(name, with_probability.schema[index].type, qualifier)
                 )
         rows = [tuple(row[i] for i in positions) for row in with_probability]
         return Relation(Schema(columns), rows)
@@ -1007,15 +1047,35 @@ class Executor:
             result = result.filter(lambda row: predicate(row) is True)
 
         # Final projection: map each select item onto the grouped schema.
-        out_items: List[Tuple[Expr, str]] = []
-        for position, item in enumerate(items):
-            name = self._item_name(item, position)
+        out_names = [self._item_name(item, k) for k, item in enumerate(items)]
+        out_qualifiers = _output_qualifiers(items, out_names)
+        rewritten_items: List[Expr] = []
+        for item in items:
             rewritten, _ = self._rewrite_post_aggregation(
                 item.expr, query.group_by, agg_names, len(specs)
             )
-            out_items.append((rewritten, name))
-        plan = algebra.Project(algebra.RelationScan(result), out_items)
-        return planner.run(plan)
+            rewritten_items.append(rewritten)
+        if not any(q is not None for q in out_qualifiers):
+            plan = algebra.Project(
+                algebra.RelationScan(result),
+                list(zip(rewritten_items, out_names)),
+            )
+            return planner.run(plan)
+        # Colliding self-join names: project under placeholders, then
+        # attach the alias-qualified schema (see _project_qualified).
+        plan = algebra.Project(
+            algebra.RelationScan(result),
+            [(e, f"_o{i}") for i, e in enumerate(rewritten_items)],
+        )
+        out = planner.run(plan)
+        return out.with_schema(
+            Schema(
+                Column(name, out.schema[i].type, qualifier)
+                for i, (name, qualifier) in enumerate(
+                    zip(out_names, out_qualifiers)
+                )
+            )
+        )
 
     def _rewrite_post_aggregation(
         self,
@@ -1233,6 +1293,61 @@ def _sql_conjuncts(expr: ast.SqlExpr) -> List[ast.SqlExpr]:
     if isinstance(expr, ast.SqlBinary) and expr.op == "and":
         return _sql_conjuncts(expr.left) + _sql_conjuncts(expr.right)
     return [expr]
+
+
+def _output_qualifiers(
+    items: Sequence[ast.SelectItem], names: Sequence[str]
+) -> List[Optional[str]]:
+    """Table-alias qualifiers for the output columns of a select list.
+
+    SQL allows ``select x.a, y.a from t x, t y`` -- two output columns
+    with the same bare name.  Our :class:`Schema` rejects duplicate
+    *qualified* names only, so when a bare output name collides, unaliased
+    qualified column references keep their table alias as the output
+    qualifier (exactly how a join schema represents the same situation).
+    Unique names stay unqualified, preserving the historical output shape.
+    """
+    counts: Dict[str, int] = {}
+    for name in names:
+        counts[name.lower()] = counts.get(name.lower(), 0) + 1
+    qualifiers: List[Optional[str]] = []
+    for item, name in zip(items, names):
+        qualifier = None
+        if (
+            counts[name.lower()] > 1
+            and item.alias is None
+            and isinstance(item.expr, ast.SqlColumn)
+        ):
+            qualifier = item.expr.qualifier
+        qualifiers.append(qualifier)
+    return qualifiers
+
+
+def _project_qualified(
+    body: URelation,
+    items: Sequence[Tuple[Expr, str]],
+    qualifiers: Sequence[Optional[str]],
+) -> URelation:
+    """``u_project`` with table-alias qualifiers on the output columns.
+
+    The projection plan itself needs unique column names, so when any
+    qualifier is present the items are projected under positional
+    placeholders and the real (qualified) schema is attached afterwards --
+    the same trick ``u_join`` uses for clashing payload names.
+    """
+    if not any(q is not None for q in qualifiers):
+        return u_project(body, list(items))
+    placeholders = [(expr, f"_q{i}") for i, (expr, _) in enumerate(items)]
+    projected = u_project(body, placeholders)
+    columns = [
+        Column(name, projected.relation.schema[i].type, qualifiers[i])
+        for i, (_, name) in enumerate(items)
+    ]
+    columns.extend(projected.relation.schema[len(items):])
+    relation = projected.relation.with_schema(Schema(columns))
+    return URelation(
+        relation, projected.payload_arity, projected.cond_arity, projected.registry
+    )
 
 
 # ---------------------------------------------------------------------------
