@@ -1,11 +1,13 @@
 """Durability smoke benchmark: commit throughput, checkpoint, recovery.
 
 Builds a durable MayBMS database (certain rows + a repair-key U-relation),
-measures fsynced commit throughput, checkpoint time, and cold recovery
-time (reopen from checkpoint vs. reopen from a pure WAL tail), and
-differentially verifies that the recovered session answers plain selects
-and ``conf()`` bit-identically.  Writes the record to
-``BENCH_recovery.json`` so CI tracks the durability path PR over PR.
+measures fsynced commit throughput, checkpoint write time and snapshot
+bytes on disk, and cold recovery time from three starting points -- a pure
+WAL tail, a legacy format-1 ``checkpoint.json``, and the incremental
+binary-columnar manifest + segments -- and differentially verifies that
+every recovered session answers plain selects and ``conf()``
+bit-identically.  Writes the record to ``BENCH_recovery.json`` so CI
+tracks the durability path PR over PR.
 
 Usage:  PYTHONPATH=src python benchmarks/bench_recovery.py [output.json]
 """
@@ -50,6 +52,38 @@ def build(db: MayBMS) -> float:
     return insert_seconds
 
 
+def checkpoint_and_recover(workdir: Path, snapshot_format: str, reference) -> dict:
+    """Build a store, checkpoint it in ``snapshot_format``, kill it, and
+    time the cold reopen; differentially verify against ``reference``."""
+    db = MayBMS(path=str(workdir / f"db-{snapshot_format}"), checkpoint_every=0)
+    db.storage.snapshot_format = snapshot_format
+    build(db)
+    live_select, live_conf = reference
+    assert db.query(SELECT_QUERY).rows == live_select
+    started = time.perf_counter()
+    db.checkpoint()
+    checkpoint_seconds = time.perf_counter() - started
+    stats = dict(db.durability_stats())
+    db.storage.close()  # kill: recover purely from the snapshot
+
+    started = time.perf_counter()
+    reopened = MayBMS(path=str(workdir / f"db-{snapshot_format}"))
+    recovery_seconds = time.perf_counter() - started
+    assert reopened.recovery_stats["checkpoint_format"] == snapshot_format
+    assert reopened.query(SELECT_QUERY).rows == live_select, (
+        f"{snapshot_format} checkpoint recovery diverged on the certain table"
+    )
+    assert reopened.query(CONF_QUERY).rows == live_conf, (
+        f"{snapshot_format} checkpoint recovery diverged on conf()"
+    )
+    reopened.storage.close()
+    return {
+        "checkpoint_ms": round(checkpoint_seconds * 1e3, 2),
+        "snapshot_bytes": stats["checkpoint_bytes"],
+        "recovery_ms": round(recovery_seconds * 1e3, 2),
+    }
+
+
 def main() -> int:
     output_path = Path(sys.argv[1]) if len(sys.argv) > 1 else (
         Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
@@ -76,23 +110,12 @@ def main() -> int:
         assert wal_recovered.query(CONF_QUERY).rows == live_conf, (
             "WAL-tail recovery diverged on conf() over the repair-key table"
         )
+        wal_recovered.storage.close()
 
-        started = time.perf_counter()
-        wal_recovered.checkpoint()
-        checkpoint_seconds = time.perf_counter() - started
-        wal_recovered.storage.close()  # kill again: recover from checkpoint
-        del wal_recovered
-
-        started = time.perf_counter()
-        reopened = MayBMS(path=db_path)
-        checkpoint_recovery_seconds = time.perf_counter() - started
-        assert reopened.query(SELECT_QUERY).rows == live_select, (
-            "checkpoint recovery diverged on the certain table"
-        )
-        assert reopened.query(CONF_QUERY).rows == live_conf, (
-            "checkpoint recovery diverged on conf() over the repair-key table"
-        )
-        reopened.close()
+        # Checkpoint write + cold recovery, old JSON vs new columnar format.
+        reference = (live_select, live_conf)
+        json_result = checkpoint_and_recover(workdir, "json", reference)
+        columnar_result = checkpoint_and_recover(workdir, "columnar", reference)
 
         record = {
             "benchmark": "recovery smoke (durable WAL + checkpoint)",
@@ -103,9 +126,18 @@ def main() -> int:
             "insert_seconds": round(insert_seconds, 4),
             "commits_per_second": round(commits / insert_seconds, 1),
             "wal_tail_recovery_ms": round(wal_recovery_seconds * 1e3, 2),
-            "checkpoint_ms": round(checkpoint_seconds * 1e3, 2),
-            "checkpoint_recovery_ms": round(checkpoint_recovery_seconds * 1e3, 2),
-            "verified": "recovered select and conf() bit-identical to live",
+            "checkpoint_json": json_result,
+            "checkpoint_columnar": columnar_result,
+            "columnar_recovery_speedup_x": round(
+                json_result["recovery_ms"] / columnar_result["recovery_ms"], 2
+            ),
+            "columnar_snapshot_bytes_ratio_x": round(
+                json_result["snapshot_bytes"] / columnar_result["snapshot_bytes"], 2
+            ),
+            "verified": (
+                "recovered select and conf() bit-identical to live from the "
+                "WAL tail, the legacy JSON snapshot, and the columnar segments"
+            ),
         }
         output_path.write_text(json.dumps(record, indent=2) + "\n")
         print(json.dumps(record, indent=2))

@@ -174,6 +174,13 @@ class Client:
         response = self._request({"op": "tables"})
         return list(response.get("tables", []))
 
+    def stats(self) -> Dict[str, Any]:
+        """The server store's durability counters (``checkpoint_ms``,
+        ``checkpoint_bytes``, ``tables_snapshotted``, ``segments_reused``,
+        ``recovery_ms``, fsync/commit totals); empty for in-memory stores."""
+        response = self._request({"op": "stats"})
+        return dict(response.get("stats", {}))
+
     def ping(self) -> bool:
         return bool(self._request({"op": "ping"}).get("ok", False))
 

@@ -46,6 +46,14 @@ class VariableRegistry:
         }
         self._names: Dict[int, str] = {TOP_VARIABLE: "top"}
         self._next_id = 1
+        #: Mutation counter (any change) and the counter value of the most
+        #: recent change that touched an id *below* the then-current
+        #: ``_next_id`` frontier.  Together they let incremental
+        #: checkpoints prove that everything below a recorded frontier is
+        #: untouched, so only a delta of newer variables needs snapshotting
+        #: (see :meth:`mutation_stamp` and ``engine/durability.py``).
+        self._version = 0
+        self._nonappend_version = 0
         #: Guards id allocation and the distribution maps: concurrent
         #: sessions register variables (repair key inside queries) while a
         #: checkpoint thread serializes the whole registry.
@@ -80,6 +88,7 @@ class VariableRegistry:
             self._next_id += 1
             self._distributions[var] = dist
             self._names[var] = name if name is not None else f"x{var}"
+            self._version += 1  # pure append: ids below the frontier untouched
         if self.on_register is not None:
             self.on_register(var, self._names[var], dict(dist))
         return var
@@ -101,6 +110,10 @@ class VariableRegistry:
             del self._names[var]
             if var == self._next_id - 1:
                 self._next_id = var
+            self._version += 1
+            # Removal touches an id below the (post-reclaim) frontier: a
+            # delta snapshot anchored before this mutation could miss it.
+            self._nonappend_version = self._version
 
     def restore(
         self,
@@ -124,9 +137,13 @@ class VariableRegistry:
         dist = {int(v): float(p) for v, p in items}
         _validate_distribution(dist)
         with self._mutex:
+            appends = var >= self._next_id
             self._distributions[var] = dist
             self._names[var] = name if name is not None else f"x{var}"
             self._next_id = max(self._next_id, var + 1)
+            self._version += 1
+            if not appends:
+                self._nonappend_version = self._version
         return var
 
     def fresh_boolean(self, probability_true: float, name: Optional[str] = None) -> int:
@@ -197,15 +214,35 @@ class VariableRegistry:
         return clone
 
     # -- checkpoint serialization ------------------------------------------------
-    def dump_state(self) -> Dict[str, object]:
-        """JSON-safe snapshot of every user variable (for checkpoints)."""
+    def mutation_stamp(self) -> Tuple[int, int, int]:
+        """``(version, nonappend_version, next_id)`` under the mutex.
+
+        A checkpoint that recorded ``(version=V, next_id=N)`` can later
+        snapshot only the *delta* of variables with id >= N iff no
+        mutation after V touched an id below its frontier, i.e. iff the
+        current ``nonappend_version <= V`` -- ``repair key`` only ever
+        appends, so in practice full registry rewrites happen only after
+        rollbacks and recovery races.
+        """
+        with self._mutex:
+            return (self._version, self._nonappend_version, self._next_id)
+
+    def dump_state(self, min_id: int = 0) -> Dict[str, object]:
+        """JSON-safe snapshot of every user variable (for checkpoints).
+
+        ``min_id`` restricts the dump to variables at or above that id --
+        the registry delta an incremental checkpoint appends on top of the
+        segments it re-links from the previous epoch.  ``next_id`` is
+        always the full frontier, so restoring base + deltas in order
+        reproduces the id allocator exactly.
+        """
         with self._mutex:
             return {
                 "next_id": self._next_id,
                 "variables": [
                     [var, self._names[var], sorted(self._distributions[var].items())]
                     for var in self._distributions
-                    if var != TOP_VARIABLE
+                    if var != TOP_VARIABLE and var >= min_id
                 ],
             }
 

@@ -396,6 +396,17 @@ class _SessionBase:
             )
         return self._store._gated_checkpoint(self.lock_timeout)
 
+    def durability_stats(self) -> Optional[Dict[str, object]]:
+        """Durability counters of the underlying store (checkpoint_ms,
+        checkpoint_bytes, tables_snapshotted, segments_reused, recovery_ms,
+        fsync/commit totals), or None for in-memory sessions.  Also served
+        over the wire protocol (``op: "stats"``) so a
+        :class:`repro.client.Client` can observe them remotely."""
+        storage = self._store.storage
+        if storage is None:
+            return None
+        return storage.stats()
+
     # -- introspection ----------------------------------------------------------------
     def sys_tables(self) -> Relation:
         return self.catalog.sys_tables()
@@ -486,7 +497,15 @@ class MayBMS(_SessionBase):
         if path is not None:
             # Recover BEFORE wiring the registry hook: restored variables
             # must not be re-logged to the WAL they came from.
-            self.storage = DurabilityManager(path, group_commit=group_commit)
+            self.storage = DurabilityManager(
+                path,
+                group_commit=group_commit,
+                # Escape hatch back to monolithic format-1 JSON snapshots
+                # (recovery always reads both formats).
+                snapshot_format=os.environ.get(
+                    "REPRO_SNAPSHOT_FORMAT", "columnar"
+                ),
+            )
             self.recovery_stats = self.storage.recover_into(
                 self.catalog, self.registry
             )
@@ -561,10 +580,16 @@ class MayBMS(_SessionBase):
 
     # -- durability ----------------------------------------------------------------
     def _gated_checkpoint(self, timeout: float) -> bool:
-        """Snapshot + WAL rotation under the store gate (exclusive): no
-        statement can be mid-write, so the snapshot is transactionally
-        consistent.  Times out with :class:`TransactionError` if writers
-        keep the gate busy.
+        """Checkpoint in two phases: *capture* under the store gate
+        (exclusive -- no statement can be mid-write, so the capture is
+        transactionally consistent), then *encode + write + fsync* after
+        the gate is released.  The exclusive stall writers observe is only
+        the WAL rotation plus snapshot-pinning of the tables dirtied since
+        the last checkpoint -- O(dirty set), not O(database) -- while the
+        expensive serialization runs concurrently with new commits.  Times
+        out with :class:`TransactionError` if writers keep the gate busy
+        (the LockManager queues new writers behind a waiting checkpointer,
+        so a saturating write stream drains rather than starving it).
 
         Two writer shapes escape the gate and are checked explicitly once
         it is held: a writer session living on the *checkpointing thread*
@@ -575,6 +600,7 @@ class MayBMS(_SessionBase):
         at all.  Any session with a dirty open transaction fails the
         checkpoint instead of corrupting it."""
         self.locks.acquire_exclusive(_STORE_GATE, timeout=timeout)
+        capture = None
         try:
             with self._session_mutex:
                 holders = [self] + list(self._sessions)
@@ -591,9 +617,12 @@ class MayBMS(_SessionBase):
                     )
             self.wal.flush()
             assert self.storage is not None
-            self.storage.checkpoint(self.catalog, self.registry)
+            capture = self.storage.prepare_checkpoint(
+                self.catalog, self.registry, timeout=timeout
+            )
         finally:
             self.locks.release_exclusive(_STORE_GATE)
+        self.storage.commit_checkpoint(capture)
         return True
 
     def _maybe_checkpoint(self) -> None:
@@ -606,7 +635,9 @@ class MayBMS(_SessionBase):
                 # Best effort with a short gate timeout: under write load
                 # another commit will retrigger soon enough.
                 self._gated_checkpoint(min(self.lock_timeout, 1.0))
-            except TransactionError:
+            except (TransactionError, DurabilityError):
+                # Gate busy, or another checkpoint mid-write: the user's
+                # statement already committed; never fail it for this.
                 pass
 
     def close(self) -> None:

@@ -148,6 +148,28 @@ class Catalog:
             )
             entry.table.load_state(table_state)
 
+    def restore_table_from_segment(self, decoded: Dict[str, Any]) -> CatalogEntry:
+        """Create one table from a decoded binary column segment
+        (:func:`repro.engine.segments.decode_table_segment`) and bulk-load
+        its columns through the recovery fast path -- decoded arrays feed
+        the batch engine's snapshot cache zero-copy."""
+        schema = Schema(
+            Column(name, type_from_name(type_name))
+            for name, type_name in decoded["columns"]
+        )
+        entry = self.create_table(
+            decoded["table"], schema, decoded["table_kind"],
+            decoded["properties"],
+        )
+        entry.table.load_columns(
+            decoded["tids"],
+            decoded["column_values"],
+            decoded["row_count"],
+            decoded["next_tid"],
+            decoded["indexes"],
+        )
+        return entry
+
     # -- introspection relations -------------------------------------------------
     def sys_tables(self) -> Relation:
         """One row per table: (table_name, kind, row_count, cond_arity)."""

@@ -143,6 +143,22 @@ def batches_of_columns(
         )
 
 
+def columns_to_rows(
+    columns: Sequence[Sequence[Any]], length: int
+) -> List[Tuple[Any, ...]]:
+    """Pivot full-length columns into a list of row tuples.
+
+    The inverse of :meth:`Relation.columns` / a whole-relation
+    :meth:`ColumnBatch.rows`, sharing its caveat: a zero-arity input
+    still carries ``length`` empty rows, which ``zip`` alone would drop.
+    Used by the checkpoint recovery fast path to materialize storage rows
+    from decoded column segments in one C-level pass.
+    """
+    if not columns:
+        return [() for _ in range(length)]
+    return list(zip(*columns))
+
+
 def concat_batches(batches: Iterable[ColumnBatch], arity: int) -> ColumnBatch:
     """Stack batches vertically into one (materialization points: build
     sides of joins, sorts, aggregations)."""

@@ -11,18 +11,35 @@ no distribution).  Crash recovery is snapshot-load + WAL-tail replay.
 
 On-disk layout (one directory per database)::
 
-    <path>/checkpoint.json   -- latest snapshot (atomic tmp+rename)
-    <path>/wal.<epoch>.log   -- redo records since that snapshot
+    <path>/checkpoint.<epoch>.manifest  -- checkpoint manifest (format 2)
+    <path>/seg-<hash>.seg               -- binary column segments, one per
+                                           table (+ registry slices),
+                                           content-addressed by SHA-256
+    <path>/wal.<epoch>.log              -- redo records since a checkpoint
+    <path>/checkpoint.json              -- legacy format-1 snapshot (read
+                                           for compatibility; superseded
+                                           by the next checkpoint)
+
+Checkpoints are **incremental**: a checkpoint writes segments only for
+tables dirtied since the previous one (dirty tracking via the storage
+layer's per-table version counters) and re-links unchanged segments by
+content hash in the new manifest; the variable registry is snapshotted as
+a base segment plus append-only deltas.  The previous manifest, its
+segments, and its WAL epoch are retained until the *next* checkpoint, so
+a torn or bit-rotten segment makes recovery fall back one epoch and
+replay the WAL chain from there instead of failing.
 
 Log format: each record is a frame ``[length:4][crc32:4][payload]`` with
 a big-endian header and a JSON payload.  The reader stops at the first
 torn or corrupt frame (a crash mid-write truncates the tail), and commit
 units are atomic: records after the last ``commit`` marker are dropped.
 
-Checkpoint rotation: a checkpoint names the *next* WAL epoch, so the
-write order (snapshot tmp -> fsync -> rename -> switch to the new, empty
-WAL -> delete old logs) is crash-safe at every step -- either the old
-snapshot + old log or the new snapshot + empty log is recovered, never a
+Checkpoint rotation: a checkpoint names the *next* WAL epoch and rotates
+to it *first* (under the caller's store gate, so the exclusive stall is
+the capture only -- O(dirty set), not O(database)); segments and the
+manifest are encoded, written, and fsynced outside the gate.  A crash at
+any point recovers either the new manifest + its WAL or the previous
+manifest + the full WAL chain between the two epochs -- never a
 double-applied mixture.
 """
 
@@ -30,16 +47,20 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import struct
 import threading
+import time
+import weakref
 import zlib
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 try:
     import fcntl
 except ImportError:  # non-POSIX platform: single-writer check unavailable
     fcntl = None
 
+from repro.engine import segments as segment_codec
 from repro.engine.catalog import Catalog
 from repro.errors import DurabilityError, RecoveryError
 
@@ -47,8 +68,10 @@ CHECKPOINT_NAME = "checkpoint.json"
 CHECKPOINT_TMP = "checkpoint.json.tmp"
 LOCK_NAME = "LOCK"
 SNAPSHOT_FORMAT = 1
+MANIFEST_FORMAT = 2
 
 _HEADER = struct.Struct(">II")  # (payload length, crc32 of payload)
+_MANIFEST_RE = re.compile(r"^checkpoint\.(\d{6,})\.manifest$")
 
 
 # -- record framing ------------------------------------------------------------
@@ -140,19 +163,27 @@ def count_commit_markers(records: Sequence[Sequence[Any]]) -> int:
     return sum(1 for record in records if record and record[0] == "commit")
 
 
-# -- snapshot (checkpoint) serialization --------------------------------------
+# -- legacy snapshot (format 1) serialization ----------------------------------
 
 
-def encode_snapshot(catalog: Catalog, registry: Any, wal_epoch: int) -> bytes:
+def encode_snapshot_state(
+    catalog_state: List[Dict[str, Any]],
+    registry_state: Dict[str, Any],
+    wal_epoch: int,
+) -> bytes:
     snapshot = {
         "format": SNAPSHOT_FORMAT,
         "wal_epoch": wal_epoch,
-        "registry": registry.dump_state(),
-        "catalog": catalog.dump_state(),
+        "registry": registry_state,
+        "catalog": catalog_state,
     }
     body = json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
     document = {"crc": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "snapshot": snapshot}
     return json.dumps(document, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def encode_snapshot(catalog: Catalog, registry: Any, wal_epoch: int) -> bytes:
+    return encode_snapshot_state(catalog.dump_state(), registry.dump_state(), wal_epoch)
 
 
 def decode_snapshot(data: bytes) -> Dict[str, Any]:
@@ -173,7 +204,78 @@ def decode_snapshot(data: bytes) -> Dict[str, Any]:
     return snapshot
 
 
-# -- the durability manager -----------------------------------------------------
+# -- manifest (format 2) serialization -----------------------------------------
+
+
+def manifest_name(epoch: int) -> str:
+    return f"checkpoint.{epoch:06d}.manifest"
+
+
+def encode_manifest(
+    wal_epoch: int,
+    tables: Sequence[Sequence[str]],
+    registry_segments: Sequence[str],
+    registry_next_id: int,
+) -> bytes:
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "wal_epoch": int(wal_epoch),
+        "tables": [[name, segment] for name, segment in tables],
+        "registry": {
+            "segments": list(registry_segments),
+            "next_id": int(registry_next_id),
+        },
+    }
+    body = json.dumps(manifest, separators=(",", ":"), sort_keys=True)
+    document = {
+        "crc": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF,
+        "manifest": manifest,
+    }
+    return json.dumps(document, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_manifest(data: bytes) -> Dict[str, Any]:
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RecoveryError(f"manifest is not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or "manifest" not in document:
+        raise RecoveryError("manifest document missing 'manifest'")
+    manifest = document["manifest"]
+    body = json.dumps(manifest, separators=(",", ":"), sort_keys=True)
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != document.get("crc"):
+        raise RecoveryError("manifest checksum mismatch (corrupt manifest)")
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise RecoveryError(f"unsupported manifest format {manifest.get('format')!r}")
+    return manifest
+
+
+def manifest_segment_names(manifest: Dict[str, Any]) -> Set[str]:
+    names = {segment for _, segment in manifest.get("tables", [])}
+    names.update(manifest.get("registry", {}).get("segments", []))
+    return names
+
+
+class _CheckpointCapture:
+    """Everything a checkpoint needs, grabbed under the store gate.
+
+    Only immutable snapshots and already-copied metadata live here, so
+    the encode + write + fsync work happens entirely outside the gate.
+    """
+
+    __slots__ = (
+        "epoch",
+        "started",
+        "format",
+        "table_jobs",
+        "reused",
+        "registry_mode",
+        "registry_state",
+        "registry_segments",
+        "registry_stamp",
+        "json_catalog",
+        "json_registry",
+    )
 
 
 class DurabilityManager:
@@ -193,14 +295,30 @@ class DurabilityManager:
     Every commit still blocks until its own bytes are durable, so crash
     semantics are unchanged.  :attr:`fsync_count` / :attr:`commit_count`
     expose the amortization (fsyncs-per-commit) to benchmarks.
+
+    ``snapshot_format`` selects the checkpoint encoding: ``"columnar"``
+    (the default: incremental manifest + binary column segments) or
+    ``"json"`` (the legacy monolithic ``checkpoint.json``, kept for
+    format-migration tests and A/B benchmarks).  Recovery reads both.
     """
 
-    def __init__(self, path: str, group_commit: bool = False):
+    def __init__(
+        self,
+        path: str,
+        group_commit: bool = False,
+        snapshot_format: str = "columnar",
+    ):
         self.path = path
         try:
             os.makedirs(path, exist_ok=True)
         except OSError as exc:
             raise DurabilityError(f"cannot create database directory {path!r}: {exc}")
+        if snapshot_format not in ("columnar", "json"):
+            raise DurabilityError(
+                f"unknown snapshot format {snapshot_format!r} "
+                "(expected 'columnar' or 'json')"
+            )
+        self.snapshot_format = snapshot_format
         self._epoch = 1
         self._wal_handle: Optional[Any] = None
         #: Commit units with DML content appended since the last checkpoint
@@ -215,6 +333,23 @@ class DurabilityManager:
         #: actually batched under the observed load.
         self.fsync_count = 0
         self.commit_count = 0
+        #: Durability counters for the last checkpoint / recovery on this
+        #: manager (surfaced through ``stats()`` and the server protocol).
+        self.checkpoint_ms = 0.0
+        self.checkpoint_bytes = 0
+        self.tables_snapshotted = 0
+        self.segments_reused = 0
+        self.checkpoints_total = 0
+        self.recovery_ms = 0.0
+        # Incremental-checkpoint state: which segment file captured each
+        # table at which version (weakref guards against a dropped and
+        # recreated table aliasing the name), the registry snapshot record
+        # (version, next_id frontier, segment chain), and the current +
+        # previous checkpoint artifacts retained for epoch fallback.
+        self._segment_map: Dict[str, Tuple[Any, int, str]] = {}
+        self._registry_record: Optional[Tuple[int, int, List[str]]] = None
+        self._current_artifact: Optional[Tuple[str, int, Set[str]]] = None
+        self._checkpoint_lock = threading.Lock()
         # Group-commit state: a queue of (ticket, frames, dml_units,
         # commit_markers) entries protected by a condition variable, plus
         # the id of the highest ticket made durable and the failures to
@@ -259,73 +394,246 @@ class DurabilityManager:
 
     @property
     def checkpoint_path(self) -> str:
+        """The legacy format-1 snapshot path (still read for migration)."""
         return os.path.join(self.path, CHECKPOINT_NAME)
 
     @property
     def wal_path(self) -> str:
         return self._wal_path(self._epoch)
 
-    # -- recovery ----------------------------------------------------------
-    def recover_into(self, catalog: Catalog, registry: Any) -> Dict[str, int]:
-        """Load the latest checkpoint (if any) and replay the WAL tail.
+    def manifest_path(self, epoch: int) -> str:
+        return os.path.join(self.path, manifest_name(epoch))
 
-        Returns counters (``checkpoint_tables``, ``replayed_records``) for
-        diagnostics.  The catalog and registry must be empty/fresh.
+    def _list_manifests(self) -> List[Tuple[int, str]]:
+        """``(epoch, path)`` of every on-disk manifest, newest first."""
+        found: List[Tuple[int, str]] = []
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        for name in names:
+            match = _MANIFEST_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.path, name)))
+        found.sort(reverse=True)
+        return found
+
+    def _list_wal_epochs(self) -> List[int]:
+        epochs: List[int] = []
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        for name in names:
+            if name.startswith("wal.") and name.endswith(".log"):
+                try:
+                    epochs.append(int(name[4:-4]))
+                except ValueError:
+                    continue
+        epochs.sort()
+        return epochs
+
+    # -- counters -----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Durability counters for benchmarks and the server wire protocol."""
+        return {
+            "snapshot_format": self.snapshot_format,
+            "wal_epoch": self._epoch,
+            "checkpoint_ms": round(self.checkpoint_ms, 3),
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "tables_snapshotted": self.tables_snapshotted,
+            "segments_reused": self.segments_reused,
+            "checkpoints_total": self.checkpoints_total,
+            "recovery_ms": round(self.recovery_ms, 3),
+            "commits_since_checkpoint": self.commits_since_checkpoint,
+            "fsync_count": self.fsync_count,
+            "commit_count": self.commit_count,
+            "group_commit": self.group_commit,
+        }
+
+    # -- recovery ----------------------------------------------------------
+    def recover_into(self, catalog: Catalog, registry: Any) -> Dict[str, Any]:
+        """Load the latest valid checkpoint and replay the WAL chain.
+
+        Tries checkpoint manifests newest-first: a torn or corrupt segment
+        (or manifest) falls back to the previous epoch, whose WAL is still
+        retained, so no committed data is lost.  A legacy format-1
+        ``checkpoint.json`` is the final fallback.  Returns counters
+        (``checkpoint_tables``, ``replayed_records``, ``fallbacks``,
+        ``checkpoint_format``) for diagnostics.  The catalog and registry
+        must be empty/fresh.
         """
         from repro.engine.transactions import replay_records
 
-        stats = {"checkpoint_tables": 0, "replayed_records": 0}
-        if os.path.exists(self.checkpoint_path):
+        started = time.perf_counter()
+        stats: Dict[str, Any] = {
+            "checkpoint_tables": 0,
+            "replayed_records": 0,
+            "fallbacks": 0,
+            "checkpoint_format": "none",
+        }
+        base_epoch = 1
+        loaded_tables: Dict[str, Tuple[Any, int, str]] = {}
+        bad_manifests: List[str] = []
+        chosen: Optional[Tuple[int, Dict[str, Any], List[Dict[str, Any]], List[Tuple[str, bytes]]]] = None
+        for epoch, path in self._list_manifests():
+            try:
+                with open(path, "rb") as handle:
+                    manifest = decode_manifest(handle.read())
+                table_segments: List[Dict[str, Any]] = []
+                registry_states: List[Tuple[str, bytes]] = []
+                for name, segment in manifest.get("tables", []):
+                    table_segments.append(
+                        segment_codec.decode_table_segment(self._read_segment(segment))
+                    )
+                    table_segments[-1]["segment"] = segment
+                for segment in manifest.get("registry", {}).get("segments", []):
+                    registry_states.append((segment, self._read_segment(segment)))
+                chosen = (epoch, manifest, table_segments, registry_states)
+                break
+            except (RecoveryError, OSError):
+                # Torn/corrupt manifest or segment: fall back one epoch.
+                # Nothing has been applied yet (decode-everything-first),
+                # so the older checkpoint loads into a pristine catalog.
+                stats["fallbacks"] += 1
+                bad_manifests.append(path)
+                continue
+        if chosen is not None:
+            epoch, manifest, table_segments, registry_states = chosen
+            for segment, data in registry_states:
+                registry.restore_state(segment_codec.decode_registry_segment(data))
+            for decoded in table_segments:
+                entry = catalog.restore_table_from_segment(decoded)
+                loaded_tables[decoded["table"].lower()] = (
+                    weakref.ref(entry.table),
+                    entry.table.version,
+                    decoded["segment"],
+                )
+            base_epoch = int(manifest["wal_epoch"])
+            registry_stamp = registry.mutation_stamp()
+            self._registry_record = (
+                registry_stamp[0],
+                int(manifest.get("registry", {}).get("next_id", registry_stamp[2])),
+                list(manifest.get("registry", {}).get("segments", [])),
+            )
+            self._current_artifact = (
+                "manifest", base_epoch, manifest_segment_names(manifest)
+            )
+            stats["checkpoint_tables"] = len(table_segments)
+            stats["checkpoint_format"] = "columnar"
+        elif os.path.exists(self.checkpoint_path):
             with open(self.checkpoint_path, "rb") as handle:
                 snapshot = decode_snapshot(handle.read())
             registry.restore_state(snapshot["registry"])
             catalog.restore_state(snapshot["catalog"])
-            self._epoch = int(snapshot["wal_epoch"])
+            base_epoch = int(snapshot["wal_epoch"])
+            self._current_artifact = ("legacy", base_epoch, set())
             stats["checkpoint_tables"] = len(snapshot["catalog"])
-        self._sweep_stale_wal_files()
-        records: List[Tuple[Any, ...]] = []
-        if os.path.exists(self.wal_path):
-            with open(self.wal_path, "rb") as handle:
-                raw = handle.read()
+            stats["checkpoint_format"] = "json"
+        elif bad_manifests:
+            # Every checkpoint epoch on disk is torn/corrupt and there is
+            # no legacy snapshot either: replaying the WAL chain over an
+            # empty catalog would silently drop all checkpointed data.
+            raise RecoveryError(
+                f"all {len(bad_manifests)} checkpoint manifest(s) in "
+                f"{self.path!r} are corrupt; cannot recover"
+            )
+        for path in bad_manifests:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        # Retention mirror of the checkpoint sweep: keep the chosen
+        # manifest plus its immediate predecessor AND every WAL epoch back
+        # to that predecessor, so one more level of epoch fallback
+        # survives future restarts (sweeping the WAL while leaving the old
+        # manifest on disk would turn a later fallback into silent data
+        # loss).  Manifests older than the retained pair are dropped.
+        wal_floor = base_epoch
+        if chosen is not None:
+            surviving = [e for e, _ in self._list_manifests()]
+            older = [e for e in surviving if e < base_epoch]
+            keep = {base_epoch}
+            if older:
+                keep.add(max(older))
+                wal_floor = max(older)
+            for epoch in surviving:
+                if epoch not in keep:
+                    try:
+                        os.remove(self.manifest_path(epoch))
+                    except OSError:
+                        pass
+            if os.path.exists(self.checkpoint_path):
+                # Migration era: the legacy snapshot is the fallback and its
+                # epoch is unknown without parsing it -- keep every log; the
+                # next checkpoint's sweep prunes precisely.
+                wal_floor = 0
+        self._sweep_stale_wal_files(wal_floor)
+        # Replay the committed WAL chain from the checkpoint's epoch up to
+        # the newest log present (more than one epoch exists after a crash
+        # between rotation and the manifest becoming durable, or after an
+        # epoch fallback).  Only the newest log -- the one this session
+        # appends to -- gets its torn/uncommitted tail physically
+        # truncated; older epochs are finalized and read-only.
+        replayed: List[Tuple[Any, ...]] = []
+        wal_epochs = [e for e in self._list_wal_epochs() if e >= base_epoch]
+        self._epoch = max([base_epoch] + wal_epochs)
+        for position, epoch in enumerate(wal_epochs):
+            wal_file = self._wal_path(epoch)
+            try:
+                with open(wal_file, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                continue
             records, committed_bytes = scan_committed(raw)
-            # Truncate torn/corrupt/uncommitted tail bytes before this
-            # session appends: new commits written after garbage would be
-            # unreadable at the next recovery (the scan stops at the first
-            # bad frame), and a valid-but-uncommitted tail would get
-            # resurrected by a later commit marker.
-            if committed_bytes < len(raw):
-                with open(self.wal_path, "r+b") as handle:
+            if position == len(wal_epochs) - 1 and committed_bytes < len(raw):
+                # Truncate garbage before this session appends: new commits
+                # written after a bad frame would be unreadable at the next
+                # recovery, and a valid-but-uncommitted tail would get
+                # resurrected by a later commit marker.
+                with open(wal_file, "r+b") as handle:
                     handle.truncate(committed_bytes)
                     handle.flush()
                     os.fsync(handle.fileno())
             replay_records(records, catalog, registry)
-        # Seed the auto-checkpoint counter with the replayed tail: a
+            replayed.extend(records)
+        # Seed the auto-checkpoint counter with the replayed chain: a
         # crash-looping workload that never reaches checkpoint_every fresh
         # commits per life would otherwise grow the WAL without bound.
-        self.commits_since_checkpoint = count_dml_units(records)
-        stats["replayed_records"] = len(records)
+        self.commits_since_checkpoint = count_dml_units(replayed)
+        stats["replayed_records"] = len(replayed)
+        # Tables whose contents came purely from their segment (untouched
+        # by WAL replay) are clean: the next checkpoint re-links them.
+        self._segment_map = {
+            key: (ref, version, segment)
+            for key, (ref, version, segment) in loaded_tables.items()
+            if ref() is not None and ref().version == version
+        }
+        if replayed and self._registry_record is not None:
+            # WAL replay may have restored variables; re-stamp so a purely
+            # replay-appended registry still qualifies for delta snapshots.
+            stamp = registry.mutation_stamp()
+            if stamp[1] > self._registry_record[0]:
+                self._registry_record = None  # non-append replay: full rewrite
+        self.recovery_ms = (time.perf_counter() - started) * 1e3
+        stats["recovery_ms"] = round(self.recovery_ms, 3)
         return stats
 
-    def _sweep_stale_wal_files(self) -> None:
-        """Delete logs from epochs before the current one.  Normally the
-        checkpoint deletes them, but a crash between the snapshot rename
-        and the deletion orphans the superseded log forever (no later
-        checkpoint looks at old epochs)."""
-        prefix, suffix = "wal.", ".log"
-        try:
-            names = os.listdir(self.path)
-        except OSError:
-            return
-        for name in names:
-            if not (name.startswith(prefix) and name.endswith(suffix)):
-                continue
-            try:
-                epoch = int(name[len(prefix) : -len(suffix)])
-            except ValueError:
-                continue
-            if epoch < self._epoch:
+    def _read_segment(self, name: str) -> bytes:
+        if os.sep in name or name.startswith("."):
+            raise RecoveryError(f"illegal segment name {name!r}")
+        with open(os.path.join(self.path, name), "rb") as handle:
+            return handle.read()
+
+    def _sweep_stale_wal_files(self, floor: int) -> None:
+        """Delete logs from epochs before ``floor`` (the oldest epoch any
+        retained checkpoint artifact can replay from).  Normally the
+        checkpoint sweep handles this, but a crash between the manifest
+        rename and the sweep orphans superseded logs forever."""
+        for epoch in self._list_wal_epochs():
+            if epoch < floor:
                 try:
-                    os.remove(os.path.join(self.path, name))
+                    os.remove(self._wal_path(epoch))
                 except OSError:
                     pass
 
@@ -465,38 +773,288 @@ class DurabilityManager:
 
     # -- checkpointing -------------------------------------------------------
     def checkpoint(self, catalog: Catalog, registry: Any) -> str:
-        """Write an atomic snapshot and rotate to a fresh WAL epoch.
+        """Write a checkpoint and rotate to a fresh WAL epoch.
 
-        Order matters for crash safety: the snapshot (naming the *next*
-        epoch) is durable before the new log is ever written, and the old
-        log is deleted only afterwards.
+        Single-phase convenience wrapper: callers that serialize writers
+        themselves (the session facade) should instead run
+        :meth:`prepare_checkpoint` under the store gate and
+        :meth:`commit_checkpoint` after releasing it, so concurrent
+        writers stall only for the O(dirty set) capture.
+        """
+        capture = self.prepare_checkpoint(catalog, registry)
+        return self.commit_checkpoint(capture)
+
+    def prepare_checkpoint(
+        self, catalog: Catalog, registry: Any, timeout: Optional[float] = None
+    ) -> _CheckpointCapture:
+        """Phase 1 (caller holds the store gate): rotate the WAL to the next
+        epoch and capture immutable snapshots of every *dirtied* table plus
+        the registry delta.  Clean tables -- same Table object at the same
+        version as the previous checkpoint -- are re-linked by reference.
+
+        Raises :class:`DurabilityError` if another checkpoint is mid-write
+        past ``timeout`` seconds.  On success the caller MUST invoke
+        :meth:`commit_checkpoint`, which also releases the internal
+        checkpoint mutex.
         """
         self._require_open()
-        with self._file_mutex:
-            new_epoch = self._epoch + 1
-            data = encode_snapshot(catalog, registry, new_epoch)
-            tmp_path = os.path.join(self.path, CHECKPOINT_TMP)
-            with open(tmp_path, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.checkpoint_path)
+        if not self._checkpoint_lock.acquire(
+            timeout=30.0 if timeout is None else max(timeout, 0.001)
+        ):
+            raise DurabilityError("another checkpoint is already in progress")
+        try:
+            self._require_open()
+            capture = _CheckpointCapture()
+            capture.started = time.perf_counter()
+            capture.format = self.snapshot_format
+            with self._file_mutex:
+                if self._wal_handle is not None:
+                    self._wal_handle.close()
+                    self._wal_handle = None
+                capture.epoch = self._epoch + 1
+                self._epoch = capture.epoch
+                self.commits_since_checkpoint = 0
+            if capture.format == "json":
+                capture.json_catalog = catalog.dump_state()
+                capture.json_registry = registry.dump_state()
+                return capture
+            capture.table_jobs = []
+            capture.reused = []
+            for entry in catalog.entries():
+                table = entry.table
+                key = table.name.lower()
+                record = self._segment_map.get(key)
+                if record is not None:
+                    ref, version, segment = record
+                    if ref() is table and version == table.version:
+                        capture.reused.append((table.name, segment, ref, version))
+                        continue
+                dump = table.dump_columns()
+                capture.table_jobs.append(
+                    {
+                        "name": table.name,
+                        "kind": entry.kind,
+                        "properties": dict(entry.properties),
+                        "columns_meta": [
+                            (c.name, c.type.name) for c in table.schema
+                        ],
+                        "snapshot": dump["snapshot"],
+                        "tids": dump["tids"],
+                        "next_tid": dump["next_tid"],
+                        "indexes": dump["indexes"],
+                        "ref": weakref.ref(table),
+                        "version": table.version,
+                    }
+                )
+            # Registry: reuse the recorded segment chain when untouched,
+            # append a delta of variables past the recorded frontier when
+            # every mutation since was an append (the repair-key common
+            # case), and rewrite from scratch otherwise.
+            stamp = registry.mutation_stamp()
+            record = self._registry_record
+            if record is not None and stamp[0] == record[0]:
+                capture.registry_mode = "reuse"
+                capture.registry_state = None
+                capture.registry_segments = list(record[2])
+                capture.registry_stamp = (record[0], record[1])
+            elif record is not None and stamp[1] <= record[0]:
+                capture.registry_mode = "delta"
+                capture.registry_state = registry.dump_state(min_id=record[1])
+                capture.registry_segments = list(record[2])
+                capture.registry_stamp = (stamp[0], stamp[2])
+            else:
+                capture.registry_mode = "full"
+                capture.registry_state = registry.dump_state()
+                capture.registry_segments = []
+                capture.registry_stamp = (stamp[0], stamp[2])
+            return capture
+        except BaseException:
+            self._checkpoint_lock.release()
+            raise
+
+    def commit_checkpoint(self, capture: _CheckpointCapture) -> str:
+        """Phase 2 (store gate released): encode and durably write the new
+        segments and the manifest, then sweep artifacts older than the
+        previous epoch.  Returns the manifest (or legacy snapshot) path."""
+        try:
+            if capture.format == "json":
+                return self._commit_json_checkpoint(capture)
+            return self._commit_columnar_checkpoint(capture)
+        finally:
+            self._checkpoint_lock.release()
+
+    def _commit_columnar_checkpoint(self, capture: _CheckpointCapture) -> str:
+        self._require_open()
+        written_bytes = 0
+        reused = len(capture.reused)
+        new_segment_map: Dict[str, Tuple[Any, int, str]] = {}
+        table_entries: List[Tuple[str, str]] = []
+        wrote_segment = False
+        for name, segment, ref, version in capture.reused:
+            table_entries.append((name, segment))
+            new_segment_map[name.lower()] = (ref, version, segment)
+        for job in capture.table_jobs:
+            data = segment_codec.encode_table_segment(
+                job["name"],
+                job["kind"],
+                job["properties"],
+                job["columns_meta"],
+                job["tids"],
+                job["snapshot"].columns(),
+                job["next_tid"],
+                job["indexes"],
+            )
+            segment = segment_codec.segment_name(data)
+            if self._write_segment_file(segment, data):
+                written_bytes += len(data)
+                wrote_segment = True
+            else:
+                reused += 1  # content-hash re-link: identical bytes on disk
+            table_entries.append((job["name"], segment))
+            new_segment_map[job["name"].lower()] = (
+                job["ref"], job["version"], segment
+            )
+        registry_segments = list(capture.registry_segments)
+        if capture.registry_mode != "reuse":
+            data = segment_codec.encode_registry_segment(capture.registry_state)
+            segment = segment_codec.segment_name(data)
+            if self._write_segment_file(segment, data):
+                written_bytes += len(data)
+                wrote_segment = True
+            registry_segments.append(segment)
+        if wrote_segment:
             self._fsync_directory()
-            # Snapshot is durable; switch epochs and drop the superseded log.
-            if self._wal_handle is not None:
-                self._wal_handle.close()
-                self._wal_handle = None
-            old_epoch = self._epoch
-            self._epoch = new_epoch
-            self.commits_since_checkpoint = 0
-            for epoch in range(old_epoch, new_epoch):
-                stale = self._wal_path(epoch)
-                if os.path.exists(stale):
-                    try:
-                        os.remove(stale)
-                    except OSError:
-                        pass  # stale log is harmless: the checkpoint supersedes it
+        manifest_data = encode_manifest(
+            capture.epoch,
+            table_entries,
+            registry_segments,
+            capture.registry_stamp[1],
+        )
+        target = self.manifest_path(capture.epoch)
+        with self._file_mutex:
+            self._require_open()
+            self._write_atomically(target, manifest_data)
+        written_bytes += len(manifest_data)
+        previous = self._current_artifact
+        self._current_artifact = (
+            "manifest",
+            capture.epoch,
+            {segment for _, segment in table_entries} | set(registry_segments),
+        )
+        self._segment_map = new_segment_map
+        self._registry_record = (
+            capture.registry_stamp[0],
+            capture.registry_stamp[1],
+            registry_segments,
+        )
+        self._sweep_after_checkpoint(previous)
+        self.checkpoint_ms = (time.perf_counter() - capture.started) * 1e3
+        self.checkpoint_bytes = written_bytes
+        self.tables_snapshotted = len(capture.table_jobs)
+        self.segments_reused = reused
+        self.checkpoints_total += 1
+        return target
+
+    def _commit_json_checkpoint(self, capture: _CheckpointCapture) -> str:
+        self._require_open()
+        data = encode_snapshot_state(
+            capture.json_catalog, capture.json_registry, capture.epoch
+        )
+        with self._file_mutex:
+            self._require_open()
+            self._write_atomically(self.checkpoint_path, data)
+        self._current_artifact = ("legacy", capture.epoch, set())
+        self._segment_map = {}
+        self._registry_record = None
+        # The legacy format keeps exactly one snapshot (seed semantics):
+        # passing no predecessor sweeps every manifest and segment, so
+        # recovery cannot keep preferring a stale columnar manifest (and
+        # its ever-growing WAL chain) over the fresher checkpoint.json.
+        self._sweep_after_checkpoint(None)
+        self.checkpoint_ms = (time.perf_counter() - capture.started) * 1e3
+        self.checkpoint_bytes = len(data)
+        self.tables_snapshotted = len(capture.json_catalog)
+        self.segments_reused = 0
+        self.checkpoints_total += 1
         return self.checkpoint_path
+
+    def _write_segment_file(self, name: str, data: bytes) -> bool:
+        """Write a content-addressed segment unless its bytes are already on
+        disk; returns True when a new file was physically written."""
+        target = os.path.join(self.path, name)
+        if os.path.exists(target):
+            return False
+        self._write_atomically(target, data, fsync_dir=False)
+        return True
+
+    def _write_atomically(
+        self, target: str, data: bytes, fsync_dir: bool = True
+    ) -> None:
+        tmp_path = target + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+        if fsync_dir:
+            self._fsync_directory()
+
+    def _sweep_after_checkpoint(
+        self, previous: Optional[Tuple[str, int, Set[str]]]
+    ) -> None:
+        """Garbage-collect everything not needed by the new checkpoint or
+        its immediate predecessor.  The predecessor (manifest or legacy
+        snapshot) and every WAL epoch since it stay on disk until the
+        *next* checkpoint: they are the fallback if the new checkpoint's
+        segments turn out torn or corrupt at recovery."""
+        assert self._current_artifact is not None
+        kind, epoch, referenced = self._current_artifact
+        keep_manifest_epochs = {epoch} if kind == "manifest" else set()
+        keep_segments = set(referenced)
+        keep_legacy = kind == "legacy"
+        wal_floor = epoch
+        if previous is not None:
+            prev_kind, prev_epoch, prev_segments = previous
+            wal_floor = min(wal_floor, prev_epoch)
+            if prev_kind == "manifest":
+                keep_manifest_epochs.add(prev_epoch)
+                keep_segments |= prev_segments
+            else:
+                keep_legacy = True
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        # Two passes, superseded *checkpoints* first: if the sweep dies
+        # midway, recovery must never find a manifest (or legacy snapshot)
+        # whose WAL chain has already been partially deleted.
+        for name in names:
+            path = os.path.join(self.path, name)
+            try:
+                match = _MANIFEST_RE.match(name)
+                if match:
+                    if int(match.group(1)) not in keep_manifest_epochs:
+                        os.remove(path)
+                elif name == CHECKPOINT_NAME and not keep_legacy:
+                    os.remove(path)
+            except OSError:
+                pass  # a stale artifact is harmless; the next sweep retries
+        for name in names:
+            path = os.path.join(self.path, name)
+            try:
+                if name.endswith(segment_codec.SEGMENT_SUFFIX) and name.startswith("seg-"):
+                    if name not in keep_segments:
+                        os.remove(path)
+                elif name.endswith(".tmp"):
+                    os.remove(path)
+                elif name.startswith("wal.") and name.endswith(".log"):
+                    try:
+                        if int(name[4:-4]) < wal_floor:
+                            os.remove(path)
+                    except ValueError:
+                        pass
+            except OSError:
+                pass
 
     def _fsync_directory(self) -> None:
         try:

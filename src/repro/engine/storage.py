@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.columnar import columns_to_rows
 from repro.engine.indexes import HashIndex, SortedIndex
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
@@ -40,6 +41,13 @@ class Table:
     # -- inspection -----------------------------------------------------------
     def __len__(self) -> int:
         return len(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every change.  Snapshot caches and the
+        checkpoint dirty-table tracker key off it -- an unchanged version
+        (on the same Table object) means bit-identical contents."""
+        return self._version
 
     def tids(self) -> List[int]:
         return list(self._rows)
@@ -188,13 +196,9 @@ class Table:
         return removed
 
     # -- checkpoint serialization --------------------------------------------------
-    def dump_state(self) -> Dict[str, Any]:
-        """JSON-safe snapshot of rows keyed by tuple id, the tid counter,
-        and index *definitions* (entries re-derive from rows on load).
-        Tids must be preserved exactly: snapshot and lineage caches are
-        keyed by (version, tid), and WAL redo records address rows by
-        tid."""
-        indexes = []
+    def _index_defs(self) -> List[List[Any]]:
+        """Serializable index *definitions* (entries re-derive from rows)."""
+        indexes: List[List[Any]] = []
         for index in self._indexes.values():
             if isinstance(index, HashIndex):
                 indexes.append(
@@ -204,10 +208,36 @@ class Table:
                 indexes.append(
                     ["sorted", index.name, list(index.positions), False]
                 )
+        return indexes
+
+    def dump_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of rows keyed by tuple id, the tid counter,
+        and index *definitions* (entries re-derive from rows on load).
+        Tids must be preserved exactly: snapshot and lineage caches are
+        keyed by (version, tid), and WAL redo records address rows by
+        tid."""
         return {
             "next_tid": self._next_tid,
             "rows": [[tid, list(row)] for tid, row in self._rows.items()],
-            "indexes": indexes,
+            "indexes": self._index_defs(),
+        }
+
+    def dump_columns(self) -> Dict[str, Any]:
+        """Capture the table for a binary-columnar checkpoint segment.
+
+        Returns the cached immutable snapshot relation (whose rows the
+        encoder pivots column-wise *after* the store gate is released --
+        the capture itself is O(rows) of C-level list building at most),
+        the matching tuple ids, the tid counter, and index definitions.
+        The tid list and the snapshot iterate the same row dict, so they
+        are positionally aligned as long as the table is not mutated in
+        between -- the checkpoint holds the store gate across the capture.
+        """
+        return {
+            "snapshot": self.snapshot(),
+            "tids": list(self._rows),
+            "next_tid": self._next_tid,
+            "indexes": self._index_defs(),
         }
 
     def load_state(self, state: Dict[str, Any]) -> None:
@@ -227,6 +257,58 @@ class Table:
                 index = SortedIndex(name, positions)
             for tid, row in self._rows.items():
                 index.insert(tid, row)
+            self._register_index(name, index)
+
+    def load_columns(
+        self,
+        tids: Sequence[int],
+        columns: Sequence[Sequence[Any]],
+        row_count: int,
+        next_tid: int,
+        indexes: Sequence[Sequence[Any]] = (),
+    ) -> None:
+        """Recovery fast path: bulk-load decoded checkpoint columns.
+
+        Segment values were written from an already-typed table, so the
+        per-row ``restore()``/coercion machinery of :meth:`load_state` is
+        skipped entirely: rows are one ``zip`` pivot, the tid dict one
+        ``dict(zip(...))``, and the resulting column views are handed
+        straight to the batch engine by pre-seeding the snapshot cache --
+        the first scan after recovery reuses the decoded arrays zero-copy.
+        """
+        if self._rows:
+            raise StorageError(
+                f"cannot load checkpoint state into non-empty table {self.name!r}"
+            )
+        if len(columns) != len(self.schema):
+            raise StorageError(
+                f"segment for table {self.name!r} carries {len(columns)} "
+                f"columns, schema expects {len(self.schema)}"
+            )
+        rows = columns_to_rows(columns, row_count)
+        if len(rows) != row_count or len(tids) != row_count:
+            raise StorageError(
+                f"segment for table {self.name!r} is torn: "
+                f"{len(tids)} tids / {len(rows)} rows, expected {row_count}"
+            )
+        self._rows = dict(zip(tids, rows))
+        if len(self._rows) != row_count:
+            raise StorageError(f"segment for table {self.name!r} repeats tuple ids")
+        top = max(tids) + 1 if tids else 1
+        self._next_tid = max(int(next_tid), top)
+        self._version += 1
+        snapshot = Relation.from_trusted_rows(self.schema, rows)
+        snapshot._columns = tuple(columns)
+        self._snapshot_cache = (self._version, snapshot)
+        for kind, name, positions, unique in indexes:
+            positions = [int(p) for p in positions]
+            if kind == "hash":
+                index: Any = HashIndex(name, positions, bool(unique))
+            else:
+                index = SortedIndex(name, positions)
+            insert = index.insert
+            for tid, row in self._rows.items():
+                insert(tid, row)
             self._register_index(name, index)
 
     # -- indexes ---------------------------------------------------------------

@@ -296,6 +296,13 @@ class LockManager:
     holding shared locks both try to upgrade the same table, the second
     request fails fast with :class:`TransactionError` instead of
     deadlocking -- each would wait on the other's shared hold.
+
+    Exclusive requests have **writer preference**: while any thread waits
+    for an exclusive lock, *new* shared acquirers queue behind it (threads
+    already holding shared may re-enter, or the waiter could never drain).
+    Without this a saturating stream of shared holders -- e.g. writers
+    each taking the store gate shared -- starves an explicit CHECKPOINT's
+    exclusive gate acquisition indefinitely.
     """
 
     def __init__(self):
@@ -306,6 +313,9 @@ class LockManager:
         self._writer: Dict[str, Optional[int]] = {}
         #: table -> thread ident currently waiting to upgrade
         self._upgrading: Dict[str, int] = {}
+        #: table -> number of threads currently waiting for exclusive
+        #: (the pending-checkpoint/writer-preference flag)
+        self._exclusive_waiters: Dict[str, int] = {}
 
     def _other_readers(self, key: str, me: int) -> int:
         holders = self._readers.get(key)
@@ -321,12 +331,16 @@ class LockManager:
             def admissible() -> bool:
                 if self._writer.get(key) not in (None, me):
                     return False
-                # New readers queue behind a pending upgrader (otherwise the
-                # upgrade starves); a thread already holding shared may
-                # re-enter freely.
+                # New readers queue behind a pending upgrader and behind
+                # any thread waiting for exclusive (otherwise the upgrade
+                # or the exclusive request starves); a thread already
+                # holding shared may re-enter freely.
+                already_reading = self._readers.get(key, {}).get(me, 0) > 0
                 pending = self._upgrading.get(key)
                 if pending is not None and pending != me:
-                    return self._readers.get(key, {}).get(me, 0) > 0
+                    return already_reading
+                if self._exclusive_waiters.get(key, 0) > 0:
+                    return already_reading
                 return True
 
             granted = self._condition.wait_for(admissible, timeout=timeout)
@@ -378,14 +392,21 @@ class LockManager:
                 pending = self._upgrading.get(key)
                 return pending is None or pending == me
 
+            self._exclusive_waiters[key] = self._exclusive_waiters.get(key, 0) + 1
             try:
                 granted = self._condition.wait_for(admissible, timeout=timeout)
             finally:
+                remaining = self._exclusive_waiters.get(key, 1) - 1
+                if remaining <= 0:
+                    self._exclusive_waiters.pop(key, None)
+                else:
+                    self._exclusive_waiters[key] = remaining
                 if self._upgrading.get(key) == me:
                     del self._upgrading[key]
-                    # Readers queue behind a pending upgrade; if it timed
-                    # out (or was granted) they must re-check the predicate.
-                    self._condition.notify_all()
+                # Readers queue behind pending upgrades and exclusive
+                # waiters; once granted or timed out they must re-check
+                # the predicate.
+                self._condition.notify_all()
             if not granted:
                 raise TransactionError(
                     f"timeout acquiring exclusive lock on {table_name!r}"

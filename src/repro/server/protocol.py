@@ -21,7 +21,10 @@ Requests and responses are JSON objects:
 
 Operations: ``hello`` (optional; selects a read-only session),
 ``execute`` (one statement), ``script`` (semicolon-separated batch,
-returns ``results``), ``tables``, ``ping``, and ``close``.  Transactions
+returns ``results``), ``tables``, ``stats`` (the store's durability
+counters: checkpoint_ms, checkpoint_bytes, tables_snapshotted,
+segments_reused, recovery_ms, fsync/commit totals), ``ping``, and
+``close``.  Transactions
 are plain statements (``execute`` with BEGIN/COMMIT/ROLLBACK) -- each
 connection owns one server-side session, so transaction state is
 per-connection exactly like one PostgreSQL backend.

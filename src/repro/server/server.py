@@ -238,6 +238,18 @@ class MayBMSServer:
                 )
             if op == "tables":
                 return {"ok": True, "tables": session.tables()}, False
+            if op == "stats":
+                # Durability counters (checkpoint_ms, checkpoint_bytes,
+                # tables_snapshotted, segments_reused, recovery_ms, fsync
+                # and commit totals); empty object for in-memory stores.
+                return (
+                    {
+                        "ok": True,
+                        "durable": session.is_durable,
+                        "stats": session.durability_stats() or {},
+                    },
+                    False,
+                )
             raise ProtocolError(f"unknown operation {op!r}")
         except MayBMSError as exc:
             # Statement-level failure: report and keep serving.  The

@@ -1,6 +1,8 @@
-"""Tests for the on-disk WAL format, checkpoint snapshots, and the
-durability manager's recovery / rotation protocol."""
+"""Tests for the on-disk WAL format, checkpoint snapshots (legacy JSON and
+incremental binary-columnar manifests + segments), and the durability
+manager's recovery / rotation / epoch-fallback protocol."""
 
+import glob
 import json
 import os
 import struct
@@ -12,9 +14,13 @@ from repro.engine.catalog import KIND_URELATION, Catalog
 from repro.engine.durability import (
     DurabilityManager,
     count_dml_units,
+    decode_manifest,
     decode_snapshot,
     encode_frame,
+    encode_manifest,
     encode_snapshot,
+    manifest_name,
+    manifest_segment_names,
     scan_committed,
     scan_frames,
 )
@@ -392,3 +398,384 @@ class TestDurabilityManager:
         assert entry.properties["cond_arity"] == 1
         assert recovered_registry.distribution(var) == {0: 0.5, 1: 0.5}
         assert recovered_registry.name(var) == "coin"
+
+
+def _segments(path):
+    return sorted(
+        os.path.basename(f) for f in glob.glob(os.path.join(path, "seg-*.seg"))
+    )
+
+
+def _manifests(path):
+    return sorted(glob.glob(os.path.join(path, "checkpoint.*.manifest")))
+
+
+def _build_catalog(tables=3, rows=4):
+    catalog = Catalog()
+    for i in range(tables):
+        catalog.create_table(
+            f"t{i}", Schema.of(("k", INTEGER), ("w", FLOAT), ("s", TEXT))
+        )
+        for j in range(rows):
+            catalog.table(f"t{i}").insert((j, j + 0.5, f"row{j}"))
+    return catalog
+
+
+class TestManifestFormat:
+    def test_roundtrip(self):
+        data = encode_manifest(
+            7, [["t", "seg-aa.seg"], ["u", "seg-bb.seg"]], ["seg-cc.seg"], 12
+        )
+        manifest = decode_manifest(data)
+        assert manifest["wal_epoch"] == 7
+        assert manifest["tables"] == [["t", "seg-aa.seg"], ["u", "seg-bb.seg"]]
+        assert manifest["registry"] == {"segments": ["seg-cc.seg"], "next_id": 12}
+        assert manifest_segment_names(manifest) == {
+            "seg-aa.seg", "seg-bb.seg", "seg-cc.seg",
+        }
+
+    def test_tampered_manifest_rejected(self):
+        data = encode_manifest(1, [["t", "seg-aa.seg"]], [], 1)
+        document = json.loads(data)
+        document["manifest"]["wal_epoch"] = 99
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError):
+            decode_manifest(json.dumps(document).encode())
+
+
+class TestIncrementalCheckpoint:
+    def test_only_dirty_tables_reencoded(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=4)
+        registry = VariableRegistry()
+        manager.checkpoint(catalog, registry)
+        assert manager.tables_snapshotted == 4
+        first_bytes = manager.checkpoint_bytes
+
+        catalog.table("t2").insert((99, 9.5, "dirty"))
+        manager.checkpoint(catalog, registry)
+        assert manager.tables_snapshotted == 1
+        assert manager.segments_reused == 3
+        assert manager.checkpoint_bytes < first_bytes
+        manager.close()
+
+    def test_clean_checkpoint_writes_no_segments(self, tmp_path):
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = _build_catalog()
+        registry = VariableRegistry()
+        manager.checkpoint(catalog, registry)
+        segments_before = _segments(manager.path)
+        manager.checkpoint(catalog, registry)  # nothing changed
+        assert manager.tables_snapshotted == 0
+        assert manager.segments_reused == 3
+        assert _segments(manager.path) == segments_before
+        manager.close()
+
+    def test_identical_tables_share_one_segment(self, tmp_path):
+        """Content addressing: same bytes -> same file, written once."""
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = Catalog()
+        for name in ("a", "b"):
+            catalog.create_table(name, Schema.of(("k", INTEGER)))
+        # Identical contents but distinct table names live in distinct
+        # segments (the name is part of the payload); identical contents
+        # under the SAME name across epochs dedupe to one file.
+        catalog.table("a").insert((1,))
+        catalog.table("b").insert((1,))
+        manager.checkpoint(catalog, VariableRegistry())
+        first = set(_segments(manager.path))
+        # Drop and recreate "a" with bit-identical contents: the weakref
+        # check forces a re-encode, but the rewrite hashes to the existing
+        # file and is re-linked instead of written again.
+        catalog.drop_table("a")
+        catalog.create_table("a", Schema.of(("k", INTEGER)))
+        catalog.table("a").insert((1,))
+        manager.checkpoint(catalog, VariableRegistry())
+        assert manager.tables_snapshotted == 1
+        assert manager.segments_reused == 2  # "b" by version, "a" by hash
+        assert set(_segments(manager.path)) == first
+        manager.close()
+
+    def test_drop_and_recreate_same_name_is_dirty(self, tmp_path):
+        """A same-name table at a coincidentally equal version must not be
+        treated as clean: the weakref identity check catches it."""
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of(("k", INTEGER)))
+        registry = VariableRegistry()
+        manager.checkpoint(catalog, registry)
+        catalog.drop_table("t")
+        catalog.create_table("t", Schema.of(("s", TEXT)))  # same version (0)
+        manager.checkpoint(catalog, registry)
+        assert manager.tables_snapshotted == 1
+        manager.close()
+
+        recovered = Catalog()
+        again = DurabilityManager(manager.path)
+        again.recover_into(recovered, VariableRegistry())
+        assert [c.type.name for c in recovered.table("t").schema] == ["TEXT"]
+        again.close()
+
+    def test_dropped_table_segment_swept_after_next_two_checkpoints(self, tmp_path):
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = _build_catalog(tables=2)
+        registry = VariableRegistry()
+        manager.checkpoint(catalog, registry)
+        count = len(_segments(manager.path))
+        catalog.drop_table("t1")
+        manager.checkpoint(catalog, registry)   # prev epoch still references it
+        manager.checkpoint(catalog, registry)   # now unreferenced -> swept
+        assert len(_segments(manager.path)) == count - 1
+        manager.close()
+
+    def test_registry_delta_appended_not_rewritten(self, tmp_path):
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = _build_catalog(tables=1)
+        registry = VariableRegistry()
+        for _ in range(3):
+            registry.fresh({0: 0.5, 1: 0.5})
+        manager.checkpoint(catalog, registry)
+        with open(_manifests(manager.path)[-1], "rb") as handle:
+            manifest = decode_manifest(handle.read())
+        assert len(manifest["registry"]["segments"]) == 1
+
+        for _ in range(2):
+            registry.fresh({0: 0.25, 1: 0.75})
+        manager.checkpoint(catalog, registry)
+        with open(_manifests(manager.path)[-1], "rb") as handle:
+            manifest = decode_manifest(handle.read())
+        # Base segment re-linked, one delta appended.
+        assert len(manifest["registry"]["segments"]) == 2
+        manager.close()
+
+        recovered_registry = VariableRegistry()
+        again = DurabilityManager(manager.path)
+        again.recover_into(Catalog(), recovered_registry)
+        assert len(recovered_registry) == 5
+        assert recovered_registry.distribution(5) == {0: 0.25, 1: 0.75}
+        assert recovered_registry.fresh({0: 1.0}) == 6  # frontier restored
+        again.close()
+
+    def test_unregister_forces_full_registry_rewrite(self, tmp_path):
+        manager = DurabilityManager(str(tmp_path / "db"))
+        catalog = _build_catalog(tables=1)
+        registry = VariableRegistry()
+        first = registry.fresh({0: 0.5, 1: 0.5})
+        manager.checkpoint(catalog, registry)
+        registry.unregister(first)
+        second = registry.fresh({0: 0.1, 1: 0.9})
+        manager.checkpoint(catalog, registry)
+        with open(_manifests(manager.path)[-1], "rb") as handle:
+            manifest = decode_manifest(handle.read())
+        assert len(manifest["registry"]["segments"]) == 1  # fresh base
+        manager.close()
+
+        recovered = VariableRegistry()
+        again = DurabilityManager(manager.path)
+        again.recover_into(Catalog(), recovered)
+        assert len(recovered) == 1
+        assert recovered.distribution(second) == {0: 0.1, 1: 0.9}
+        again.close()
+
+
+class TestEpochFallback:
+    def _checkpoint_twice(self, path):
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=2)
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+        manager.checkpoint(catalog, registry)
+        txn = Transaction(catalog, wal)
+        txn.insert("t0", (77, 7.5, "tail"))
+        txn.commit()
+        manager.checkpoint(catalog, registry)
+        txn = Transaction(catalog, wal)
+        txn.insert("t1", (88, 8.5, "after"))
+        txn.commit()
+        manager.close()
+        return catalog
+
+    def test_corrupt_newest_segment_falls_back_one_epoch(self, tmp_path):
+        path = str(tmp_path / "db")
+        live = self._checkpoint_twice(path)
+        manifests = _manifests(path)
+        assert len(manifests) == 2  # newest + fallback retained
+        with open(manifests[-1], "rb") as handle:
+            newest = decode_manifest(handle.read())
+        with open(manifests[0], "rb") as handle:
+            previous = decode_manifest(handle.read())
+        unique = manifest_segment_names(newest) - manifest_segment_names(previous)
+        victim = os.path.join(path, sorted(unique)[0])
+        with open(victim, "r+b") as handle:
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered, VariableRegistry())
+        assert stats["fallbacks"] == 1
+        # The WAL chain from the fallback epoch replays both tail commits.
+        for name in ("t0", "t1"):
+            assert sorted(recovered.table(name).rows()) == sorted(
+                live.table(name).rows()
+            )
+        assert not os.path.exists(manifests[-1])  # corrupt manifest removed
+        again.close()
+
+    def test_fallback_survives_an_intermediate_restart(self, tmp_path):
+        """Recovery's sweep must mirror the checkpoint retention: as long
+        as the previous manifest is on disk, so is its WAL epoch --
+        otherwise a later fallback would replay an incomplete chain and
+        silently lose the commits between the two checkpoints."""
+        path = str(tmp_path / "db")
+        live = self._checkpoint_twice(path)
+        # Restart once (recovery runs its own sweep), then crash again.
+        intermediate = DurabilityManager(path)
+        intermediate.recover_into(Catalog(), VariableRegistry())
+        intermediate.close()
+
+        manifests = _manifests(path)
+        assert len(manifests) == 2  # predecessor still retained
+        with open(manifests[-1], "rb") as handle:
+            newest = decode_manifest(handle.read())
+        with open(manifests[0], "rb") as handle:
+            previous = decode_manifest(handle.read())
+        # ...and so is the predecessor's WAL epoch (the chain link).
+        prev_wal = os.path.join(
+            path, f"wal.{int(previous['wal_epoch']):06d}.log"
+        )
+        assert os.path.exists(prev_wal)
+        unique = manifest_segment_names(newest) - manifest_segment_names(previous)
+        victim = os.path.join(path, sorted(unique)[0])
+        with open(victim, "r+b") as handle:
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered, VariableRegistry())
+        assert stats["fallbacks"] == 1
+        for name in ("t0", "t1"):
+            assert sorted(recovered.table(name).rows()) == sorted(
+                live.table(name).rows()
+            )
+        again.close()
+
+    def test_torn_manifest_falls_back(self, tmp_path):
+        path = str(tmp_path / "db")
+        live = self._checkpoint_twice(path)
+        newest = _manifests(path)[-1]
+        with open(newest, "r+b") as handle:
+            handle.truncate(os.path.getsize(newest) // 2)
+
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered, VariableRegistry())
+        assert stats["fallbacks"] == 1
+        for name in ("t0", "t1"):
+            assert sorted(recovered.table(name).rows()) == sorted(
+                live.table(name).rows()
+            )
+        again.close()
+
+    def test_all_epochs_corrupt_raises_not_empty(self, tmp_path):
+        from repro.errors import RecoveryError
+
+        path = str(tmp_path / "db")
+        self._checkpoint_twice(path)
+        for manifest in _manifests(path):
+            with open(manifest, "r+b") as handle:
+                handle.truncate(3)
+        with pytest.raises(RecoveryError, match="corrupt"):
+            DurabilityManager(path).recover_into(Catalog(), VariableRegistry())
+
+    def test_crash_between_rotation_and_manifest(self, tmp_path):
+        """prepare_checkpoint rotated the WAL but the process died before
+        commit_checkpoint made the manifest durable: recovery falls back to
+        the previous artifact and replays the whole epoch chain."""
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=2)
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+        manager.checkpoint(catalog, registry)
+        txn = Transaction(catalog, wal)
+        txn.insert("t0", (77, 7.5, "tail"))
+        txn.commit()
+        capture = manager.prepare_checkpoint(catalog, registry)  # rotates
+        # Crash: commit never runs.  Post-rotation commits land in the new
+        # epoch's log and must survive too.
+        txn = Transaction(catalog, wal)
+        txn.insert("t1", (88, 8.5, "post-rotation"))
+        txn.commit()
+        del capture
+        manager.close()
+
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        again.recover_into(recovered, VariableRegistry())
+        for name in ("t0", "t1"):
+            assert sorted(recovered.table(name).rows()) == sorted(
+                catalog.table(name).rows()
+            )
+        again.close()
+
+
+class TestLegacyMigration:
+    def test_json_store_opens_and_migrates(self, tmp_path):
+        path = str(tmp_path / "db")
+        legacy = DurabilityManager(path, snapshot_format="json")
+        catalog = _build_catalog(tables=2)
+        registry = VariableRegistry()
+        registry.fresh({0: 0.5, 1: 0.5}, name="coin")
+        legacy.checkpoint(catalog, registry)
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert not _manifests(path)
+        legacy.close()
+
+        recovered = Catalog()
+        recovered_registry = VariableRegistry()
+        manager = DurabilityManager(path)  # columnar by default
+        stats = manager.recover_into(recovered, recovered_registry)
+        assert stats["checkpoint_format"] == "json"
+        assert recovered_registry.distribution(1) == {0: 0.5, 1: 0.5}
+
+        # The next checkpoint writes the new format; the legacy snapshot is
+        # retained one epoch as the fallback, then swept.
+        manager.checkpoint(recovered, recovered_registry)
+        assert _manifests(path)
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        manager.checkpoint(recovered, recovered_registry)
+        assert not os.path.exists(os.path.join(path, "checkpoint.json"))
+        manager.close()
+
+    def test_unknown_snapshot_format_rejected(self, tmp_path):
+        from repro.errors import DurabilityError
+
+        with pytest.raises(DurabilityError, match="snapshot format"):
+            DurabilityManager(str(tmp_path / "db"), snapshot_format="parquet")
+
+
+class TestDurabilityCounters:
+    def test_stats_exposes_checkpoint_and_recovery_counters(self, tmp_path):
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=3)
+        manager.checkpoint(catalog, VariableRegistry())
+        stats = manager.stats()
+        assert stats["tables_snapshotted"] == 3
+        assert stats["checkpoint_bytes"] > 0
+        assert stats["checkpoint_ms"] >= 0
+        assert stats["checkpoints_total"] == 1
+        manager.close()
+
+        again = DurabilityManager(path)
+        again.recover_into(Catalog(), VariableRegistry())
+        assert again.stats()["recovery_ms"] > 0
+        again.close()

@@ -1,0 +1,199 @@
+"""Unit tests for the binary column-segment codec (engine/segments.py):
+typed-array round trips, NULL bitmaps, fallback encodings, tid encodings,
+registry segments, and corruption detection."""
+
+import pytest
+
+from repro.engine.segments import (
+    decode_column,
+    decode_registry_segment,
+    decode_table_segment,
+    encode_column,
+    encode_registry_segment,
+    encode_table_segment,
+    segment_name,
+)
+from repro.errors import RecoveryError
+
+
+class TestColumnCodec:
+    def test_int_column_packs_typed(self):
+        values = [1, -5, 2**62, 0]
+        encoding, block = encode_column("INTEGER", values)
+        assert encoding == "i8"
+        assert len(block) == 8 * len(values)
+        assert decode_column(encoding, block, len(values)) == values
+
+    def test_float_column_bit_exact(self):
+        values = [0.1, -2.5, 1e-300, float("inf"), float("nan")]
+        encoding, block = encode_column("FLOAT", values)
+        assert encoding == "f8"
+        decoded = decode_column(encoding, block, len(values))
+        assert decoded[:4] == values[:4]
+        assert decoded[4] != decoded[4]  # NaN round-trips as NaN
+
+    def test_text_column_length_prefixed_utf8(self):
+        values = ["", "hello", "mötley crüe", "日本語", "a" * 1000]
+        encoding, block = encode_column("TEXT", values)
+        assert encoding == "utf8"
+        assert decode_column(encoding, block, len(values)) == values
+
+    def test_boolean_column_with_nulls(self):
+        values = [True, False, None, True]
+        encoding, block = encode_column("BOOLEAN", values)
+        assert encoding == "bool"
+        assert decode_column(encoding, block, len(values)) == values
+
+    @pytest.mark.parametrize(
+        "type_name,values,expected",
+        [
+            ("INTEGER", [1, None, 3], "i8?"),
+            ("FLOAT", [None, 2.5], "f8?"),
+            ("TEXT", ["a", None, ""], "utf8?"),
+        ],
+    )
+    def test_null_bitmap_variants(self, type_name, values, expected):
+        encoding, block = encode_column(type_name, values)
+        assert encoding == expected
+        assert decode_column(encoding, block, len(values)) == values
+
+    def test_huge_int_falls_back_to_json(self):
+        values = [1, 2**100, -(2**80)]
+        encoding, block = encode_column("INTEGER", values)
+        assert encoding == "json"
+        assert decode_column(encoding, block, len(values)) == values
+
+    def test_lone_surrogate_falls_back_to_json(self):
+        values = ["ok", "\ud800"]
+        encoding, block = encode_column("TEXT", values)
+        assert encoding == "json"
+        assert decode_column(encoding, block, len(values)) == values
+
+    def test_empty_column(self):
+        for type_name in ("INTEGER", "FLOAT", "TEXT", "BOOLEAN"):
+            encoding, block = encode_column(type_name, [])
+            assert decode_column(encoding, block, 0) == []
+
+    def test_corrupt_block_rejected(self):
+        encoding, block = encode_column("INTEGER", [1, 2, 3])
+        with pytest.raises(RecoveryError):
+            decode_column(encoding, block[:-1], 3)  # torn
+        with pytest.raises(RecoveryError):
+            decode_column("nope", block, 3)  # unknown encoding
+
+
+def _table_segment(**overrides):
+    spec = dict(
+        name="t",
+        table_kind="standard",
+        properties={},
+        columns_meta=[("k", "INTEGER"), ("w", "FLOAT"), ("s", "TEXT")],
+        tids=[1, 2, 3],
+        columns=[[1, 2, 3], [0.5, 1.5, 2.5], ["a", "b", "c"]],
+        next_tid=4,
+        indexes=[],
+    )
+    spec.update(overrides)
+    return encode_table_segment(
+        spec["name"],
+        spec["table_kind"],
+        spec["properties"],
+        spec["columns_meta"],
+        spec["tids"],
+        spec["columns"],
+        spec["next_tid"],
+        spec["indexes"],
+    )
+
+
+class TestTableSegment:
+    def test_roundtrip(self):
+        data = _table_segment(
+            table_kind="urelation",
+            properties={"payload_arity": 1, "cond_arity": 1},
+            indexes=[["hash", "by_k", [0], True]],
+        )
+        decoded = decode_table_segment(data)
+        assert decoded["table"] == "t"
+        assert decoded["table_kind"] == "urelation"
+        assert decoded["properties"] == {"payload_arity": 1, "cond_arity": 1}
+        assert decoded["columns"] == [("k", "INTEGER"), ("w", "FLOAT"), ("s", "TEXT")]
+        assert decoded["tids"] == [1, 2, 3]
+        assert decoded["column_values"] == [[1, 2, 3], [0.5, 1.5, 2.5], ["a", "b", "c"]]
+        assert decoded["next_tid"] == 4
+        assert decoded["indexes"] == [["hash", "by_k", [0], True]]
+
+    def test_dense_tids_encode_as_range(self):
+        dense = _table_segment()
+        sparse = _table_segment(tids=[1, 5, 9])
+        # The dense encoding carries no tid block at all.
+        assert len(dense) < len(sparse)
+        assert decode_table_segment(sparse)["tids"] == [1, 5, 9]
+
+    def test_empty_table(self):
+        data = _table_segment(tids=[], columns=[[], [], []], next_tid=7)
+        decoded = decode_table_segment(data)
+        assert decoded["tids"] == []
+        assert decoded["column_values"] == [[], [], []]
+        assert decoded["next_tid"] == 7
+
+    def test_content_addressed_name_is_deterministic(self):
+        assert segment_name(_table_segment()) == segment_name(_table_segment())
+        assert segment_name(_table_segment()) != segment_name(
+            _table_segment(tids=[2, 3, 4])
+        )
+
+    def test_bitflip_detected(self):
+        data = bytearray(_table_segment())
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(RecoveryError):
+            decode_table_segment(bytes(data))
+
+    def test_truncation_detected(self):
+        data = _table_segment()
+        with pytest.raises(RecoveryError):
+            decode_table_segment(data[: len(data) - 5])
+
+    def test_not_a_segment_rejected(self):
+        with pytest.raises(RecoveryError):
+            decode_table_segment(b"definitely not a segment file")
+
+
+class TestRegistrySegment:
+    def test_roundtrip(self):
+        state = {
+            "next_id": 4,
+            "variables": [
+                [1, "x1", [[0, 0.25], [1, 0.75]]],
+                [2, "coin", [[0, 0.5], [1, 0.5]]],
+                [3, "tri", [[0, 0.2], [1, 0.3], [2, 0.5]]],
+            ],
+        }
+        decoded = decode_registry_segment(encode_registry_segment(state))
+        assert decoded == state
+
+    def test_empty_delta(self):
+        state = {"next_id": 9, "variables": []}
+        assert decode_registry_segment(encode_registry_segment(state)) == state
+
+    def test_unpackable_names_and_values_fall_back_to_json(self):
+        """Variable names are built from user text (lone surrogates are
+        storable) and domain values are arbitrary ints: the registry
+        segment must degrade per block instead of failing the checkpoint
+        forever."""
+        state = {
+            "next_id": 3,
+            "variables": [
+                [1, "k[\ud800]", [[0, 0.5], [1, 0.5]]],
+                [2, "big", [[10**30, 0.25], [1, 0.75]]],
+            ],
+        }
+        assert decode_registry_segment(encode_registry_segment(state)) == state
+
+    def test_kind_mismatch_rejected(self):
+        table = _table_segment()
+        with pytest.raises(RecoveryError):
+            decode_registry_segment(table)
+        registry = encode_registry_segment({"next_id": 1, "variables": []})
+        with pytest.raises(RecoveryError):
+            decode_table_segment(registry)

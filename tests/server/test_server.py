@@ -327,3 +327,24 @@ class TestKillMinusNine:
         finally:
             process.send_signal(signal.SIGKILL)
             process.wait(timeout=30)
+
+
+class TestDurabilityStatsOp:
+    def test_stats_over_the_wire(self, server):
+        with Client(server.host, server.port) as client:
+            client.execute("create table t (k integer, w float)")
+            client.execute("insert into t values (1, 0.5), (2, 1.5)")
+            client.execute("checkpoint")
+            client.execute("insert into t values (3, 2.5)")
+            client.execute("checkpoint")
+            stats = client.stats()
+        assert stats["checkpoints_total"] == 2
+        assert stats["tables_snapshotted"] == 1  # only t was dirty
+        assert stats["checkpoint_bytes"] > 0
+        assert stats["checkpoint_ms"] >= 0
+        assert stats["commit_count"] >= 3
+        assert "recovery_ms" in stats and "segments_reused" in stats
+
+    def test_stats_empty_for_memory_store(self, memory_server):
+        with Client(memory_server.host, memory_server.port) as client:
+            assert client.stats() == {}

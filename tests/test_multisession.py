@@ -350,3 +350,51 @@ class TestDurableMultiSession:
                 reopened.query("select a, conf() as c from u group by a").rows
             )
         assert after == before
+
+
+class TestCheckpointFairness:
+    def test_checkpoint_not_starved_by_write_stream(self, tmp_path):
+        """A saturating stream of writers each holds the store gate shared
+        for its statement; without writer preference an explicit
+        CHECKPOINT's exclusive gate acquisition can starve indefinitely.
+        The LockManager queues new writers behind the waiting
+        checkpointer, so the gate drains within a couple of statements."""
+        store = MayBMS(path=str(tmp_path / "db"), checkpoint_every=0)
+        store.execute("create table t (k integer, v integer)")
+        stop = threading.Event()
+        errors = []
+
+        def write_loop(session):
+            i = 0
+            while not stop.is_set():
+                try:
+                    session.execute(f"insert into t values ({i}, {i})")
+                except Exception as exc:  # pragma: no cover - fail the test
+                    errors.append(exc)
+                    return
+                i += 1
+
+        sessions = [store.session() for _ in range(4)]
+        threads = [
+            threading.Thread(target=write_loop, args=(s,), daemon=True)
+            for s in sessions
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.3)  # let the write stream saturate the gate
+            started = time.monotonic()
+            assert store.checkpoint() is True
+            elapsed = time.monotonic() - started
+            # Generous bound: the checkpointer only needs in-flight
+            # statements to finish, not a lucky gap in the stream.
+            assert elapsed < 10.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+        assert not errors
+        assert store.durability_stats()["checkpoints_total"] >= 1
+        for session in sessions:
+            session.close()
+        store.close()

@@ -23,6 +23,15 @@ def crash(db):
     return None
 
 
+def manifests(path):
+    """Checkpoint manifest files present in a database directory."""
+    return sorted(glob.glob(os.path.join(path, "checkpoint.*.manifest")))
+
+
+def segment_files(path):
+    return sorted(glob.glob(os.path.join(path, "seg-*.seg")))
+
+
 def populate(db):
     db.execute("create table r (k integer, v text, w float)")
     db.execute(
@@ -213,7 +222,8 @@ class TestCheckpointStatement:
         expected = db.query(CONF_QUERY).rows
         first_wal = db.storage.wal_path
         db.execute("checkpoint")
-        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert manifests(path)  # binary-columnar manifest, not checkpoint.json
+        assert segment_files(path)
         assert not os.path.exists(first_wal)
         db = crash(db)  # crash right after checkpoint: WAL tail is empty
 
@@ -250,9 +260,9 @@ class TestCheckpointStatement:
         db = MayBMS(path=path, checkpoint_every=3)
         db.execute("create table t (x integer)")
         db.execute("insert into t values (1)")
-        assert not os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert not manifests(path)
         db.execute("insert into t values (2)")  # third commit -> checkpoint
-        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert manifests(path)
         assert db.storage.commits_since_checkpoint == 0
         db = crash(db)
         reopened = MayBMS(path=path)
@@ -356,18 +366,203 @@ class TestCloseCost:
         path = str(tmp_path / "db")
         with MayBMS(path=path) as db:
             populate(db)
-        checkpoint_file = os.path.join(path, "checkpoint.json")
-        stamp = os.path.getmtime(checkpoint_file)
-        size = os.path.getsize(checkpoint_file)
+
+        def signature():
+            return [
+                (f, os.path.getmtime(f), os.path.getsize(f))
+                for f in manifests(path) + segment_files(path)
+            ]
+
+        before = signature()
+        assert before  # close() wrote a checkpoint
 
         with MayBMS(path=path) as reader:
             reader.query(CONF_QUERY)  # reads only
-        assert os.path.getmtime(checkpoint_file) == stamp
-        assert os.path.getsize(checkpoint_file) == size
+        assert signature() == before
 
         with MayBMS(path=path) as writer:
             writer.execute("insert into r values (8, 'y', 1.0)")
-        assert (
-            os.path.getmtime(checkpoint_file) != stamp
-            or os.path.getsize(checkpoint_file) != size
-        )
+        assert signature() != before
+
+
+class TestIncrementalCheckpointFacade:
+    """End-to-end incremental-checkpoint behaviour through MayBMS."""
+
+    def _many_tables(self, db, n=4, rows=6):
+        for i in range(n):
+            db.execute(f"create table t{i} (k integer, w float)")
+            values = ", ".join(f"({j}, {j}.5)" for j in range(rows))
+            db.execute(f"insert into t{i} values {values}")
+
+    def test_one_dirty_table_writes_one_segment(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = MayBMS(path=path, checkpoint_every=0)
+        self._many_tables(db, n=4)
+        db.checkpoint()
+        full = db.durability_stats()
+        assert full["tables_snapshotted"] == 4
+
+        db.execute("insert into t2 values (99, 9.5)")
+        db.checkpoint()
+        stats = db.durability_stats()
+        assert stats["tables_snapshotted"] == 1
+        assert stats["segments_reused"] == 3
+        assert stats["checkpoint_bytes"] < full["checkpoint_bytes"]
+        db.close()
+
+    def test_counters_survive_recovery(self, tmp_path):
+        path = str(tmp_path / "db")
+        with MayBMS(path=path) as db:
+            self._many_tables(db, n=2)
+        reopened = MayBMS(path=path)
+        stats = reopened.durability_stats()
+        assert stats["recovery_ms"] > 0
+        assert reopened.recovery_stats["checkpoint_format"] == "columnar"
+        reopened.close()
+
+    def test_corrupt_segment_falls_back_to_previous_epoch(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "db")
+        db = MayBMS(path=path, checkpoint_every=0)
+        self._many_tables(db, n=2)
+        db.checkpoint()
+        db.execute("insert into t0 values (77, 7.5)")
+        db.checkpoint()
+        db.execute("insert into t1 values (88, 8.5)")
+        live = {
+            name: db.query(f"select k, w from {name} order by k").rows
+            for name in ("t0", "t1")
+        }
+        db = crash(db)
+
+        newest = manifests(path)[-1]
+        with open(newest, "rb") as handle:
+            newest_doc = json.loads(handle.read())["manifest"]
+        with open(manifests(path)[0], "rb") as handle:
+            prev_doc = json.loads(handle.read())["manifest"]
+        prev_refs = {s for _, s in prev_doc["tables"]}
+        (unique,) = [
+            s for _, s in newest_doc["tables"] if s not in prev_refs
+        ]
+        with open(os.path.join(path, unique), "r+b") as handle:
+            handle.seek(50)
+            byte = handle.read(1)
+            handle.seek(50)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        reopened = MayBMS(path=path)
+        assert reopened.recovery_stats["fallbacks"] == 1
+        for name, rows in live.items():
+            assert reopened.query(f"select k, w from {name} order by k").rows == rows
+        reopened.close()
+
+    def test_kill_during_checkpoint_recovers_bit_identically(self, tmp_path):
+        """Simulated kill -9 between segment writes and the manifest
+        rename: the previous epoch plus the WAL chain reproduce every
+        committed statement exactly."""
+        path = str(tmp_path / "db")
+        db = MayBMS(path=path, checkpoint_every=0)
+        populate(db)
+        db.checkpoint()
+        db.execute("insert into r values (42, 'q', 2.0)")
+        live_select = db.query("select k, v, w from r order by k, v").rows
+        live_conf = db.query(CONF_QUERY).rows
+
+        # Run phase 1 (gate capture + WAL rotation), write the segments,
+        # then die before the manifest rename -- the widest crash window.
+        capture = db.storage.prepare_checkpoint(db.catalog, db.registry)
+        original = db.storage._write_atomically
+        calls = {"n": 0}
+
+        def dies_at_manifest(target, data, fsync_dir=True):
+            if target.endswith(".manifest"):
+                raise OSError("simulated power loss at manifest rename")
+            return original(target, data, fsync_dir)
+
+        db.storage._write_atomically = dies_at_manifest
+        with pytest.raises(OSError):
+            db.storage.commit_checkpoint(capture)
+        db.storage._write_atomically = original
+        db = crash(db)
+
+        reopened = MayBMS(path=path)
+        assert reopened.query("select k, v, w from r order by k, v").rows == live_select
+        assert reopened.query(CONF_QUERY).rows == live_conf
+        # And the store keeps working: the next checkpoint completes.
+        reopened.execute("insert into r values (43, 'r', 1.0)")
+        reopened.checkpoint()
+        reopened.close()
+        del calls
+
+
+class TestLegacyFormatMigration:
+    def test_legacy_json_store_opens_and_migrates(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "db")
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "json")
+        db = MayBMS(path=path, checkpoint_every=0)
+        populate(db)
+        db.checkpoint()
+        db.execute("insert into r values (7, 'x', 1.5)")  # WAL tail
+        live_select = db.query("select k, v, w from r order by k, v").rows
+        live_conf = db.query(CONF_QUERY).rows
+        db = crash(db)
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert not manifests(path)
+        monkeypatch.delenv("REPRO_SNAPSHOT_FORMAT")
+
+        reopened = MayBMS(path=path, checkpoint_every=0)
+        assert reopened.recovery_stats["checkpoint_format"] == "json"
+        assert reopened.query("select k, v, w from r order by k, v").rows == live_select
+        assert reopened.query(CONF_QUERY).rows == live_conf
+
+        # The next checkpoint migrates to the columnar format; the legacy
+        # snapshot sticks around one epoch as the fallback, then is swept.
+        reopened.checkpoint()
+        assert manifests(path)
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        reopened.checkpoint()
+        assert not os.path.exists(os.path.join(path, "checkpoint.json"))
+        reopened = crash(reopened)
+
+        final = MayBMS(path=path)
+        assert final.recovery_stats["checkpoint_format"] == "columnar"
+        assert final.query("select k, v, w from r order by k, v").rows == live_select
+        assert final.query(CONF_QUERY).rows == live_conf
+        final.close()
+
+    def test_json_format_knob_still_writes_legacy(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "json")
+        path = str(tmp_path / "db")
+        with MayBMS(path=path) as db:
+            db.execute("create table t (x integer)")
+            db.execute("insert into t values (1)")
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert not segment_files(path)
+        with MayBMS(path=path) as again:
+            assert again.query("select x from t").rows == [(1,)]
+
+    def test_json_escape_hatch_supersedes_columnar_manifests(
+        self, tmp_path, monkeypatch
+    ):
+        """Switching an existing columnar store back to the JSON format
+        must not leave a stale manifest behind that every future recovery
+        would prefer over the fresher checkpoint.json (pinning the WAL
+        chain forever)."""
+        path = str(tmp_path / "db")
+        with MayBMS(path=path) as db:  # close() checkpoints in columnar
+            db.execute("create table t (x integer)")
+            db.execute("insert into t values (1)")
+        assert manifests(path)
+
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "json")
+        with MayBMS(path=path) as db:
+            db.execute("insert into t values (2)")
+        assert os.path.exists(os.path.join(path, "checkpoint.json"))
+        assert not manifests(path)  # superseded manifests swept
+        assert not segment_files(path)
+
+        reopened = MayBMS(path=path)
+        assert reopened.recovery_stats["checkpoint_format"] == "json"
+        assert sorted(reopened.query("select x from t").rows) == [(1,), (2,)]
+        reopened.close()
