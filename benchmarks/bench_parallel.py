@@ -1,0 +1,199 @@
+"""Parallel-confidence smoke benchmark: serial vs sharded worker pool.
+
+Builds one conf-heavy workload -- many independent repair-key-style
+groups whose exact ws-tree evaluation dominates the query -- and runs
+``conf() ... group by`` serially and through
+:class:`~repro.engine.parallel.ParallelConfidencePool` at several worker
+counts.  Every parallel answer is differentially verified bit-identical
+to the serial one (the workload forces the exact strategy with no cost
+budget, so no Monte-Carlo noise can hide a sharding bug).
+
+Speedup accounting is honest about the host: the wall-clock >= 2x at 4
+workers assertion only applies when the machine actually has >= 4 CPUs
+(CI runners do; a 1-core container cannot speed up by adding workers).
+On smaller hosts the same invariant is checked against the *critical
+path projection*: measured per-shard worker CPU seconds are LPT-packed
+onto 4 ideal workers and added to the measured coordination overhead
+(payload encode + publish + result assembly = parallel wall minus total
+shard CPU), which is what the wall clock would be with real cores.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_parallel.py [output.json]
+            [--groups N] [--vars N] [--clauses N] [--workers 1 2 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import List
+
+from repro.core import aggregates as agg
+from repro.core.conditions import Condition
+from repro.core.confidence.dispatch import ConfidenceDispatcher, DispatchPolicy
+from repro.core.urelation import URelation, condition_columns, encode_condition
+from repro.core.variables import VariableRegistry
+from repro.engine.parallel import ParallelConfidencePool
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import INTEGER
+
+COND_ARITY = 3
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def build_workload(groups: int, vars_per_group: int, clauses: int):
+    """An adversarial conf() input: per group, ``clauses`` random 3-atom
+    clauses over ``vars_per_group`` shared booleans -- not hierarchical,
+    not closed-form, so the exact ws-tree engine does real work."""
+    rng = random.Random(20090629)  # SIGMOD'09
+    registry = VariableRegistry()
+    rows = []
+    for g in range(groups):
+        vars_ = [
+            registry.fresh_boolean(rng.uniform(0.2, 0.8))
+            for _ in range(vars_per_group)
+        ]
+        for _ in range(clauses):
+            atoms = [(v, 1) for v in rng.sample(vars_, 3)]
+            rows.append(
+                (g,) + encode_condition(Condition.of(atoms), COND_ARITY, registry)
+            )
+    schema = Schema([Column("g", INTEGER)] + condition_columns(COND_ARITY))
+    return URelation(Relation(schema, rows), 1, COND_ARITY, registry)
+
+
+def policy() -> DispatchPolicy:
+    # Forced exact with no budget: deterministic, bit-comparable answers.
+    return DispatchPolicy(strategy="exact", exact_budget=None)
+
+
+def run_conf(urel, parallel=None) -> List[tuple]:
+    dispatcher = ConfidenceDispatcher(urel.registry, policy())
+    return list(agg.conf(urel, ["g"], dispatcher=dispatcher, parallel=parallel).rows)
+
+
+def lpt_critical_path(shard_cpu: List[float], workers: int) -> float:
+    """Pack measured shard CPU times onto ``workers`` ideal cores (LPT,
+    matching the pool's own shard assignment) and return the longest."""
+    loads = [0.0] * max(1, workers)
+    for cost in sorted(shard_cpu, reverse=True):
+        loads[loads.index(min(loads))] += cost
+    return max(loads)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="BENCH_parallel.json")
+    parser.add_argument("--groups", type=int, default=400)
+    parser.add_argument("--vars", type=int, default=14, dest="vars_per_group")
+    parser.add_argument("--clauses", type=int, default=18)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    args = parser.parse_args(argv)
+
+    urel = build_workload(args.groups, args.vars_per_group, args.clauses)
+    print(
+        f"workload: {args.groups} groups x {args.clauses} clauses "
+        f"({len(urel.relation)} rows, {args.vars_per_group} vars/group)"
+    )
+
+    started = time.perf_counter()
+    serial_rows = run_conf(urel)
+    serial_seconds = time.perf_counter() - started
+    print(f"serial: {serial_seconds:.3f}s")
+
+    cpus = os.cpu_count() or 1
+    record = {
+        "benchmark": "parallel-confidence",
+        "workload": {
+            "groups": args.groups,
+            "vars_per_group": args.vars_per_group,
+            "clauses_per_group": args.clauses,
+            "rows": len(urel.relation),
+            "strategy": "exact (no budget)",
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": cpus,
+        },
+        "serial_seconds": round(serial_seconds, 4),
+        "runs": [],
+    }
+
+    for workers in args.workers:
+        with ParallelConfidencePool(workers=workers, min_rows=0) as pool:
+            started = time.perf_counter()
+            cold_rows = run_conf(urel, parallel=pool)
+            cold = time.perf_counter() - started
+            started = time.perf_counter()
+            warm_rows = run_conf(urel, parallel=pool)
+            warm = time.perf_counter() - started
+            stats = pool.stats()
+            info = dict(pool.last_call)
+        assert stats["parallel_queries"] == 2, (
+            f"cost gate kept the {workers}-worker run serial: {stats}"
+        )
+        assert cold_rows == serial_rows and warm_rows == serial_rows, (
+            f"parallel answers diverged from serial at {workers} workers"
+        )
+        shard_cpu = info["shard_cpu_s"]
+        overhead = max(0.0, warm - sum(shard_cpu))
+        projected = overhead + lpt_critical_path(shard_cpu, workers)
+        run = {
+            "workers": workers,
+            "shards": info["shards"],
+            "payload_bytes": info["payload_bytes"],
+            "cold_seconds": round(cold, 4),
+            "warm_seconds": round(warm, 4),
+            "speedup_warm": round(serial_seconds / warm, 3),
+            "shard_cpu_seconds": [round(c, 4) for c in shard_cpu],
+            "coordination_overhead_seconds": round(overhead, 4),
+            "projected_seconds": round(projected, 4),
+            "projected_speedup": round(serial_seconds / projected, 3),
+        }
+        record["runs"].append(run)
+        print(
+            f"workers={workers}: cold {cold:.3f}s, warm {warm:.3f}s "
+            f"(speedup {run['speedup_warm']}x measured, "
+            f"{run['projected_speedup']}x projected on {workers} cores)"
+        )
+
+    four = next((r for r in record["runs"] if r["workers"] >= 4), None)
+    if four is not None:
+        if cpus >= 4:
+            record["acceptance"] = {
+                "mode": "wall-clock",
+                "speedup": four["speedup_warm"],
+            }
+            assert four["speedup_warm"] >= MIN_SPEEDUP_AT_4, (
+                f"4-worker wall-clock speedup {four['speedup_warm']}x < "
+                f"{MIN_SPEEDUP_AT_4}x on a {cpus}-CPU host"
+            )
+        else:
+            record["acceptance"] = {
+                "mode": f"critical-path projection ({cpus}-CPU host)",
+                "speedup": four["projected_speedup"],
+            }
+            assert four["projected_speedup"] >= MIN_SPEEDUP_AT_4, (
+                f"projected 4-worker speedup {four['projected_speedup']}x < "
+                f"{MIN_SPEEDUP_AT_4}x"
+            )
+        print(
+            f"acceptance: {record['acceptance']['speedup']}x >= "
+            f"{MIN_SPEEDUP_AT_4}x ({record['acceptance']['mode']})"
+        )
+
+    with open(args.output, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,6 +181,18 @@ class Client:
         response = self._request({"op": "stats"})
         return dict(response.get("stats", {}))
 
+    def server_stats(self) -> Dict[str, Any]:
+        """All server-side counter groups: ``durability`` (see
+        :meth:`stats`), ``serving`` (active connections plus backpressure
+        rejections), and ``parallel`` (the shared confidence pool's
+        counters; empty when the server runs serial confidence)."""
+        response = self._request({"op": "stats"})
+        return {
+            "durability": dict(response.get("stats", {})),
+            "serving": dict(response.get("serving", {})),
+            "parallel": dict(response.get("parallel", {})),
+        }
+
     def ping(self) -> bool:
         return bool(self._request({"op": "ping"}).get("ok", False))
 

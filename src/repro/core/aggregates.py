@@ -78,37 +78,54 @@ def _group_schema(
     return Schema(columns)
 
 
-def _cached_group_lineages(
+def _relation_cache(urel: URelation) -> dict:
+    cache = urel.relation._lineage_cache
+    if cache is None:
+        cache = urel.relation._lineage_cache = {}
+    return cache
+
+
+def _cached_groups(
     urel: URelation, group_columns: Sequence[str]
-) -> Tuple[Dict[tuple, Tuple[tuple, List[int]]], List[tuple], List[Lineage]]:
-    """Group the relation and build per-group lineages, cached on the
-    relation object.
+) -> Tuple[Dict[tuple, Tuple[tuple, List[int]]], List[tuple]]:
+    """Group the relation's rows, cached on the relation object.
 
     Table snapshots are cached per table version
     (:meth:`repro.engine.storage.Table.snapshot`), so attaching the cache
-    to the relation keys it by *table version + group columns*: a repeated
-    ``conf()`` over an unchanged stored U-relation re-uses grouping,
-    interned clauses, and their probability caches; any mutation produces
-    a fresh snapshot object and therefore a fresh cache.
+    to the relation keys it by *table version + group columns*; any
+    mutation produces a fresh snapshot object and therefore a fresh
+    cache.  Kept separate from the lineage cache so the parallel path
+    (which builds lineages worker-side) shares grouping with a later
+    serial fallback without paying for coordinator-side lineages.
     """
-    relation = urel.relation
+    key = ("groups", tuple(group_columns), urel.payload_arity, urel.cond_arity)
+    cache = _relation_cache(urel)
+    entry = cache.get(key)
+    if entry is None:
+        _, groups, order = _group_rows(urel, group_columns)
+        entry = cache[key] = (groups, order)
+    return entry
+
+
+def _cached_group_lineages(
+    urel: URelation, group_columns: Sequence[str]
+) -> Tuple[Dict[tuple, Tuple[tuple, List[int]]], List[tuple], List[Lineage]]:
+    """Grouping plus per-group lineages, cached on the relation object: a
+    repeated ``conf()`` over an unchanged stored U-relation re-uses
+    grouping, interned clauses, and their probability caches."""
     key = (
         tuple(group_columns),
         urel.payload_arity,
         urel.cond_arity,
         id(urel.registry),
     )
-    cache = relation._lineage_cache
-    if cache is not None:
-        entry = cache.get(key)
-        if entry is not None:
-            return entry
-    _, groups, order = _group_rows(urel, group_columns)
+    cache = _relation_cache(urel)
+    entry = cache.get(key)
+    if entry is not None:
+        return entry
+    groups, order = _cached_groups(urel, group_columns)
     lineages = group_lineages(urel, [groups[k][1] for k in order])
-    entry = (groups, order, lineages)
-    if cache is None:
-        cache = relation._lineage_cache = {}
-    cache[key] = entry
+    entry = cache[key] = (groups, order, lineages)
     return entry
 
 
@@ -118,6 +135,7 @@ def conf(
     result_name: str = "conf",
     engine: Optional[ExactConfidenceEngine] = None,
     dispatcher: Optional[ConfidenceDispatcher] = None,
+    parallel=None,
 ) -> Relation:
     """Confidence computation (the ``conf()`` aggregate).
 
@@ -132,16 +150,38 @@ def conf(
     SPROUT safe evaluation / exact ws-trees / Monte Carlo per independent
     component.  Passing ``engine`` forces the exact ws-tree engine for
     every group (the pre-dispatcher behaviour, kept for ablations and
-    benchmarks).
+    benchmarks).  ``parallel`` is a
+    :class:`~repro.engine.parallel.ParallelConfidencePool`: relations past
+    its cost gate are sharded across worker processes, and any parallel
+    failure silently degrades back to the serial path below.
     """
-    groups, order, lineages = _cached_group_lineages(urel, group_columns)
     if engine is not None:
+        groups, order, lineages = _cached_group_lineages(urel, group_columns)
         probabilities = [engine.probability(lineage) for lineage in lineages]
     else:
         if dispatcher is None:
             dispatcher = ConfidenceDispatcher(urel.registry)
-        results = dispatcher.group_probabilities(lineages)
-        dispatch.record_aggregate("conf", results)
+        results = None
+        detail = ""
+        if parallel is not None and parallel.eligible(urel):
+            groups, order = _cached_groups(urel, group_columns)
+            attempt = parallel.conf_groups(
+                urel,
+                [groups[key][1] for key in order],
+                dispatcher.policy,
+                lineages=lambda: _cached_group_lineages(urel, group_columns)[2],
+                dispatcher=dispatcher,
+            )
+            if attempt is not None:
+                results, info = attempt
+                detail = (
+                    f"parallel: {info['workers']} workers, "
+                    f"{info['shards']} {info['path']} shard(s)"
+                )
+        if results is None:
+            groups, order, lineages = _cached_group_lineages(urel, group_columns)
+            results = dispatcher.group_probabilities(lineages)
+        dispatch.record_aggregate("conf", results, detail=detail)
         probabilities = [result.probability for result in results]
     rows = [
         groups[key][0] + (probability,)

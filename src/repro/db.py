@@ -48,6 +48,11 @@ from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
 from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
 from repro.engine.durability import DurabilityManager
+from repro.engine.parallel import (
+    ParallelConfidencePool,
+    default_min_rows,
+    default_workers,
+)
 from repro.engine.relation import Relation
 from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
 from repro.errors import AnalysisError, DurabilityError, TransactionError
@@ -115,6 +120,8 @@ class _SessionBase:
                 exact_budget=exact_budget,  # type: ignore[arg-type]
                 epsilon=current.epsilon,
                 delta=current.delta,
+                parallel_workers=current.parallel_workers,
+                parallel_min_rows=current.parallel_min_rows,
             )
         )
 
@@ -407,6 +414,18 @@ class _SessionBase:
             return None
         return storage.stats()
 
+    def parallel_stats(self) -> Optional[Dict[str, int]]:
+        """Counters of the store's shared parallel confidence pool
+        (queries sharded, shards run, cost-gated serial decisions, worker
+        crashes, fallbacks, shared-memory bytes shipped), or None when the
+        store runs serial-only.  The ``durability_stats()`` counterpart
+        for :mod:`repro.engine.parallel`; also served over the wire
+        protocol's ``stats`` operation."""
+        pool = self._store.parallel_pool
+        if pool is None:
+            return None
+        return pool.stats()
+
     # -- introspection ----------------------------------------------------------------
     def sys_tables(self) -> Relation:
         return self.catalog.sys_tables()
@@ -447,6 +466,13 @@ class MayBMS(_SessionBase):
       failing with :class:`TransactionError` (``REPRO_LOCK_TIMEOUT``,
       default 30).  The timeout is the deadlock backstop for explicit
       transactions that acquire locks in conflicting orders.
+    - ``parallel_workers``: shard ``conf()`` across this many worker
+      processes (:mod:`repro.engine.parallel`); 0 (the default,
+      ``REPRO_PARALLEL_WORKERS``) keeps everything serial.  The pool is
+      shared by every session of the store and shut down by
+      :meth:`close`.  ``parallel_min_rows`` (``REPRO_PARALLEL_MIN_ROWS``,
+      default 2048) is the cost gate: relations with fewer
+      condition-bearing rows stay serial.
 
     :meth:`session` spawns additional concurrent sessions over this
     store; see the module docstring.
@@ -461,6 +487,8 @@ class MayBMS(_SessionBase):
         checkpoint_every: Optional[int] = None,
         group_commit: Optional[bool] = None,
         lock_timeout: Optional[float] = None,
+        parallel_workers: Optional[int] = None,
+        parallel_min_rows: Optional[int] = None,
     ):
         if seed is None:
             seed = int(os.environ.get("REPRO_SEED", "0"))
@@ -478,6 +506,10 @@ class MayBMS(_SessionBase):
             group_commit = _env_flag("REPRO_GROUP_COMMIT", True)
         if lock_timeout is None:
             lock_timeout = float(os.environ.get("REPRO_LOCK_TIMEOUT", "30"))
+        if parallel_workers is None:
+            parallel_workers = default_workers()
+        if parallel_min_rows is None:
+            parallel_min_rows = default_min_rows()
         self.seed = seed
         self.path = path
         self.checkpoint_every = checkpoint_every
@@ -512,8 +544,20 @@ class MayBMS(_SessionBase):
         self.wal = WriteAheadLog(sink=self.storage)
         self.registry.on_register = self._route_variable_registration
         policy = DispatchPolicy(
-            strategy=confidence_strategy, exact_budget=exact_budget
+            strategy=confidence_strategy,
+            exact_budget=exact_budget,
+            parallel_workers=max(0, int(parallel_workers)),
+            parallel_min_rows=max(0, int(parallel_min_rows)),
         )
+        #: One process pool per store, shared by every session (and every
+        #: server connection); None when the store runs serial-only.
+        self.parallel_pool: Optional[ParallelConfidencePool] = None
+        if policy.parallel_workers >= 1:
+            self.parallel_pool = ParallelConfidencePool(
+                workers=policy.parallel_workers,
+                min_rows=policy.parallel_min_rows,
+                base_seed=seed,
+            )
         self.executor = Executor(
             self.catalog,
             self.registry,
@@ -522,6 +566,7 @@ class MayBMS(_SessionBase):
             wal=self.wal,
             transaction_supplier=self._current_transaction,
             checkpoint_hook=self.checkpoint,
+            parallel_pool=self.parallel_pool,
         )
         self._transaction: Optional[Transaction] = None
         self._held_locks: Dict[str, Tuple[str, int]] = {}
@@ -660,6 +705,8 @@ class MayBMS(_SessionBase):
             if self.storage.commits_since_checkpoint > 0:
                 self.checkpoint()
             self.storage.close()
+        if self.parallel_pool is not None:
+            self.parallel_pool.shutdown()
         self._closed = True
 
     def __enter__(self) -> "MayBMS":
@@ -750,6 +797,8 @@ class Session(_SessionBase):
             exact_budget=base.exact_budget,
             epsilon=base.epsilon,
             delta=base.delta,
+            parallel_workers=base.parallel_workers,
+            parallel_min_rows=base.parallel_min_rows,
         )
         self.executor = Executor(
             self.catalog,
@@ -759,6 +808,7 @@ class Session(_SessionBase):
             wal=self.wal,
             transaction_supplier=self._current_transaction,
             checkpoint_hook=self.checkpoint,
+            parallel_pool=store.parallel_pool,
         )
         self._transaction: Optional[Transaction] = None
         self._held_locks: Dict[str, Tuple[str, int]] = {}

@@ -1,0 +1,764 @@
+"""Process-parallel confidence: shard U-relations across a worker pool.
+
+Confidence computation is the #P-hard heart of MayBMS, and it is
+embarrassingly parallel twice over: ``conf() ... group by`` runs one
+independent computation per group, and within a group the lineage IR
+splits into variable-disjoint components whose probabilities combine by
+independence (1 − ∏(1 − pᵢ)).  The GIL pins all of it to one core, so
+this module moves the work into a persistent :class:`ParallelConfidencePool`
+of worker *processes* shared by every session of a store (and by every
+connection of a server front-end).
+
+Handoff is zero-copy in the sense that matters for a Python engine: no
+row tuples are ever pickled.  The coordinator reads the pinned column
+snapshot of the U-relation's condition columns (var/val integer pairs --
+probability columns are redundant with the registry and payload columns
+are irrelevant to confidence), serializes them through the PR-5 segment
+codec (:mod:`repro.engine.segments`, including its v2 compressed
+encodings) together with a pruned variable-registry snapshot, and
+publishes the single framed blob in ``multiprocessing.shared_memory``.
+Each worker attaches the block once per query, rebuilds a
+:class:`~repro.engine.columnar.ColumnBatch` of condition columns, and
+caches the decoded payload so every shard of the same query reuses it;
+tasks themselves are tiny picklable descriptors (segment name + shard
+ordinals).
+
+Two sharding strategies, chosen per query:
+
+- **group shards** -- many groups: workers receive group ordinals, build
+  each group's lineage from the shared condition batch, and run the full
+  :class:`~repro.core.confidence.dispatch.ConfidenceDispatcher` pipeline
+  (closed-form / SPROUT / budgeted exact / DKLR) per group;
+- **component shards** -- few groups with big lineages (``auto`` policy
+  only): the coordinator builds and simplifies the group lineages
+  (reusing the per-relation lineage cache), answers closed-form groups
+  inline, splits the rest into independent components, and ships the
+  components' clause arrays; workers dispatch single components and the
+  coordinator recombines 1 − ∏(1 − pᵢ) in serial component order.
+
+Determinism: closed-form, SPROUT, and exact answers are bit-identical to
+serial execution -- clause order, registry floats (``<d`` round trip),
+component order, and the δ-per-component split are all preserved.
+Monte-Carlo components draw from a per-unit RNG seeded by a fixed
+integer formula over (store seed, group ordinal, component ordinal), so
+DKLR results are deterministic for a given store seed *across worker
+counts*, though not equal to the serial session-RNG draw.  One caveat is
+inherent: each work unit runs on a fresh dispatcher, so exact-engine
+memo warmth does not carry across groups the way it does serially --
+a component sitting exactly at the cost budget edge may pick exact on
+one side and Monte Carlo on the other.
+
+A cost gate keeps small queries serial (``parallel_min_rows``); worker
+crashes degrade to serial evaluation instead of failing the query; the
+pool shuts down on :meth:`~repro.db.MayBMS.close` and at interpreter
+exit, unlinking any shared-memory blocks it still owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import struct
+import threading
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conditions import Condition
+from repro.core.confidence.dispatch import (
+    ComponentDecision,
+    ConfidenceDispatcher,
+    DispatchPolicy,
+    DispatchResult,
+)
+from repro.core.lineage import ClauseArena, Lineage, combine_independent
+from repro.core.variables import TOP_VARIABLE, VariableRegistry
+from repro.engine import segments
+from repro.engine.columnar import ColumnBatch
+
+#: Default row-count floor of the cost gate: below this many
+#: condition-bearing rows the per-query pool overhead (payload encode +
+#: task round trips) dwarfs the confidence work and queries stay serial.
+DEFAULT_MIN_ROWS = 2048
+
+#: Work units per worker when slicing shards: slightly over-decomposing
+#: lets the greedy LPT assignment smooth out skewed groups.
+_SHARDS_PER_WORKER = 2
+
+#: Decoded payloads a worker keeps attached (one per in-flight query).
+_WORKER_CACHE_LIMIT = 4
+
+
+def default_workers() -> int:
+    """The ``REPRO_PARALLEL_WORKERS`` environment default (0 = serial)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_PARALLEL_WORKERS", "0")))
+    except ValueError:
+        return 0
+
+
+def default_min_rows() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", str(DEFAULT_MIN_ROWS))))
+    except ValueError:
+        return DEFAULT_MIN_ROWS
+
+
+def _unit_seed(base_seed: int, group: int, component: int = -1) -> int:
+    """Deterministic per-work-unit RNG seed.
+
+    A fixed FNV-style integer mix over (store seed, group ordinal,
+    component ordinal): stable across worker counts and shard layouts,
+    distinct across units.
+    """
+    h = 0x9E3779B97F4A7C15 ^ (base_seed & 0xFFFFFFFFFFFFFFFF)
+    for part in (group, component):
+        h = (h ^ (part + 2)) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def _greedy_shards(weights: Sequence[int], shard_count: int) -> List[List[int]]:
+    """LPT assignment: heaviest unit first onto the lightest shard."""
+    shard_count = max(1, min(shard_count, len(weights)))
+    shards: List[List[int]] = [[] for _ in range(shard_count)]
+    loads = [0] * shard_count
+    for unit in sorted(range(len(weights)), key=lambda i: -weights[i]):
+        target = loads.index(min(loads))
+        shards[target].append(unit)
+        loads[target] += max(1, weights[unit])
+    return [shard for shard in shards if shard]
+
+
+def _prune_registry_state(
+    registry: VariableRegistry, var_columns: Sequence[Sequence[int]]
+) -> Dict[str, Any]:
+    """A ``dump_state``-shaped snapshot of only the variables the shipped
+    condition columns mention (checkpoints dump everything; handoff
+    payloads should not scale with unrelated tables)."""
+    used: set = set()
+    for column in var_columns:
+        used.update(column)
+    used.discard(TOP_VARIABLE)
+    variables = [
+        [var, registry.name(var), sorted(registry.distribution(var).items())]
+        for var in sorted(used)
+    ]
+    next_id = (max(used) + 1) if used else 1
+    return {"next_id": next_id, "variables": variables}
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory payloads (coordinator side).
+# ---------------------------------------------------------------------------
+
+
+def _publish(data: bytes, name: str) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(data)))
+    segment.buf[: len(data)] = data
+    return segment
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach a worker to the coordinator's block without disturbing its
+    tracker accounting.  Spawned workers share the coordinator's
+    resource-tracker process, which already holds the creation-side
+    registration; on Python >= 3.13 ``track=False`` skips the redundant
+    attach-side one, and on older interpreters attaching re-registers the
+    same name into the same tracker set (a no-op), so the coordinator's
+    unlink still balances the books either way -- the worker must *not*
+    unregister, or the coordinator's unlink would double-remove."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # py >= 3.13
+    except TypeError:  # pragma: no cover - interpreter-version dependent
+        return shared_memory.SharedMemory(name=name)
+
+
+def _encode_group_payload(
+    urel, row_groups: Sequence[Sequence[int]], policy: DispatchPolicy, base_seed: int
+) -> bytes:
+    """Frame the condition columns + pruned registry + group index for the
+    group-shard strategy."""
+    relation = urel.relation
+    columns = relation.columns()
+    payload_arity, cond_arity = urel.payload_arity, urel.cond_arity
+    var_columns = [columns[payload_arity + 3 * i] for i in range(cond_arity)]
+    val_columns = [columns[payload_arity + 3 * i + 1] for i in range(cond_arity)]
+    registry_block = segments.encode_registry_segment(
+        _prune_registry_state(urel.registry, var_columns)
+    )
+    flat_index: List[int] = []
+    starts = [0]
+    for indexes in row_groups:
+        flat_index.extend(indexes)
+        starts.append(len(flat_index))
+    encoded: List[Tuple[str, bytes]] = []
+    for column in var_columns + val_columns:
+        encoded.append(segments.encode_column("INTEGER", list(column)))
+    encoded.append(segments.encode_column("INTEGER", flat_index))
+    encoded.append(segments.encode_column("INTEGER", starts))
+    blocks = [registry_block] + [block for _, block in encoded]
+    header = {
+        "kind": "conf-groups",
+        "rows": len(relation),
+        "cond_arity": cond_arity,
+        "groups": len(row_groups),
+        "indexed_rows": len(flat_index),
+        "base_seed": base_seed,
+        "policy": _policy_fields(policy),
+        "encodings": [encoding for encoding, _ in encoded],
+        "blocks": [len(block) for block in blocks],
+    }
+    return segments._frame(header, blocks)
+
+
+def _encode_component_payload(
+    units: Sequence[Tuple[int, int, Lineage, float]],
+    registry: VariableRegistry,
+    policy: DispatchPolicy,
+    base_seed: int,
+) -> bytes:
+    """Frame independent components (flattened clause atom arrays) for the
+    component-shard strategy.  ``units`` is (group ordinal, component
+    ordinal within its group, component lineage, per-component delta)."""
+    atom_vars: List[int] = []
+    atom_vals: List[int] = []
+    clause_starts = [0]
+    unit_clause_starts = [0]
+    deltas: List[float] = []
+    seeds: List[int] = []
+    for group, component, lineage, delta in units:
+        for clause in lineage.clauses:
+            for var, value in clause.atoms:
+                atom_vars.append(var)
+                atom_vals.append(value)
+            clause_starts.append(len(atom_vars))
+        unit_clause_starts.append(len(clause_starts) - 1)
+        deltas.append(delta)
+        seeds.append(_unit_seed(base_seed, group, component))
+    registry_block = segments.encode_registry_segment(
+        _prune_registry_state(registry, [atom_vars])
+    )
+    encoded = [
+        segments.encode_column("INTEGER", atom_vars),
+        segments.encode_column("INTEGER", atom_vals),
+        segments.encode_column("INTEGER", clause_starts),
+        segments.encode_column("INTEGER", unit_clause_starts),
+        segments.encode_column("FLOAT", deltas),
+        segments.encode_column("INTEGER", seeds),
+    ]
+    blocks = [registry_block] + [block for _, block in encoded]
+    header = {
+        "kind": "conf-components",
+        "units": len(units),
+        "clauses": len(clause_starts) - 1,
+        "atoms": len(atom_vars),
+        "policy": _policy_fields(policy),
+        "encodings": [encoding for encoding, _ in encoded],
+        "blocks": [len(block) for block in blocks],
+    }
+    return segments._frame(header, blocks)
+
+
+def _policy_fields(policy: DispatchPolicy) -> Dict[str, Any]:
+    return {
+        "strategy": policy.strategy,
+        "exact_budget": policy.exact_budget,
+        "epsilon": policy.epsilon,
+        "delta": policy.delta,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Module-level state and functions: workers are spawned
+# processes that import this module and keep a small payload cache across
+# the tasks of one query.
+# ---------------------------------------------------------------------------
+
+_PAYLOAD_CACHE: "Dict[str, Dict[str, Any]]" = {}
+
+
+def _decode_payload(name: str, length: int) -> Dict[str, Any]:
+    cached = _PAYLOAD_CACHE.get(name)
+    if cached is not None:
+        return cached
+    while len(_PAYLOAD_CACHE) >= _WORKER_CACHE_LIMIT:
+        _, stale = _PAYLOAD_CACHE.popitem()
+        stale["shm"].close()
+    segment = _attach(name)
+    data = bytes(segment.buf[:length])
+    header, body = segments._unframe(data)
+    blocks = segments._split_blocks(body, header["blocks"])
+    registry = VariableRegistry()
+    registry.restore_state(segments.decode_registry_segment(blocks[0]))
+    policy = DispatchPolicy(**header["policy"])
+    payload: Dict[str, Any] = {
+        "shm": segment,
+        "header": header,
+        "registry": registry,
+        "policy": policy,
+        "arena": ClauseArena(registry),
+    }
+    encodings = header["encodings"]
+    data_blocks = blocks[1:]
+    if header["kind"] == "conf-groups":
+        cond_arity = header["cond_arity"]
+        rows = header["rows"]
+        decoded = [
+            segments.decode_column(encodings[i], data_blocks[i], rows)
+            for i in range(2 * cond_arity)
+        ]
+        flat_index = segments.decode_column(
+            encodings[2 * cond_arity], data_blocks[2 * cond_arity], header["indexed_rows"]
+        )
+        starts = segments.decode_column(
+            encodings[2 * cond_arity + 1],
+            data_blocks[2 * cond_arity + 1],
+            header["groups"] + 1,
+        )
+        # The worker-side rebuild of the zero-copy snapshot: one
+        # ColumnBatch of interleaved (var, val) condition columns, read
+        # exactly like URelation.conditions() reads the original.
+        batch = ColumnBatch(
+            tuple(
+                decoded[i % 2 * cond_arity + i // 2]
+                for i in range(2 * cond_arity)
+            ),
+            rows,
+        )
+        payload["conditions"] = _batch_conditions(batch, cond_arity)
+        payload["flat_index"] = flat_index
+        payload["starts"] = starts
+    else:
+        units = header["units"]
+        clauses = header["clauses"]
+        atoms = header["atoms"]
+        atom_vars = segments.decode_column(encodings[0], data_blocks[0], atoms)
+        atom_vals = segments.decode_column(encodings[1], data_blocks[1], atoms)
+        payload["atom_vars"] = atom_vars
+        payload["atom_vals"] = atom_vals
+        payload["clause_starts"] = segments.decode_column(
+            encodings[2], data_blocks[2], clauses + 1
+        )
+        payload["unit_clause_starts"] = segments.decode_column(
+            encodings[3], data_blocks[3], units + 1
+        )
+        payload["deltas"] = segments.decode_column(encodings[4], data_blocks[4], units)
+        payload["seeds"] = segments.decode_column(encodings[5], data_blocks[5], units)
+    _PAYLOAD_CACHE[name] = payload
+    return payload
+
+
+def _batch_conditions(batch: ColumnBatch, cond_arity: int) -> List[Optional[Condition]]:
+    """Per-row conditions off the rebuilt condition batch, memoized on the
+    raw atom tuple exactly like ``decode_condition_columns``."""
+    memo: Dict[tuple, Optional[Condition]] = {}
+    out: List[Optional[Condition]] = []
+    for flat in batch.rows():
+        condition = memo.get(flat, _MISSING)
+        if condition is _MISSING:
+            atoms = [(flat[2 * k], flat[2 * k + 1]) for k in range(cond_arity)]
+            condition = Condition.of(atoms)
+            memo[flat] = condition
+        out.append(condition)
+    return out
+
+
+_MISSING = object()
+
+
+def _run_group_shard(
+    name: str, length: int, ordinals: Sequence[int]
+) -> Tuple[List[Tuple[int, float, List[Tuple[str, float, int, int]]]], float]:
+    """One group shard: build each group's lineage from the shared batch
+    and run the full dispatcher on it."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length)
+    header = payload["header"]
+    conditions = payload["conditions"]
+    flat_index = payload["flat_index"]
+    starts = payload["starts"]
+    base_seed = header["base_seed"]
+    out: List[Tuple[int, float, List[Tuple[str, float, int, int]]]] = []
+    for ordinal in ordinals:
+        clauses = (
+            conditions[row]
+            for row in flat_index[starts[ordinal] : starts[ordinal + 1]]
+            if conditions[row] is not None
+        )
+        lineage = Lineage(clauses, payload["arena"])
+        # A fresh dispatcher per unit: strategy choices must not depend on
+        # which shard (or worker count) a group landed on, so no exact-
+        # engine memo warmth carries between units.
+        dispatcher = ConfidenceDispatcher(payload["registry"], payload["policy"])
+        dispatcher.rng.seed(_unit_seed(base_seed, ordinal))
+        result = dispatcher.probability(lineage)
+        out.append(
+            (
+                ordinal,
+                result.probability,
+                [
+                    (d.strategy, d.probability, d.clause_count, d.variable_count)
+                    for d in result.decisions
+                ],
+            )
+        )
+    return out, time.process_time() - begin
+
+
+def _run_component_shard(
+    name: str, length: int, ordinals: Sequence[int]
+) -> Tuple[List[Tuple[int, str, float, int, int]], float]:
+    """One component shard: dispatch single independent components."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length)
+    atom_vars = payload["atom_vars"]
+    atom_vals = payload["atom_vals"]
+    clause_starts = payload["clause_starts"]
+    unit_starts = payload["unit_clause_starts"]
+    out: List[Tuple[int, str, float, int, int]] = []
+    for ordinal in ordinals:
+        clauses = []
+        for c in range(unit_starts[ordinal], unit_starts[ordinal + 1]):
+            atoms = [
+                (atom_vars[a], atom_vals[a])
+                for a in range(clause_starts[c], clause_starts[c + 1])
+            ]
+            clauses.append(Condition.of(atoms))
+        lineage = Lineage((c for c in clauses if c is not None), payload["arena"])
+        dispatcher = ConfidenceDispatcher(payload["registry"], payload["policy"])
+        dispatcher.rng.seed(payload["seeds"][ordinal])
+        decision = dispatcher.dispatch_component(lineage, payload["deltas"][ordinal])
+        out.append(
+            (
+                ordinal,
+                decision.strategy,
+                decision.probability,
+                decision.clause_count,
+                decision.variable_count,
+            )
+        )
+    return out, time.process_time() - begin
+
+
+# ---------------------------------------------------------------------------
+# The pool (coordinator side).
+# ---------------------------------------------------------------------------
+
+_LIVE_POOLS: "weakref.WeakSet[ParallelConfidencePool]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _shutdown_all() -> None:  # pragma: no cover - interpreter exit path
+    for pool in list(_LIVE_POOLS):
+        pool.shutdown()
+
+
+class ParallelConfidencePool:
+    """A persistent process pool for confidence computation, shared by all
+    sessions of one store.
+
+    The executor starts lazily on the first eligible query and survives
+    across queries (spawn start-up is paid once).  All public methods are
+    thread-safe: server connection threads share one pool.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        min_rows: Optional[int] = None,
+        base_seed: int = 0,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.min_rows = default_min_rows() if min_rows is None else max(0, int(min_rows))
+        self.base_seed = int(base_seed)
+        # "spawn" everywhere: forking a store that may be serving from
+        # multiple threads (the socket server) is a deadlock lottery.
+        self.start_method = start_method or os.environ.get(
+            "REPRO_PARALLEL_MP_START", "spawn"
+        )
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._mutex = threading.Lock()
+        self._closed = False
+        self._segment_counter = 0
+        self._active_segments: Dict[str, shared_memory.SharedMemory] = {}
+        #: Names of every segment ever published (tests assert they are
+        #: all unlinked afterwards); bounded, oldest dropped first.
+        self.segment_history: List[str] = []
+        self._counters: Dict[str, int] = {
+            "parallel_queries": 0,
+            "parallel_group_shards": 0,
+            "parallel_component_shards": 0,
+            "parallel_units": 0,
+            "parallel_gated_serial": 0,
+            "parallel_fallbacks": 0,
+            "parallel_worker_crashes": 0,
+            "parallel_shm_bytes": 0,
+            "parallel_worker_cpu_ms": 0,
+        }
+        self.last_call: Dict[str, Any] = {}
+        global _ATEXIT_REGISTERED
+        _LIVE_POOLS.add(self)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_shutdown_all)
+            _ATEXIT_REGISTERED = True
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._mutex:
+            if self._closed:
+                raise RuntimeError("parallel pool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=get_context(self.start_method),
+                )
+            return self._executor
+
+    def _discard_executor(self) -> None:
+        with self._mutex:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop the workers and unlink any shared memory still owned.
+
+        Idempotent; called from ``MayBMS.close()`` and atexit."""
+        with self._mutex:
+            self._closed = True
+            executor, self._executor = self._executor, None
+            segments_left = list(self._active_segments.values())
+            self._active_segments.clear()
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for segment in segments_left:  # normally empty: queries clean up
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ParallelConfidencePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._mutex:
+            out = dict(self._counters)
+            out["parallel_workers"] = self.workers
+            out["parallel_segments_active"] = len(self._active_segments)
+        return out
+
+    def _count(self, **deltas: int) -> None:
+        with self._mutex:
+            for key, delta in deltas.items():
+                self._counters[key] += delta
+
+    # -- the cost gate ------------------------------------------------------
+    def eligible(self, urel) -> bool:
+        """Should this relation's conf() even try the pool?  Small or
+        certain inputs stay serial (the gate's job); ineligibility here is
+        not counted as a fallback."""
+        if self._closed or urel.cond_arity == 0:
+            return False
+        if len(urel.relation) < self.min_rows:
+            self._count(parallel_gated_serial=1)
+            return False
+        return True
+
+    # -- the entry point ----------------------------------------------------
+    def conf_groups(
+        self,
+        urel,
+        row_groups: Sequence[Sequence[int]],
+        policy: DispatchPolicy,
+        lineages: Callable[[], Sequence[Lineage]],
+        dispatcher: Optional[ConfidenceDispatcher] = None,
+    ) -> Optional[Tuple[List[DispatchResult], Dict[str, Any]]]:
+        """Parallel ``conf()`` over pre-grouped row indexes.
+
+        Returns ``(results aligned with row_groups, info)`` or ``None``
+        when the query should run serially after all -- too little
+        shardable work, or a worker failure (counted, never raised).
+        ``lineages`` supplies coordinator-built group lineages on demand
+        (component strategy only); ``dispatcher`` handles the closed-form
+        groups of that path so its arena caches are reused.
+        """
+        n_groups = len(row_groups)
+        if n_groups == 0:
+            return None
+        try:
+            if policy.strategy == "auto" and n_groups < 2 * self.workers:
+                plan = self._plan_components(urel, row_groups, policy, lineages, dispatcher)
+            else:
+                plan = self._plan_groups(urel, row_groups, policy) if n_groups >= 2 else None
+            if plan is None:
+                self._count(parallel_gated_serial=1)
+                return None
+            return self._execute(plan)
+        except BrokenProcessPool:
+            self._count(parallel_worker_crashes=1, parallel_fallbacks=1)
+            self._discard_executor()
+            return None
+        except (OSError, RuntimeError, ValueError) as exc:
+            # Shared-memory exhaustion, a dying interpreter, a worker
+            # raising through the future: degrade to serial, never fail
+            # the query from the parallel path.
+            self._count(parallel_fallbacks=1)
+            self.last_call["error"] = f"{type(exc).__name__}: {exc}"
+            return None
+
+    # -- planning -----------------------------------------------------------
+    def _plan_groups(
+        self, urel, row_groups: Sequence[Sequence[int]], policy: DispatchPolicy
+    ) -> Optional[Dict[str, Any]]:
+        data = _encode_group_payload(urel, row_groups, policy, self.base_seed)
+        shards = _greedy_shards(
+            [len(g) for g in row_groups], self.workers * _SHARDS_PER_WORKER
+        )
+        if len(shards) < 2:
+            return None
+        return {
+            "kind": "groups",
+            "data": data,
+            "shards": shards,
+            "groups": len(row_groups),
+        }
+
+    def _plan_components(
+        self,
+        urel,
+        row_groups: Sequence[Sequence[int]],
+        policy: DispatchPolicy,
+        lineages: Callable[[], Sequence[Lineage]],
+        dispatcher: Optional[ConfidenceDispatcher],
+    ) -> Optional[Dict[str, Any]]:
+        if dispatcher is None:
+            dispatcher = ConfidenceDispatcher(urel.registry, policy)
+        built = lineages()
+        local: Dict[int, DispatchResult] = {}
+        units: List[Tuple[int, int, Lineage, float]] = []
+        group_meta: List[Tuple[int, int]] = []  # (first unit ordinal, count)
+        for ordinal, lineage in enumerate(built):
+            simplified = Lineage.of(lineage, urel.registry).simplified()
+            if simplified.closed_form_probability() is not None:
+                # Cheap enough to answer inline, exactly as serial would.
+                local[ordinal] = dispatcher.probability(simplified)
+                group_meta.append((-1, 0))
+                continue
+            components = simplified.components()
+            delta = policy.delta / max(1, len(components))
+            group_meta.append((len(units), len(components)))
+            for c_ordinal, component in enumerate(components):
+                units.append((ordinal, c_ordinal, component, delta))
+        if len(units) < 2:
+            return None
+        data = _encode_component_payload(units, urel.registry, policy, self.base_seed)
+        shards = _greedy_shards(
+            [len(unit[2].clauses) for unit in units],
+            self.workers * _SHARDS_PER_WORKER,
+        )
+        return {
+            "kind": "components",
+            "data": data,
+            "shards": shards,
+            "groups": len(row_groups),
+            "local": local,
+            "group_meta": group_meta,
+            "units": units,
+        }
+
+    # -- execution ----------------------------------------------------------
+    def _execute(
+        self, plan: Dict[str, Any]
+    ) -> Tuple[List[DispatchResult], Dict[str, Any]]:
+        executor = self._ensure_executor()
+        data: bytes = plan["data"]
+        with self._mutex:
+            self._segment_counter += 1
+            name = f"maybms-{os.getpid()}-{self._segment_counter}-{os.urandom(3).hex()}"
+        segment = _publish(data, name)
+        with self._mutex:
+            self._active_segments[name] = segment
+            self.segment_history.append(name)
+            del self.segment_history[:-64]
+        worker = _run_group_shard if plan["kind"] == "groups" else _run_component_shard
+        shards: List[List[int]] = plan["shards"]
+        try:
+            futures = [
+                executor.submit(worker, name, len(data), shard) for shard in shards
+            ]
+            returned = [future.result() for future in futures]
+        finally:
+            with self._mutex:
+                self._active_segments.pop(name, None)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        shard_cpu = [cpu for _, cpu in returned]
+        self._count(
+            parallel_queries=1,
+            parallel_units=sum(len(s) for s in shards),
+            parallel_shm_bytes=len(data),
+            parallel_worker_cpu_ms=int(sum(shard_cpu) * 1000),
+            **{
+                "parallel_group_shards"
+                if plan["kind"] == "groups"
+                else "parallel_component_shards": len(shards)
+            },
+        )
+        info = {
+            "path": plan["kind"],
+            "workers": self.workers,
+            "shards": len(shards),
+            "payload_bytes": len(data),
+            "shard_cpu_s": shard_cpu,
+        }
+        self.last_call = info
+        if plan["kind"] == "groups":
+            results = self._assemble_groups(plan, returned)
+        else:
+            results = self._assemble_components(plan, returned)
+        return results, info
+
+    @staticmethod
+    def _assemble_groups(plan, returned) -> List[DispatchResult]:
+        slots: List[Optional[DispatchResult]] = [None] * plan["groups"]
+        for rows, _ in returned:
+            for ordinal, probability, decisions in rows:
+                slots[ordinal] = DispatchResult(
+                    probability,
+                    tuple(ComponentDecision(*decision) for decision in decisions),
+                )
+        if any(slot is None for slot in slots):
+            raise RuntimeError("worker returned an incomplete shard")
+        return slots  # type: ignore[return-value]
+
+    @staticmethod
+    def _assemble_components(plan, returned) -> List[DispatchResult]:
+        unit_decisions: List[Optional[ComponentDecision]] = [None] * len(plan["units"])
+        for rows, _ in returned:
+            for ordinal, strategy, probability, clause_count, variable_count in rows:
+                unit_decisions[ordinal] = ComponentDecision(
+                    strategy, probability, clause_count, variable_count
+                )
+        if any(decision is None for decision in unit_decisions):
+            raise RuntimeError("worker returned an incomplete shard")
+        results: List[DispatchResult] = []
+        for ordinal, (first, count) in enumerate(plan["group_meta"]):
+            if count == 0:
+                results.append(plan["local"][ordinal])
+                continue
+            decisions = tuple(unit_decisions[first : first + count])
+            probability = combine_independent(d.probability for d in decisions)
+            results.append(DispatchResult(probability, decisions))
+        return results

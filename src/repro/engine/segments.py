@@ -28,17 +28,37 @@ Column encodings, chosen per column by declared SQL type and a NULL scan:
     ``bool``  one byte per value: 0 false, 1 true, 2 NULL
     ``json``  anything else (e.g. ints beyond int64): JSON list payload
 
+Compressed encodings (format version 2), used only when they shrink the
+block:
+
+    ``utf8d``  dictionary-coded strings for low-cardinality columns:
+               distinct values as a ``utf8`` sub-block, then one narrow
+               (u8/u16/u32) index per row
+    ``i8d``    delta-coded non-decreasing int64 runs (sorted columns,
+               tuple-id sequences): first value as ``<q``, then narrow
+               non-negative deltas
+    ``utf8d?`` dictionary coding behind the usual NULL bitmap
+
+A segment carrying any compressed block is framed with the ``MBSEG002``
+magic; everything else keeps ``MBSEG001``, so checkpoints that do not
+use the new encodings remain readable by older readers and old segments
+always load (the reader accepts both magics).  Set
+``REPRO_SEGMENT_COMPRESSION=0`` to pin the writer to version-1 output.
+
 Decoding verifies the CRC before trusting anything, so a torn or
 bit-rotten segment surfaces as :class:`~repro.errors.RecoveryError` and
 recovery can fall back to the previous checkpoint epoch.  The codec is
 deliberately engine-free (stdlib only); :mod:`repro.engine.durability`
-supplies the glue to tables and the registry.
+supplies the glue to tables and the registry, and
+:mod:`repro.engine.parallel` reuses the framing for shared-memory
+handoff to confidence workers.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
 import zlib
 from typing import Any, Dict, List, Sequence, Tuple
@@ -46,7 +66,17 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.errors import RecoveryError
 
 MAGIC = b"MBSEG001"
+MAGIC_V2 = b"MBSEG002"
 SEGMENT_SUFFIX = ".seg"
+
+#: Encodings introduced by format version 2; their presence anywhere in a
+#: segment forces the v2 magic.
+V2_ENCODINGS = frozenset({"utf8d", "utf8d?", "i8d"})
+
+
+def compression_enabled() -> bool:
+    """Whether the writer may emit version-2 compressed encodings."""
+    return os.environ.get("REPRO_SEGMENT_COMPRESSION", "1") not in ("0", "false", "no")
 
 _U32 = struct.Struct(">I")
 _HEAD = struct.Struct(">II")  # (payload length, crc32 of payload)
@@ -81,6 +111,84 @@ def _unpack_bitmap(data: bytes, count: int) -> List[bool]:
     return [bool(data[i >> 3] & (1 << (i & 7))) for i in range(count)]
 
 
+#: Narrow unsigned widths for dictionary indexes and deltas, smallest first.
+_NARROW = ((1, "B", 0xFF), (2, "H", 0xFFFF), (4, "I", 0xFFFFFFFF))
+
+
+def _pack_narrow(values: Sequence[int]) -> bytes:
+    """Width byte + the values packed at the narrowest unsigned width that
+    fits their maximum (they are known non-negative)."""
+    top = max(values) if values else 0
+    for width, code, limit in _NARROW:
+        if top <= limit:
+            return bytes([width]) + struct.pack(f"<{len(values)}{code}", *values)
+    return bytes([8]) + struct.pack(f"<{len(values)}Q", *values)
+
+
+def _unpack_narrow(data: bytes, count: int) -> Tuple[List[int], int]:
+    """Inverse of :func:`_pack_narrow`; returns (values, bytes consumed)."""
+    if not data:
+        raise ValueError("narrow block truncated")
+    width = data[0]
+    code = {1: "B", 2: "H", 4: "I", 8: "Q"}.get(width)
+    if code is None:
+        raise ValueError(f"bad narrow width {width}")
+    end = 1 + width * count
+    return list(struct.unpack(f"<{count}{code}", data[1:end])), end
+
+
+def _pack_utf8_dict(values: Sequence[str]) -> Tuple[List[str], bytes]:
+    """Dictionary-code a string column: distinct values in first-seen
+    order as a ``utf8`` sub-block, then one narrow index per row."""
+    order: Dict[str, int] = {}
+    for v in values:
+        if v not in order:
+            order[v] = len(order)
+    distinct = list(order)
+    dictionary = _pack_utf8(distinct)
+    indexes = _pack_narrow([order[v] for v in values])
+    return distinct, _U32.pack(len(order)) + _U32.pack(len(dictionary)) + dictionary + indexes
+
+
+def _unpack_utf8_dict(data: bytes, count: int) -> List[str]:
+    if len(data) < 2 * _U32.size:
+        raise ValueError("utf8d block truncated")
+    (dict_count,) = _U32.unpack_from(data, 0)
+    (dict_len,) = _U32.unpack_from(data, _U32.size)
+    body = data[2 * _U32.size :]
+    distinct = _unpack_utf8(body[:dict_len], dict_count)
+    indexes, _ = _unpack_narrow(body[dict_len:], count)
+    try:
+        return [distinct[i] for i in indexes]
+    except IndexError:
+        raise ValueError("utf8d index beyond dictionary") from None
+
+
+def _pack_i8_delta(values: Sequence[int]) -> bytes:
+    """Delta-code a non-decreasing int64 run: ``<q`` first value, then
+    narrow non-negative deltas.  Caller guarantees monotonicity."""
+    first = values[0] if values else 0
+    deltas = [values[i] - values[i - 1] for i in range(1, len(values))]
+    return struct.pack("<q", first) + _pack_narrow(deltas)
+
+
+def _unpack_i8_delta(data: bytes, count: int) -> List[int]:
+    if count == 0:
+        return []
+    if len(data) < 8:
+        raise ValueError("i8d block truncated")
+    (first,) = struct.unpack_from("<q", data, 0)
+    deltas, _ = _unpack_narrow(data[8:], count - 1)
+    out = [first]
+    for d in deltas:
+        out.append(out[-1] + d)
+    return out
+
+
+def _is_non_decreasing(values: Sequence[int]) -> bool:
+    return all(values[i] >= values[i - 1] for i in range(1, len(values)))
+
+
 def encode_column(type_name: str, values: Sequence[Any]) -> Tuple[str, bytes]:
     """Encode one column; returns ``(encoding_tag, block_bytes)``.
 
@@ -89,6 +197,7 @@ def encode_column(type_name: str, values: Sequence[Any]) -> Tuple[str, bytes]:
     exactly (huge ints, lone surrogates) falls back to JSON.
     """
     has_null = any(v is None for v in values)
+    compress = compression_enabled() and len(values) >= 8
     try:
         if type_name == "BOOLEAN":
             return "bool", bytes(
@@ -96,11 +205,21 @@ def encode_column(type_name: str, values: Sequence[Any]) -> Tuple[str, bytes]:
             )
         if not has_null:
             if type_name == "INTEGER":
-                return "i8", _pack_i8(values)
+                plain = _pack_i8(values)
+                if compress and _is_non_decreasing(values):
+                    delta = _pack_i8_delta(values)
+                    if len(delta) < len(plain):
+                        return "i8d", delta
+                return "i8", plain
             if type_name == "FLOAT":
                 return "f8", _pack_f8(values)
             if type_name == "TEXT":
-                return "utf8", _pack_utf8(values)
+                plain = _pack_utf8(values)
+                if compress:
+                    distinct, coded = _pack_utf8_dict(values)
+                    if 2 * len(distinct) <= len(values) and len(coded) < len(plain):
+                        return "utf8d", coded
+                return "utf8", plain
         else:
             bitmap = _pack_bitmap(values)
             if type_name == "INTEGER":
@@ -112,9 +231,13 @@ def encode_column(type_name: str, values: Sequence[Any]) -> Tuple[str, bytes]:
                     [0.0 if v is None else v for v in values]
                 )
             if type_name == "TEXT":
-                return "utf8?", bitmap + _pack_utf8(
-                    ["" if v is None else v for v in values]
-                )
+                filled = ["" if v is None else v for v in values]
+                plain = _pack_utf8(filled)
+                if compress:
+                    distinct, coded = _pack_utf8_dict(filled)
+                    if 2 * len(distinct) <= len(values) and len(coded) < len(plain):
+                        return "utf8d?", bitmap + coded
+                return "utf8?", bitmap + plain
     except (struct.error, OverflowError, UnicodeEncodeError, TypeError):
         pass
     return "json", json.dumps(list(values), separators=(",", ":")).encode("utf-8")
@@ -129,6 +252,15 @@ def decode_column(encoding: str, data: bytes, count: int) -> List[Any]:
             return list(struct.unpack(f"<{count}d", data))
         if encoding == "utf8":
             return _unpack_utf8(data, count)
+        if encoding == "i8d":
+            return _unpack_i8_delta(data, count)
+        if encoding == "utf8d":
+            return _unpack_utf8_dict(data, count)
+        if encoding == "utf8d?":
+            bitmap_len = (count + 7) // 8
+            nulls = _unpack_bitmap(data[:bitmap_len], count)
+            decoded = _unpack_utf8_dict(data[bitmap_len:], count)
+            return [None if null else v for v, null in zip(decoded, nulls)]
         if encoding == "bool":
             if len(data) != count:
                 raise ValueError("bool block length mismatch")
@@ -174,11 +306,22 @@ def _unpack_utf8(data: bytes, count: int) -> List[str]:
 def _frame(header: Dict[str, Any], blocks: Sequence[bytes]) -> bytes:
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     payload = _U32.pack(len(header_bytes)) + header_bytes + b"".join(blocks)
-    return MAGIC + _HEAD.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+    # Format-version gate: only segments that actually carry a v2 encoding
+    # get the v2 magic, so old readers keep loading everything else and
+    # unchanged tables keep their content-addressed names.
+    tags = list(header.get("encodings", ()))
+    tags.append(header.get("tids", {}).get("enc", ""))
+    magic = MAGIC_V2 if any(tag in V2_ENCODINGS for tag in tags) else MAGIC
+    return magic + _HEAD.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
 
 
 def _unframe(data: bytes) -> Tuple[Dict[str, Any], bytes]:
-    if len(data) < len(MAGIC) + _HEAD.size or not data.startswith(MAGIC):
+    known = data.startswith(MAGIC) or data.startswith(MAGIC_V2)
+    if len(data) < len(MAGIC) + _HEAD.size or not known:
+        if data.startswith(b"MBSEG"):
+            raise RecoveryError(
+                f"segment format {data[:8]!r} is newer than this reader"
+            )
         raise RecoveryError("segment missing magic header (torn or not a segment)")
     length, crc = _HEAD.unpack_from(data, len(MAGIC))
     payload = data[len(MAGIC) + _HEAD.size :]
@@ -241,8 +384,12 @@ def encode_table_segment(
     if list(tids) == list(range(first, first + row_count)):
         tid_spec: Dict[str, Any] = {"enc": "range", "start": first}
     else:
-        tid_spec = {"enc": "i8"}
-        blocks.append(_pack_i8(tids))
+        # Tuple ids with deletion holes are still sorted, so the v2
+        # delta encoding usually applies; encode_column picks it (or
+        # plain i8) and the chosen tag rides in the manifest's tid spec.
+        tag, block = encode_column("INTEGER", list(tids))
+        tid_spec = {"enc": tag}
+        blocks.append(block)
     encodings: List[str] = []
     for (_, type_name), values in zip(columns_meta, columns):
         encoding, block = encode_column(type_name, values)
@@ -282,7 +429,7 @@ def decode_table_segment(data: bytes) -> Dict[str, Any]:
         start = int(tid_spec["start"])
         tids: List[int] = list(range(start, start + row_count))
     else:
-        tids = decode_column("i8", blocks[cursor], row_count)
+        tids = decode_column(tid_spec["enc"], blocks[cursor], row_count)
         cursor += 1
     column_values: List[List[Any]] = []
     for encoding in header["encodings"]:

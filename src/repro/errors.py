@@ -117,6 +117,15 @@ class ProtocolError(ServingError):
     """A wire-protocol message was malformed, oversized, or truncated."""
 
 
+class ServerBusyError(ServingError):
+    """The server refused work because it is over capacity: too many
+    concurrent connections, or too many statements in flight
+    (:class:`~repro.server.server.MayBMSServer` backpressure caps).  The
+    refusal is a clean wire error: a rejected connection is closed right
+    after the error is sent; a rejected statement leaves the connection
+    -- and its open transaction -- intact, so the client can retry."""
+
+
 class ServerError(ServingError):
     """A statement failed server-side; carries the original error type.
 

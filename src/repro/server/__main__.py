@@ -54,6 +54,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds a statement waits for a table lock (default 30)",
     )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="refuse connections beyond this many concurrent clients "
+        "(default: REPRO_SERVER_MAX_CONNECTIONS, else unlimited)",
+    )
+    parser.add_argument(
+        "--max-statements",
+        type=int,
+        default=None,
+        help="refuse statements beyond this many in flight across all "
+        "clients (default: REPRO_SERVER_MAX_STATEMENTS, else unlimited)",
+    )
+    parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        help="confidence worker processes shared by all sessions "
+        "(default: REPRO_PARALLEL_WORKERS, else 0 = serial)",
+    )
     return parser
 
 
@@ -67,6 +88,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every,
         group_commit=False if args.no_group_commit else None,
         lock_timeout=args.lock_timeout,
+        max_connections=args.max_connections,
+        max_active_statements=args.max_statements,
+        parallel_workers=args.parallel_workers,
     )
     store = args.path if args.path else "in-memory"
     print(

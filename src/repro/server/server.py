@@ -21,19 +21,44 @@ keeps serving; protocol errors and disconnects tear the connection down,
 rolling back its open transaction.  ``kill -9`` of the whole process is
 exactly the crash the WAL is for: restarting the server on the same
 ``--path`` recovers every committed statement bit-identically.
+
+Backpressure: ``max_connections`` caps concurrent client sessions and
+``max_active_statements`` caps statements in flight across all of them.
+Over-capacity work is refused with a clean
+:class:`~repro.errors.ServerBusyError` on the wire -- a refused
+connection is closed after the error, a refused statement keeps its
+connection and transaction -- so overload degrades to explicit client
+retries instead of unbounded thread/queue growth.  The store's
+process-parallel confidence pool (``parallel_workers``) is owned by the
+shared :class:`~repro.db.MayBMS`, so every client session shards its
+``conf()`` work over the same worker pool.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
 from repro.db import MayBMS, Session
-from repro.errors import MayBMSError, ProtocolError
+from repro.errors import MayBMSError, ProtocolError, ServerBusyError
 from repro.server import protocol
 
 DEFAULT_HOST = "127.0.0.1"
+
+
+def _env_positive(name: str) -> Optional[int]:
+    """A positive integer from the environment, else None."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class MayBMSServer:
@@ -44,6 +69,12 @@ class MayBMSServer:
     in-process benchmark that wants to read the store's fsync counters --
     otherwise one is created from the remaining keyword arguments and
     closed with the server.
+
+    ``max_connections`` / ``max_active_statements`` (env defaults
+    ``REPRO_SERVER_MAX_CONNECTIONS`` / ``REPRO_SERVER_MAX_STATEMENTS``;
+    None = unlimited) are the backpressure caps; refusals are counted in
+    :attr:`connections_rejected` / :attr:`statements_rejected` and
+    surfaced by the ``stats`` wire op.
     """
 
     def __init__(
@@ -57,6 +88,9 @@ class MayBMSServer:
         group_commit: Optional[bool] = None,
         lock_timeout: Optional[float] = None,
         backlog: int = 64,
+        max_connections: Optional[int] = None,
+        max_active_statements: Optional[int] = None,
+        parallel_workers: Optional[int] = None,
     ):
         if db is None:
             db = MayBMS(
@@ -65,11 +99,25 @@ class MayBMSServer:
                 checkpoint_every=checkpoint_every,
                 group_commit=group_commit,
                 lock_timeout=lock_timeout,
+                parallel_workers=parallel_workers,
             )
             self._owns_db = True
         else:
             self._owns_db = False
         self.db = db
+        if max_connections is None:
+            max_connections = _env_positive("REPRO_SERVER_MAX_CONNECTIONS")
+        if max_active_statements is None:
+            max_active_statements = _env_positive("REPRO_SERVER_MAX_STATEMENTS")
+        self.max_connections = max_connections
+        self.max_active_statements = max_active_statements
+        self._statement_gate: Optional[threading.BoundedSemaphore] = (
+            threading.BoundedSemaphore(max_active_statements)
+            if max_active_statements is not None
+            else None
+        )
+        self.connections_rejected = 0
+        self.statements_rejected = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -101,16 +149,29 @@ class MayBMSServer:
             except OSError:
                 break  # listener closed
             connection.settimeout(None)
-            thread = threading.Thread(
-                target=self._handle_connection,
-                args=(connection,),
-                daemon=True,
-                name=f"maybms-client-{connection.fileno()}",
-            )
             with self._threads_mutex:
                 self._threads = [t for t in self._threads if t.is_alive()]
+                at_capacity = (
+                    self.max_connections is not None
+                    and len(self._connections) >= self.max_connections
+                )
+                if at_capacity:
+                    self.connections_rejected += 1
+                else:
+                    self._connections.append(connection)
+            if at_capacity:
+                # Refuse on a short-lived thread: the handshake reads the
+                # client's hello before answering, and a stalled client
+                # must not block the accept loop.
+                target, name = self._reject_connection, "maybms-reject"
+            else:
+                target = self._handle_connection
+                name = f"maybms-client-{connection.fileno()}"
+            thread = threading.Thread(
+                target=target, args=(connection,), daemon=True, name=name
+            )
+            with self._threads_mutex:
                 self._threads.append(thread)
-                self._connections.append(connection)
             thread.start()
 
     def start(self) -> "MayBMSServer":
@@ -154,6 +215,32 @@ class MayBMSServer:
         self.close()
 
     # -- per-connection handling ----------------------------------------------
+    def _reject_connection(self, connection: socket.socket) -> None:
+        """Refuse an over-capacity connection with a clean wire error.
+
+        The client's first message (its hello) is consumed so the error
+        lands as the response the client is already waiting for, then the
+        socket is closed; the client surfaces it as a
+        :class:`~repro.errors.ServerError` with ``error_type``
+        ``"ServerBusyError"``."""
+        try:
+            with connection:
+                connection.settimeout(5.0)
+                try:
+                    protocol.recv_message(connection)
+                except ProtocolError:
+                    pass
+                busy = ServerBusyError(
+                    f"server at capacity "
+                    f"({self.max_connections} concurrent connections)"
+                )
+                protocol.send_message(
+                    connection,
+                    {"ok": False, "error": protocol.encode_error(busy)},
+                )
+        except (OSError, ProtocolError, socket.timeout):
+            pass
+
     def _handle_connection(self, connection: socket.socket) -> None:
         session: Optional[Session] = None
         try:
@@ -198,6 +285,27 @@ class MayBMSServer:
                 except ValueError:
                     pass
 
+    @contextmanager
+    def _statement_slot(self):
+        """Hold one of the ``max_active_statements`` slots for the
+        duration of a statement; over capacity, refuse immediately with
+        :class:`~repro.errors.ServerBusyError` (the connection and its
+        transaction survive -- the client can simply retry)."""
+        if self._statement_gate is None:
+            yield
+            return
+        if not self._statement_gate.acquire(blocking=False):
+            with self._threads_mutex:
+                self.statements_rejected += 1
+            raise ServerBusyError(
+                f"server at capacity "
+                f"({self.max_active_statements} statements in flight)"
+            )
+        try:
+            yield
+        finally:
+            self._statement_gate.release()
+
     def _open_session(self, request: Dict[str, Any]) -> Session:
         read_only = bool(request.get("read_only", False))
         with self._threads_mutex:
@@ -225,10 +333,12 @@ class MayBMSServer:
             if op == "close":
                 return {"ok": True}, True
             if op == "execute":
-                result = session.execute(str(request.get("sql", "")))
+                with self._statement_slot():
+                    result = session.execute(str(request.get("sql", "")))
                 return {"ok": True, "result": protocol.encode_result(result)}, False
             if op == "script":
-                results = session.execute_script(str(request.get("sql", "")))
+                with self._statement_slot():
+                    results = session.execute_script(str(request.get("sql", "")))
                 return (
                     {
                         "ok": True,
@@ -242,11 +352,21 @@ class MayBMSServer:
                 # Durability counters (checkpoint_ms, checkpoint_bytes,
                 # tables_snapshotted, segments_reused, recovery_ms, fsync
                 # and commit totals); empty object for in-memory stores.
+                # "serving" adds the backpressure counters, "parallel" the
+                # shared confidence pool's (empty when no pool).
+                with self._threads_mutex:
+                    active = len(self._connections)
                 return (
                     {
                         "ok": True,
                         "durable": session.is_durable,
                         "stats": session.durability_stats() or {},
+                        "serving": {
+                            "connections_active": active,
+                            "connections_rejected": self.connections_rejected,
+                            "statements_rejected": self.statements_rejected,
+                        },
+                        "parallel": session.parallel_stats() or {},
                     },
                     False,
                 )

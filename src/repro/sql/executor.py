@@ -104,6 +104,7 @@ class Executor:
         wal: Optional[WriteAheadLog] = None,
         transaction_supplier: Optional[Callable[[], Optional[Transaction]]] = None,
         checkpoint_hook: Optional[Callable[[], Any]] = None,
+        parallel_pool=None,
     ):
         self.catalog = catalog
         self.registry = registry
@@ -125,6 +126,10 @@ class Executor:
         #: Wired by the session facade to its durable checkpoint; None for
         #: a bare executor (CHECKPOINT is then a no-op).
         self.checkpoint_hook = checkpoint_hook
+        #: Shared :class:`~repro.engine.parallel.ParallelConfidencePool`
+        #: (or None).  Only ``conf`` shards across it; ``aconf`` stays on
+        #: the session RNG so its estimates remain seed-reproducible.
+        self.parallel_pool = parallel_pool
         #: The transaction of the statement currently inside
         #: :meth:`write_transaction`, if any.  The session facade routes
         #: variable registrations (``repair key`` / ``pick tuples``) into
@@ -912,7 +917,11 @@ class Executor:
     ) -> Relation:
         if node.name == "conf":
             return agg.conf(
-                prepared, group_names, result_name, dispatcher=self.dispatcher
+                prepared,
+                group_names,
+                result_name,
+                dispatcher=self.dispatcher,
+                parallel=self.parallel_pool,
             )
         if node.name == "aconf":
             epsilon = _literal_float(node.args[0], "aconf epsilon")

@@ -329,6 +329,123 @@ class TestKillMinusNine:
             process.wait(timeout=30)
 
 
+class TestBackpressure:
+    def test_connections_beyond_cap_refused_cleanly(self):
+        server = MayBMSServer(max_connections=2).start()
+        try:
+            a = Client(server.host, server.port)
+            b = Client(server.host, server.port)
+            with pytest.raises(ServerError) as excinfo:
+                Client(server.host, server.port)
+            assert excinfo.value.error_type == "ServerBusyError"
+            # Admitted clients are unaffected by the refusal.
+            a.execute("create table t (a integer)")
+            assert b.ping()
+            serving = a.server_stats()["serving"]
+            assert serving["connections_active"] == 2
+            assert serving["connections_rejected"] == 1
+            a.close()
+            # The freed slot admits a new client (the slot is released
+            # just after the close ack, so retry briefly).
+            deadline = time.time() + 5
+            while True:
+                try:
+                    c = Client(server.host, server.port)
+                    break
+                except ServerError:
+                    assert time.time() < deadline, "slot never freed"
+                    time.sleep(0.05)
+            c.close()
+            b.close()
+        finally:
+            server.close()
+
+    def test_statements_beyond_cap_refused_and_retryable(self):
+        server = MayBMSServer(max_active_statements=1).start()
+        try:
+            with Client(server.host, server.port) as client:
+                # Hold the only slot so the next statement finds the server
+                # saturated -- deterministic, no timing games.
+                assert server._statement_gate.acquire(blocking=False)
+                with pytest.raises(ServerError) as excinfo:
+                    client.execute("create table t (a integer)")
+                assert excinfo.value.error_type == "ServerBusyError"
+                server._statement_gate.release()
+                # The connection (and a retry) survive the refusal.
+                client.execute("create table t (a integer)")
+                assert (
+                    client.server_stats()["serving"]["statements_rejected"] == 1
+                )
+        finally:
+            server.close()
+
+    def test_statement_refusal_keeps_open_transaction(self):
+        server = MayBMSServer(max_active_statements=1).start()
+        try:
+            with Client(server.host, server.port) as client:
+                client.execute("create table t (a integer)")
+                client.begin()
+                client.execute("insert into t values (1)")
+                assert server._statement_gate.acquire(blocking=False)
+                with pytest.raises(ServerError):
+                    client.execute("insert into t values (2)")
+                server._statement_gate.release()
+                client.execute("insert into t values (3)")
+                client.commit()
+                rows = client.query("select a from t order by a").rows
+                assert rows == [(1,), (3,)]
+        finally:
+            server.close()
+
+    def test_env_default_caps_connections(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER_MAX_CONNECTIONS", "1")
+        server = MayBMSServer().start()
+        try:
+            assert server.max_connections == 1
+            with Client(server.host, server.port):
+                with pytest.raises(ServerError) as excinfo:
+                    Client(server.host, server.port)
+                assert excinfo.value.error_type == "ServerBusyError"
+        finally:
+            server.close()
+
+
+class TestParallelConfidenceOverTheWire:
+    def test_server_shares_one_pool_across_sessions(self):
+        server = MayBMSServer(parallel_workers=2).start()
+        try:
+            server.db.parallel_pool.min_rows = 1
+            with Client(server.host, server.port) as setup:
+                values = ", ".join(
+                    f"({g}, {k}, {1 + (g + k) % 3})"
+                    for g in range(8)
+                    for k in range(10)
+                )
+                setup.execute_script(
+                    "create table t (g integer, k integer, w float);"
+                    f"insert into t values {values};"
+                    "create table u as repair key g, k in t weight by w"
+                )
+            query = "select g, conf() as c from u group by g"
+            with Client(server.host, server.port) as one:
+                first = sorted(one.query(query).rows)
+            with Client(server.host, server.port) as two:
+                second = sorted(two.query(query).rows)
+                parallel = two.server_stats()["parallel"]
+            assert first == second
+            # Both sessions ran over the same store-owned pool.
+            assert parallel["parallel_workers"] == 2
+            assert parallel["parallel_queries"] == 2, parallel
+            assert parallel["parallel_segments_active"] == 0
+        finally:
+            server.close()
+        assert server.db.parallel_pool._executor is None
+
+    def test_serial_server_reports_empty_parallel_stats(self, memory_server):
+        with Client(memory_server.host, memory_server.port) as client:
+            assert client.server_stats()["parallel"] == {}
+
+
 class TestDurabilityStatsOp:
     def test_stats_over_the_wire(self, server):
         with Client(server.host, server.port) as client:

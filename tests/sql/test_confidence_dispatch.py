@@ -170,11 +170,15 @@ class TestLineageCache:
         )
         first = agg.conf(urel, ["player"])
         cache = urel.relation._lineage_cache
-        assert cache is not None and len(cache) == 1
-        (entry,) = cache.values()
+        # One grouping entry (shared with the parallel path) plus one
+        # lineage entry for this grouping.
+        assert cache is not None and len(cache) == 2
+        entries = list(cache.values())
         second = agg.conf(urel, ["player"])
-        # Same cache entry object: grouping and lineages were reused.
-        assert next(iter(urel.relation._lineage_cache.values())) is entry
+        # Same cache entry objects: grouping and lineages were reused.
+        after = list(urel.relation._lineage_cache.values())
+        assert len(after) == len(entries)
+        assert all(a is b for a, b in zip(after, entries))
         assert sorted(first.rows) == sorted(second.rows)
 
     def test_distinct_groupings_get_distinct_entries(self, db):
@@ -183,7 +187,12 @@ class TestLineageCache:
         )
         agg.conf(urel, ["player"])
         agg.conf(urel, ["player", "final"])
-        assert len(urel.relation._lineage_cache) == 2
+        lineage_keys = [
+            key
+            for key in urel.relation._lineage_cache
+            if key[0] != "groups"
+        ]
+        assert len(lineage_keys) == 2
 
     def test_stored_urelation_snapshot_caches_across_reads(self, db):
         db.execute(
