@@ -184,8 +184,10 @@ class Client:
     def server_stats(self) -> Dict[str, Any]:
         """All server-side counter groups: ``durability`` (see
         :meth:`stats`), ``serving`` (active connections plus backpressure
-        rejections), and ``parallel`` (the shared confidence pool's
-        counters; empty when the server runs serial confidence)."""
+        rejections), and ``parallel`` (the shared execution pool's
+        per-operator query/shard counters plus encode-time, shard CPU,
+        and cache-eviction totals; empty when the server runs
+        serial-only)."""
         response = self._request({"op": "stats"})
         return {
             "durability": dict(response.get("stats", {})),

@@ -20,11 +20,13 @@ numerical results in the various possible worlds".
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.confidence import dispatch
 from repro.core.confidence.dispatch import ConfidenceDispatcher
+from repro.core.confidence.dklr import aconf_unit_seed
 from repro.core.confidence.exact import ExactConfidenceEngine
 from repro.core.lineage import Lineage, group_lineages
 from repro.core.urelation import URelation
@@ -151,7 +153,7 @@ def conf(
     component.  Passing ``engine`` forces the exact ws-tree engine for
     every group (the pre-dispatcher behaviour, kept for ablations and
     benchmarks).  ``parallel`` is a
-    :class:`~repro.engine.parallel.ParallelConfidencePool`: relations past
+    :class:`~repro.engine.parallel.ParallelExecutionPool`: relations past
     its cost gate are sharded across worker processes, and any parallel
     failure silently degrades back to the serial path below.
     """
@@ -200,29 +202,69 @@ def aconf(
     result_name: str = "aconf",
     rng: Optional[random.Random] = None,
     dispatcher: Optional[ConfidenceDispatcher] = None,
+    parallel=None,
+    base_seed: Optional[int] = None,
 ) -> Relation:
     """Approximate confidence: ``aconf(ε, δ)``.
 
     Per group, an estimate p̂ with P(|p̂ − p| > ε·p) < δ.  The dispatcher
     takes exact shortcuts that satisfy the guarantee trivially (closed
     forms, hierarchical lineages); everything else runs the Karp-Luby
-    estimator under the DKLR optimal Monte-Carlo driver, drawing from
-    ``rng`` (or the dispatcher's session RNG) so results are reproducible
-    under a fixed seed.
+    estimator under the DKLR optimal Monte-Carlo driver.
+
+    With ``base_seed`` (the store/session seed, wired by the SQL
+    executor) each group's Monte-Carlo run is pinned to its own
+    deterministic stream via :func:`~repro.core.confidence.dklr.aconf_unit_seed`,
+    so the answer is a pure function of (seed, data) -- which is what
+    lets ``parallel`` (a :class:`~repro.engine.parallel.ParallelExecutionPool`)
+    shard the sample loops across workers bit-identically to serial at
+    any worker count.  An explicit ``rng`` overrides both: draws come
+    from it sequentially (the legacy behaviour) and the query stays
+    serial.
     """
-    groups, order, lineages = _cached_group_lineages(urel, group_columns)
+    deterministic = base_seed is not None and rng is None
     if dispatcher is None:
         dispatcher = ConfidenceDispatcher(urel.registry, rng=rng)
     elif rng is not None:
         dispatcher = ConfidenceDispatcher(
             urel.registry, dispatcher.policy, rng=rng
         )
-    results = [
-        dispatcher.approximate(lineage, epsilon, delta) for lineage in lineages
-    ]
-    dispatch.record_aggregate(
-        "aconf", results, detail=f"epsilon={epsilon:g}, delta={delta:g}"
-    )
+    detail = f"epsilon={epsilon:g}, delta={delta:g}"
+    results = None
+    if deterministic and parallel is not None and parallel.eligible(urel):
+        groups, order = _cached_groups(urel, group_columns)
+        attempt = parallel.aconf_groups(
+            urel,
+            [groups[key][1] for key in order],
+            dispatcher.policy,
+            epsilon,
+            delta,
+            base_seed,
+        )
+        if attempt is not None:
+            results, info = attempt
+            detail += (
+                f"; parallel: {info['workers']} workers, "
+                f"{info['shards']} {info['path']} shard(s)"
+            )
+    if results is None:
+        groups, order, lineages = _cached_group_lineages(urel, group_columns)
+        if deterministic:
+            results = [
+                dispatcher.approximate(
+                    lineage,
+                    epsilon,
+                    delta,
+                    unit_seed=aconf_unit_seed(base_seed, ordinal),
+                )
+                for ordinal, lineage in enumerate(lineages)
+            ]
+        else:
+            results = [
+                dispatcher.approximate(lineage, epsilon, delta)
+                for lineage in lineages
+            ]
+    dispatch.record_aggregate("aconf", results, detail=detail)
     rows = [
         groups[key][0] + (result.probability,)
         for key, result in zip(order, results)
@@ -273,6 +315,7 @@ def esum(
     value_column: str,
     group_columns: Sequence[str] = (),
     result_name: str = "esum",
+    parallel=None,
 ) -> Relation:
     """Expected sum: Σ_rows value(row) · P(condition(row)) per group.
 
@@ -282,16 +325,17 @@ def esum(
     contribute nothing, mirroring SQL's sum.
     """
     value_position = urel.relation.schema.resolve(value_column)
-    return _expectation(urel, value_position, group_columns, result_name)
+    return _expectation(urel, value_position, group_columns, result_name, parallel)
 
 
 def ecount(
     urel: URelation,
     group_columns: Sequence[str] = (),
     result_name: str = "ecount",
+    parallel=None,
 ) -> Relation:
     """Expected count: Σ_rows P(condition(row)) per group."""
-    return _expectation(urel, None, group_columns, result_name)
+    return _expectation(urel, None, group_columns, result_name, parallel)
 
 
 def _expectation(
@@ -299,25 +343,45 @@ def _expectation(
     value_position: Optional[int],
     group_columns: Sequence[str],
     result_name: str,
+    parallel=None,
 ) -> Relation:
-    weights = urel.condition_probabilities()
+    """Per-group expectations, serial or sharded.
+
+    Both paths sum with exact accumulation (``math.fsum`` serially;
+    Shewchuk partials per shard with an fsum reduction in the pool), so
+    a group's total is a function of its term multiset alone -- serial
+    and parallel answers are bit-identical at any worker count.
+    """
     _, groups, order = _group_rows(urel, group_columns)
-    value_column = (
-        urel.relation.columns()[value_position] if value_position is not None else None
-    )
-    rows = []
-    for key in order:
-        projected, indexes = groups[key]
-        total = 0.0
+    row_groups = [groups[key][1] for key in order]
+    totals: Optional[List[float]] = None
+    if parallel is not None and parallel.eligible(urel):
+        attempt = parallel.expectation_groups(urel, row_groups, value_position)
+        if attempt is not None:
+            totals, _ = attempt
+    if totals is None:
+        weights = urel.condition_probabilities()
+        value_column = (
+            urel.relation.columns()[value_position]
+            if value_position is not None
+            else None
+        )
         if value_column is None:
-            for i in indexes:
-                total += weights[i]
+            totals = [
+                math.fsum(weights[i] for i in indexes) for indexes in row_groups
+            ]
         else:
-            for i in indexes:
-                value = value_column[i]
-                if value is not None:
-                    total += weights[i] * value
-        rows.append(projected + (total,))
+            totals = [
+                math.fsum(
+                    weights[i] * value_column[i]
+                    for i in indexes
+                    if value_column[i] is not None
+                )
+                for indexes in row_groups
+            ]
+    rows = [
+        groups[key][0] + (total,) for key, total in zip(order, totals)
+    ]
     if not group_columns and not rows:
         rows.append((0.0,))
     return Relation(_group_schema(urel, group_columns, result_name, FLOAT), rows)

@@ -287,7 +287,11 @@ class ConfidenceDispatcher:
         return DispatchResult(probability, tuple(decisions))
 
     def approximate(
-        self, lineage: LineageLike, epsilon: float, delta: float
+        self,
+        lineage: LineageLike,
+        epsilon: float,
+        delta: float,
+        unit_seed: Optional[int] = None,
     ) -> DispatchResult:
         """The ``aconf(ε, δ)`` semantics: any estimate p̂ with
         P(|p̂ − p| > ε·p) < δ.
@@ -298,6 +302,12 @@ class ConfidenceDispatcher:
         whole lineage goes to the DKLR-driven Karp-Luby estimator (whole,
         not per component: the (ε,δ) guarantee is proved for a single
         estimator run and does not survive per-component recombination).
+
+        ``unit_seed`` pins the Monte-Carlo route to a private deterministic
+        stream (see :func:`approximate_confidence`); the exact routes are
+        deterministic regardless.  The parallel aconf path relies on this:
+        a worker's fresh dispatcher and the store's long-lived one return
+        bit-identical answers for the same (lineage, seed).
         """
         lineage = Lineage.of(lineage, self.registry).simplified()
         stats = lineage.stats(test_hierarchy=False)
@@ -325,7 +335,7 @@ class ConfidenceDispatcher:
                 p, (ComponentDecision(STRATEGY_EXACT, p, *decision_shape),)
             )
         result = approximate_confidence(
-            lineage, self.registry, epsilon, delta, self.rng
+            lineage, self.registry, epsilon, delta, self.rng, unit_seed=unit_seed
         )
         return DispatchResult(
             result.estimate,

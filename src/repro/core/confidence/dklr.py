@@ -48,6 +48,40 @@ Sampler = Callable[[], float]
 
 _E_MINUS_2 = math.e - 2.0
 
+#: Samples per seeded block of the deterministic main run (see
+#: :func:`approximate_confidence` with ``unit_seed``).  The block layout
+#: depends only on the main-run sample count, never on worker count or
+#: shard assignment, so blocked estimates are reproducible anywhere.
+MAIN_BLOCK = 32_768
+
+#: Stream tag for per-group ``aconf`` seeds.  Must stay distinct from the
+#: component ordinals the conf() parallel path mixes in (-1 for a whole
+#: group, 0..n for components) so the two aggregates never share draws.
+ACONF_UNIT_STREAM = -2
+
+
+def fnv_mix(seed: int, *parts: int) -> int:
+    """Deterministic FNV-style integer mix: one 64-bit seed stream per
+    (seed, parts) tuple.
+
+    This is the single seed-derivation formula of the engine: the
+    parallel pool's per-unit conf() seeds, the per-group aconf() seeds,
+    and the per-block main-run seeds below are all drawn from it, so
+    results are bit-identical across worker counts and shard layouts.
+    """
+    h = 0x9E3779B97F4A7C15 ^ (seed & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        h = (h ^ (part + 2)) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def aconf_unit_seed(base_seed: int, ordinal: int) -> int:
+    """The per-group seed of ``aconf``'s Monte-Carlo run (group ``ordinal``
+    in group order).  Shared by the serial path and the parallel workers:
+    both call :func:`approximate_confidence` with this ``unit_seed``, so
+    an aconf() answer is a pure function of (store seed, group ordinal)."""
+    return fnv_mix(base_seed, ordinal, ACONF_UNIT_STREAM)
+
 
 @dataclass
 class ApproximationResult:
@@ -107,8 +141,16 @@ def aa_estimate(
     sampler: Sampler,
     epsilon: float,
     delta: float,
+    main_run: Optional[Callable[[int], float]] = None,
 ) -> ApproximationResult:
-    """The DKLR Approximation Algorithm AA (pilot / variance / main runs)."""
+    """The DKLR Approximation Algorithm AA (pilot / variance / main runs).
+
+    ``main_run`` overrides step 3: given the main-run sample count it
+    returns the sample mean.  The parallel/deterministic aconf path uses
+    it to draw the main run in fixed seeded blocks (vectorized, and
+    independent of how the pilot RNG advanced); the default draws from
+    ``sampler`` one at a time.
+    """
     _check_parameters(epsilon, delta)
 
     # Step 1: pilot estimate with loosened accuracy min(1/2, √ε), confidence δ/3.
@@ -138,10 +180,13 @@ def aa_estimate(
 
     # Step 3: main run sized by the variance estimate.
     main_count = max(1, math.ceil(upsilon2 * rho_hat / (mu_hat * mu_hat)))
-    total = 0.0
-    for _ in range(main_count):
-        total += sampler()
-    estimate = total / main_count
+    if main_run is not None:
+        estimate = main_run(main_count)
+    else:
+        total = 0.0
+        for _ in range(main_count):
+            total += sampler()
+        estimate = total / main_count
 
     return ApproximationResult(
         estimate=estimate,
@@ -151,23 +196,61 @@ def aa_estimate(
     )
 
 
+def _blocked_main_run(
+    estimator: KarpLubyEstimator, unit_seed: int
+) -> Callable[[int], float]:
+    """AA step 3 drawn in fixed seeded blocks of :data:`MAIN_BLOCK`.
+
+    Block ``j`` draws its hit count from a private RNG seeded with
+    ``fnv_mix(unit_seed, j + 1)`` (stream 0 is the pilot/variance RNG), so
+    the main-run estimate depends only on (unit seed, sample count) --
+    not on how far the pilot advanced a shared stream, and not on which
+    worker runs it.  Z is Bernoulli, so integer hit counts combine across
+    blocks with no float-order sensitivity at all.
+    """
+
+    def run(main_count: int) -> float:
+        hits = 0
+        for j, start in enumerate(range(0, main_count, MAIN_BLOCK)):
+            block = min(MAIN_BLOCK, main_count - start)
+            hits += estimator.sample_hits(block, seed=fnv_mix(unit_seed, j + 1))
+        return hits / main_count
+
+    return run
+
+
 def approximate_confidence(
     dnf: LineageLike,
     registry: VariableRegistry,
     epsilon: float = 0.1,
     delta: float = 0.05,
     rng: Optional[random.Random] = None,
+    unit_seed: Optional[int] = None,
 ) -> ApproximationResult:
     """``aconf(ε, δ)``: DKLR-driven Karp-Luby approximation of P(dnf).
 
     The AA guarantee on the Bernoulli mean μ_Z = p/U transfers to
     p = U·μ_Z because U is a known constant: relative error is preserved
     under scaling.
+
+    With ``unit_seed`` the estimate is fully deterministic for that seed:
+    the pilot/variance phases draw sequentially from a private RNG seeded
+    with ``fnv_mix(unit_seed, 0)`` and the main run uses the blocked
+    layout of :func:`_blocked_main_run`.  This is how aconf() stays
+    bit-identical between serial execution and any parallel worker count
+    -- every group carries its own seed, derived from the store seed via
+    :func:`aconf_unit_seed`.  Without it, draws come from ``rng`` (the
+    session RNG), the legacy behaviour.
     """
+    if unit_seed is not None:
+        rng = random.Random(fnv_mix(unit_seed, 0))
     estimator = KarpLubyEstimator(dnf, registry, rng)
     if estimator.is_trivial:
         return ApproximationResult(estimator.trivial_probability, 0, 0, 0)
-    result = aa_estimate(estimator.sample, epsilon, delta)
+    main_run = (
+        _blocked_main_run(estimator, unit_seed) if unit_seed is not None else None
+    )
+    result = aa_estimate(estimator.sample, epsilon, delta, main_run=main_run)
     return ApproximationResult(
         estimate=estimator.total_weight * result.estimate,
         pilot_samples=result.pilot_samples,

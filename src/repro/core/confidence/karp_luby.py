@@ -127,18 +127,38 @@ class KarpLubyEstimator:
         """
         if self.is_trivial:
             return self.trivial_probability
+        return self.total_weight * self.sample_hits(samples) / samples
+
+    def sample_hits(self, samples: int, seed: Optional[int] = None) -> int:
+        """Integer hit count Σ Z over ``samples`` fresh Bernoulli draws.
+
+        With ``seed`` the draws come from a private ``random.Random(seed)``
+        stream instead of this estimator's rng, which is what makes a
+        block of samples a pure function of (lineage, seed, count): the
+        parallel aconf path hands each main-run block its own seed so any
+        worker -- or the serial path -- reproduces the identical count.
+        """
         if samples <= 0:
             raise ConfidenceError(f"need a positive sample count, got {samples}")
+        rng = self.rng if seed is None else random.Random(seed)
         if HAVE_NUMPY and samples >= _VECTOR_MIN_SAMPLES and self.variables:
-            return self._estimate_vectorized(samples)
-        hits = sum(self.sample() for _ in range(samples))
-        return self.total_weight * hits / samples
+            return self._hits_vectorized(samples, rng)
+        if seed is None:
+            return sum(self.sample() for _ in range(samples))
+        # Scalar fallback for the seeded path: route self.sample() through
+        # the private stream so seeded counts never touch the session rng.
+        saved = self.rng
+        self.rng = rng
+        try:
+            return sum(self.sample() for _ in range(samples))
+        finally:
+            self.rng = saved
 
-    def _estimate_vectorized(self, samples: int) -> float:
-        """NumPy block implementation of :meth:`estimate` (statistically
+    def _hits_vectorized(self, samples: int, base_rng: random.Random) -> int:
+        """NumPy block implementation of :meth:`sample_hits` (statistically
         identical: same estimator, a different deterministic stream seeded
-        from this estimator's rng)."""
-        rng = np.random.default_rng(self.rng.getrandbits(64))
+        from ``base_rng``)."""
+        rng = np.random.default_rng(base_rng.getrandbits(64))
         self.samples_drawn += samples
         variables = self.variables
         column_of = {var: j for j, var in enumerate(variables)}
@@ -176,8 +196,7 @@ class KarpLubyEstimator:
                 satisfied &= worlds[:, column_of[var]] == value
             undecided = first < 0
             first[satisfied & undecided] = clause_index
-        hits = int((first == chosen).sum())
-        return self.total_weight * hits / samples
+        return int((first == chosen).sum())
 
     def mean_lower_bound(self) -> float:
         """μ_Z ≥ max pᵢ / U ≥ 1/m: guarantees estimator progress."""

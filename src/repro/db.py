@@ -49,7 +49,7 @@ from repro.core.variables import VariableRegistry
 from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
 from repro.engine.durability import DurabilityManager
 from repro.engine.parallel import (
-    ParallelConfidencePool,
+    ParallelExecutionPool,
     default_min_rows,
     default_workers,
 )
@@ -415,12 +415,18 @@ class _SessionBase:
         return storage.stats()
 
     def parallel_stats(self) -> Optional[Dict[str, int]]:
-        """Counters of the store's shared parallel confidence pool
-        (queries sharded, shards run, cost-gated serial decisions, worker
-        crashes, fallbacks, shared-memory bytes shipped), or None when the
-        store runs serial-only.  The ``durability_stats()`` counterpart
-        for :mod:`repro.engine.parallel`; also served over the wire
-        protocol's ``stats`` operation."""
+        """Counters of the store's shared parallel execution pool, or
+        None when the store runs serial-only.  Per-operator counters
+        (``parallel_queries`` for ``conf``, plus ``parallel_scan_*``,
+        ``parallel_join_*``, ``parallel_aconf_*`` and
+        ``parallel_expect_*`` query/shard pairs) sit alongside the pool
+        totals: cost-gated serial decisions, worker crashes, fallbacks,
+        shared-memory bytes shipped, payload encode milliseconds
+        (``parallel_encode_ms``), accumulated worker CPU milliseconds
+        (``parallel_worker_cpu_ms``), and worker payload-cache evictions
+        (``parallel_cache_evictions``).  The ``durability_stats()``
+        counterpart for :mod:`repro.engine.parallel`; also served over
+        the wire protocol's ``stats`` operation."""
         pool = self._store.parallel_pool
         if pool is None:
             return None
@@ -440,6 +446,9 @@ class MayBMS(_SessionBase):
     - ``seed`` drives every Monte-Carlo draw of the session (``aconf`` and
       the dispatcher's fallback), so approximate results are reproducible;
       defaults to the ``REPRO_SEED`` environment variable, then 0.
+      ``aconf`` derives a per-group sample stream from the seed
+      (:func:`repro.core.confidence.dklr.aconf_unit_seed`), so its
+      estimates are identical serial or sharded, at any worker count.
     - ``confidence_strategy`` tunes the cost-based confidence dispatcher:
       ``"auto"`` (the default; closed-form → SPROUT → budgeted exact →
       Monte Carlo per independent lineage component) or a forced
@@ -466,13 +475,15 @@ class MayBMS(_SessionBase):
       failing with :class:`TransactionError` (``REPRO_LOCK_TIMEOUT``,
       default 30).  The timeout is the deadlock backstop for explicit
       transactions that acquire locks in conflicting orders.
-    - ``parallel_workers``: shard ``conf()`` across this many worker
-      processes (:mod:`repro.engine.parallel`); 0 (the default,
-      ``REPRO_PARALLEL_WORKERS``) keeps everything serial.  The pool is
-      shared by every session of the store and shut down by
+    - ``parallel_workers``: shard eligible work across this many worker
+      processes (:mod:`repro.engine.parallel`): batch-engine scans and
+      equi-joins, ``conf()``, ``aconf()``, and ``esum``/``ecount``.
+      Every sharded result is bit-identical to serial execution.  0 (the
+      default, ``REPRO_PARALLEL_WORKERS``) keeps everything serial.  The
+      pool is shared by every session of the store and shut down by
       :meth:`close`.  ``parallel_min_rows`` (``REPRO_PARALLEL_MIN_ROWS``,
-      default 2048) is the cost gate: relations with fewer
-      condition-bearing rows stay serial.
+      default 2048) is the per-operator cost gate: inputs with fewer
+      rows stay serial.
 
     :meth:`session` spawns additional concurrent sessions over this
     store; see the module docstring.
@@ -551,9 +562,9 @@ class MayBMS(_SessionBase):
         )
         #: One process pool per store, shared by every session (and every
         #: server connection); None when the store runs serial-only.
-        self.parallel_pool: Optional[ParallelConfidencePool] = None
+        self.parallel_pool: Optional[ParallelExecutionPool] = None
         if policy.parallel_workers >= 1:
-            self.parallel_pool = ParallelConfidencePool(
+            self.parallel_pool = ParallelExecutionPool(
                 workers=policy.parallel_workers,
                 min_rows=policy.parallel_min_rows,
                 base_seed=seed,
@@ -567,6 +578,7 @@ class MayBMS(_SessionBase):
             transaction_supplier=self._current_transaction,
             checkpoint_hook=self.checkpoint,
             parallel_pool=self.parallel_pool,
+            base_seed=seed,
         )
         self._transaction: Optional[Transaction] = None
         self._held_locks: Dict[str, Tuple[str, int]] = {}
@@ -809,6 +821,7 @@ class Session(_SessionBase):
             transaction_supplier=self._current_transaction,
             checkpoint_hook=self.checkpoint,
             parallel_pool=store.parallel_pool,
+            base_seed=self.seed,
         )
         self._transaction: Optional[Transaction] = None
         self._held_locks: Dict[str, Tuple[str, int]] = {}

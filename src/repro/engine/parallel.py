@@ -1,71 +1,84 @@
-"""Process-parallel confidence: shard U-relations across a worker pool.
+"""Process-parallel execution: shard relational and confidence work
+across a worker pool.
 
-Confidence computation is the #P-hard heart of MayBMS, and it is
-embarrassingly parallel twice over: ``conf() ... group by`` runs one
-independent computation per group, and within a group the lineage IR
-splits into variable-disjoint components whose probabilities combine by
-independence (1 − ∏(1 − pᵢ)).  The GIL pins all of it to one core, so
-this module moves the work into a persistent :class:`ParallelConfidencePool`
+MayBMS's heavy paths are embarrassingly parallel several times over:
+``conf() ... group by`` runs one independent #P-hard computation per
+group, ``aconf(ε,δ)``'s Monte-Carlo main runs draw independent sample
+blocks, ``esum``/``ecount`` reduce independent per-row terms, and the
+relational operators underneath (scan/filter/project, hash join) are
+data-parallel by row range.  The GIL pins all of it to one core, so this
+module moves the work into a persistent :class:`ParallelExecutionPool`
 of worker *processes* shared by every session of a store (and by every
 connection of a server front-end).
 
 Handoff is zero-copy in the sense that matters for a Python engine: no
-row tuples are ever pickled.  The coordinator reads the pinned column
-snapshot of the U-relation's condition columns (var/val integer pairs --
-probability columns are redundant with the registry and payload columns
-are irrelevant to confidence), serializes them through the PR-5 segment
-codec (:mod:`repro.engine.segments`, including its v2 compressed
-encodings) together with a pruned variable-registry snapshot, and
-publishes the single framed blob in ``multiprocessing.shared_memory``.
-Each worker attaches the block once per query, rebuilds a
-:class:`~repro.engine.columnar.ColumnBatch` of condition columns, and
-caches the decoded payload so every shard of the same query reuses it;
-tasks themselves are tiny picklable descriptors (segment name + shard
-ordinals).
+row tuples are ever pickled.  The coordinator serializes column
+snapshots through the PR-5 segment codec (:mod:`repro.engine.segments`,
+including its v2 compressed encodings) and publishes one framed blob per
+query in ``multiprocessing.shared_memory``; workers attach the block
+once and cache the decoded payload in a small LRU (bounded by
+``REPRO_PARALLEL_WORKER_CACHE``), keyed by a stable per-table-version
+cache key where one exists so repeat queries over the same snapshot skip
+the decode entirely.  Tasks themselves are tiny picklable descriptors
+(segment name + shard ordinals or row ranges).
 
-Two sharding strategies, chosen per query:
+Sharding strategies, chosen per operator:
 
-- **group shards** -- many groups: workers receive group ordinals, build
-  each group's lineage from the shared condition batch, and run the full
-  :class:`~repro.core.confidence.dispatch.ConfidenceDispatcher` pipeline
-  (closed-form / SPROUT / budgeted exact / DKLR) per group;
-- **component shards** -- few groups with big lineages (``auto`` policy
-  only): the coordinator builds and simplifies the group lineages
-  (reusing the per-relation lineage cache), answers closed-form groups
-  inline, splits the rest into independent components, and ships the
-  components' clause arrays; workers dispatch single components and the
-  coordinator recombines 1 − ∏(1 − pᵢ) in serial component order.
+- **group shards** (``conf``, ``aconf``) -- workers receive group
+  ordinals, build each group's lineage from the shared condition
+  columns, and run the full
+  :class:`~repro.core.confidence.dispatch.ConfidenceDispatcher`
+  pipeline per group;
+- **component shards** (``conf``, ``auto`` policy, few groups) -- the
+  coordinator splits big group lineages into independent components and
+  workers dispatch single components; the coordinator recombines
+  1 − ∏(1 − pᵢ) in serial component order;
+- **row-range shards** (scan/filter/project, ``esum``/``ecount``) --
+  tables partition by tid range into contiguous shards; workers run the
+  batch engine's compiled kernels (or the expectation sum) over their
+  slice and the coordinator concatenates/reduces in range order;
+- **probe shards** (hash join) -- the build side is broadcast through
+  the shared payload and hashed once per worker (cached across shards
+  and queries), the probe side partitions by row range; workers return
+  global (probe, build) index pairs and the coordinator assembles the
+  output from its own batches, so joined values never round-trip.
 
-Determinism: closed-form, SPROUT, and exact answers are bit-identical to
-serial execution -- clause order, registry floats (``<d`` round trip),
-component order, and the δ-per-component split are all preserved.
-Monte-Carlo components draw from a per-unit RNG seeded by a fixed
-integer formula over (store seed, group ordinal, component ordinal), so
-DKLR results are deterministic for a given store seed *across worker
-counts*, though not equal to the serial session-RNG draw.  One caveat is
-inherent: each work unit runs on a fresh dispatcher, so exact-engine
-memo warmth does not carry across groups the way it does serially --
-a component sitting exactly at the cost budget edge may pick exact on
-one side and Monte Carlo on the other.
+Determinism: every parallel path is bit-identical to serial execution
+at any worker count.  Scans and joins preserve serial output order by
+construction (range order × bucket insertion order).  esum/ecount
+workers return Shewchuk grow-expansion partials -- exact partial sums --
+and the coordinator reduces with ``math.fsum``, which equals the serial
+fsum over all terms.  conf()'s closed-form/SPROUT/exact strategies
+preserve clause order, registry floats (``<d`` round trip), component
+order, and the δ-per-component split; its Monte-Carlo components draw
+from per-unit RNGs seeded by :func:`~repro.core.confidence.dklr.fnv_mix`
+over (store seed, group ordinal, component ordinal).  aconf() uses
+:func:`~repro.core.confidence.dklr.aconf_unit_seed` per group plus the
+blocked main run, so serial and parallel agree bit-for-bit.
 
-A cost gate keeps small queries serial (``parallel_min_rows``); worker
-crashes degrade to serial evaluation instead of failing the query; the
-pool shuts down on :meth:`~repro.db.MayBMS.close` and at interpreter
-exit, unlinking any shared-memory blocks it still owns.
+A cost gate keeps small inputs serial (``parallel_min_rows`` semantics,
+applied per operator); worker crashes degrade to serial evaluation
+instead of failing the query; the pool shuts down on
+:meth:`~repro.db.MayBMS.close` and at interpreter exit, unlinking any
+shared-memory blocks it still owns.
 """
 
 from __future__ import annotations
 
 import atexit
+import bisect
+import math
 import os
-import struct
+import pickle
 import threading
 import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from multiprocessing import get_context, shared_memory
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.conditions import Condition
 from repro.core.confidence.dispatch import (
@@ -74,21 +87,24 @@ from repro.core.confidence.dispatch import (
     DispatchPolicy,
     DispatchResult,
 )
+from repro.core.confidence.dklr import aconf_unit_seed, fnv_mix
 from repro.core.lineage import ClauseArena, Lineage, combine_independent
 from repro.core.variables import TOP_VARIABLE, VariableRegistry
 from repro.engine import segments
-from repro.engine.columnar import ColumnBatch
+from repro.engine.columnar import ColumnBatch, batches_of_columns, concat_batches
+from repro.engine.kernels import compile_kernel, compile_pipeline
 
-#: Default row-count floor of the cost gate: below this many
-#: condition-bearing rows the per-query pool overhead (payload encode +
-#: task round trips) dwarfs the confidence work and queries stay serial.
+#: Default row-count floor of the cost gate: below this many rows the
+#: per-query pool overhead (payload encode + task round trips) dwarfs
+#: the work and the operator stays serial.
 DEFAULT_MIN_ROWS = 2048
 
 #: Work units per worker when slicing shards: slightly over-decomposing
 #: lets the greedy LPT assignment smooth out skewed groups.
 _SHARDS_PER_WORKER = 2
 
-#: Decoded payloads a worker keeps attached (one per in-flight query).
+#: Decoded payloads a worker keeps attached (LRU; see
+#: ``REPRO_PARALLEL_WORKER_CACHE``).
 _WORKER_CACHE_LIMIT = 4
 
 
@@ -107,17 +123,22 @@ def default_min_rows() -> int:
         return DEFAULT_MIN_ROWS
 
 
-def _unit_seed(base_seed: int, group: int, component: int = -1) -> int:
-    """Deterministic per-work-unit RNG seed.
+def _worker_cache_limit() -> int:
+    try:
+        return max(
+            1,
+            int(os.environ.get("REPRO_PARALLEL_WORKER_CACHE", str(_WORKER_CACHE_LIMIT))),
+        )
+    except ValueError:
+        return _WORKER_CACHE_LIMIT
 
-    A fixed FNV-style integer mix over (store seed, group ordinal,
-    component ordinal): stable across worker counts and shard layouts,
-    distinct across units.
-    """
-    h = 0x9E3779B97F4A7C15 ^ (base_seed & 0xFFFFFFFFFFFFFFFF)
-    for part in (group, component):
-        h = (h ^ (part + 2)) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
-    return h
+
+def _unit_seed(base_seed: int, group: int, component: int = -1) -> int:
+    """Deterministic per-work-unit RNG seed for conf(): the engine's
+    single FNV mix (:func:`~repro.core.confidence.dklr.fnv_mix`) over
+    (store seed, group ordinal, component ordinal).  Stable across
+    worker counts and shard layouts, distinct across units."""
+    return fnv_mix(base_seed, group, component)
 
 
 def _greedy_shards(weights: Sequence[int], shard_count: int) -> List[List[int]]:
@@ -130,6 +151,21 @@ def _greedy_shards(weights: Sequence[int], shard_count: int) -> List[List[int]]:
         shards[target].append(unit)
         loads[target] += max(1, weights[unit])
     return [shard for shard in shards if shard]
+
+
+def _row_ranges(total: int, shard_count: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row ranges balanced to within one
+    row.  Range order is row order, so concatenating shard results in
+    range order reproduces the serial output order exactly."""
+    shard_count = max(1, min(shard_count, total))
+    base, extra = divmod(total, shard_count)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shard_count):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
 
 
 def _prune_registry_state(
@@ -148,6 +184,26 @@ def _prune_registry_state(
     ]
     next_id = (max(used) + 1) if used else 1
     return {"next_id": next_id, "variables": variables}
+
+
+def _partials_add(partials: List[float], x: float) -> None:
+    """Shewchuk grow-expansion step (the accumulator of ``math.fsum``):
+    after the call, ``partials`` represents the exact sum of everything
+    added so far as a list of non-overlapping floats.  Because the
+    representation is exact, coordinator-side ``math.fsum`` over the
+    concatenation of per-shard partials equals fsum over all the
+    original terms -- independent of how rows were sharded."""
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 
 # ---------------------------------------------------------------------------
@@ -177,10 +233,16 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def _encode_group_payload(
-    urel, row_groups: Sequence[Sequence[int]], policy: DispatchPolicy, base_seed: int
+    urel,
+    row_groups: Sequence[Sequence[int]],
+    policy: DispatchPolicy,
+    base_seed: int,
+    kind: str = "conf-groups",
+    extra: Optional[Dict[str, Any]] = None,
 ) -> bytes:
     """Frame the condition columns + pruned registry + group index for the
-    group-shard strategy."""
+    group-shard strategies (conf and, with ``kind="aconf-groups"`` plus
+    the (ε, δ) parameters in ``extra``, aconf)."""
     relation = urel.relation
     columns = relation.columns()
     payload_arity, cond_arity = urel.payload_arity, urel.cond_arity
@@ -201,7 +263,7 @@ def _encode_group_payload(
     encoded.append(segments.encode_column("INTEGER", starts))
     blocks = [registry_block] + [block for _, block in encoded]
     header = {
-        "kind": "conf-groups",
+        "kind": kind,
         "rows": len(relation),
         "cond_arity": cond_arity,
         "groups": len(row_groups),
@@ -211,6 +273,8 @@ def _encode_group_payload(
         "encodings": [encoding for encoding, _ in encoded],
         "blocks": [len(block) for block in blocks],
     }
+    if extra:
+        header.update(extra)
     return segments._frame(header, blocks)
 
 
@@ -262,6 +326,97 @@ def _encode_component_payload(
     return segments._frame(header, blocks)
 
 
+def _encode_table_payload(relation) -> bytes:
+    """Frame every column of a relation, typed by its own schema, for the
+    row-range scan strategy.  The payload is a pure function of the
+    relation snapshot, so the coordinator caches it (and its worker
+    cache key) per table version."""
+    columns = relation.columns()
+    encoded = [
+        segments.encode_column(column_schema.type.name, list(column))
+        for column_schema, column in zip(relation.schema, columns)
+    ]
+    blocks = [block for _, block in encoded]
+    header = {
+        "kind": "table",
+        "rows": len(relation),
+        "arity": len(relation.schema),
+        "encodings": [encoding for encoding, _ in encoded],
+        "blocks": [len(block) for block in blocks],
+    }
+    return segments._frame(header, blocks)
+
+
+def _encode_join_payload(
+    probe: ColumnBatch,
+    build: ColumnBatch,
+    left_types: Sequence[str],
+    right_types: Sequence[str],
+) -> bytes:
+    """Frame the probe and build batches of a partitioned hash join."""
+    encoded: List[Tuple[str, bytes]] = []
+    for type_name, column in zip(left_types, probe.columns):
+        encoded.append(segments.encode_column(type_name, list(column)))
+    for type_name, column in zip(right_types, build.columns):
+        encoded.append(segments.encode_column(type_name, list(column)))
+    blocks = [block for _, block in encoded]
+    header = {
+        "kind": "join",
+        "rows": probe.length,
+        "build_rows": build.length,
+        "left_arity": len(left_types),
+        "right_arity": len(right_types),
+        "encodings": [encoding for encoding, _ in encoded],
+        "blocks": [len(block) for block in blocks],
+    }
+    return segments._frame(header, blocks)
+
+
+def _encode_expect_payload(
+    urel, row_groups: Sequence[Sequence[int]], value_position: Optional[int]
+) -> bytes:
+    """Frame condition columns + pruned registry + flattened group index
+    (plus the value column for ``esum``) for the expectation-shard
+    strategy."""
+    relation = urel.relation
+    columns = relation.columns()
+    payload_arity, cond_arity = urel.payload_arity, urel.cond_arity
+    var_columns = [columns[payload_arity + 3 * i] for i in range(cond_arity)]
+    val_columns = [columns[payload_arity + 3 * i + 1] for i in range(cond_arity)]
+    registry_block = segments.encode_registry_segment(
+        _prune_registry_state(urel.registry, var_columns)
+    )
+    flat_index: List[int] = []
+    starts = [0]
+    for indexes in row_groups:
+        flat_index.extend(indexes)
+        starts.append(len(flat_index))
+    encoded: List[Tuple[str, bytes]] = []
+    for column in var_columns + val_columns:
+        encoded.append(segments.encode_column("INTEGER", list(column)))
+    encoded.append(segments.encode_column("INTEGER", flat_index))
+    encoded.append(segments.encode_column("INTEGER", starts))
+    if value_position is not None:
+        encoded.append(
+            segments.encode_column(
+                relation.schema[value_position].type.name,
+                list(columns[value_position]),
+            )
+        )
+    blocks = [registry_block] + [block for _, block in encoded]
+    header = {
+        "kind": "expect",
+        "rows": len(relation),
+        "cond_arity": cond_arity,
+        "groups": len(row_groups),
+        "indexed_rows": len(flat_index),
+        "has_value": value_position is not None,
+        "encodings": [encoding for encoding, _ in encoded],
+        "blocks": [len(block) for block in blocks],
+    }
+    return segments._frame(header, blocks)
+
+
 def _policy_fields(policy: DispatchPolicy) -> Dict[str, Any]:
     return {
         "strategy": policy.strategy,
@@ -273,37 +428,59 @@ def _policy_fields(policy: DispatchPolicy) -> Dict[str, Any]:
 
 # ---------------------------------------------------------------------------
 # Worker side.  Module-level state and functions: workers are spawned
-# processes that import this module and keep a small payload cache across
-# the tasks of one query.
+# processes that import this module and keep a bounded LRU of decoded
+# payloads across tasks and queries.
 # ---------------------------------------------------------------------------
 
-_PAYLOAD_CACHE: "Dict[str, Dict[str, Any]]" = {}
+_PAYLOAD_CACHE: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+_CACHE_EVICTIONS = 0
 
 
-def _decode_payload(name: str, length: int) -> Dict[str, Any]:
-    cached = _PAYLOAD_CACHE.get(name)
+def _drain_evictions() -> int:
+    """Evictions since the last task reported; workers attach the count to
+    every return so the coordinator's counter stays current."""
+    global _CACHE_EVICTIONS
+    drained, _CACHE_EVICTIONS = _CACHE_EVICTIONS, 0
+    return drained
+
+
+def _decode_payload(name: str, length: int, cache_key: Optional[str] = None) -> Dict[str, Any]:
+    """Attach + decode a published payload, with an LRU cache.
+
+    ``cache_key`` defaults to the segment name (unique per query); table
+    payloads pass a stable per-table-version key instead, so a repeat
+    query over the same snapshot skips both the attach and the decode.
+    """
+    global _CACHE_EVICTIONS
+    key = cache_key or name
+    cached = _PAYLOAD_CACHE.get(key)
     if cached is not None:
+        _PAYLOAD_CACHE.move_to_end(key)
         return cached
-    while len(_PAYLOAD_CACHE) >= _WORKER_CACHE_LIMIT:
-        _, stale = _PAYLOAD_CACHE.popitem()
+    limit = _worker_cache_limit()
+    while len(_PAYLOAD_CACHE) >= limit:
+        _, stale = _PAYLOAD_CACHE.popitem(last=False)
         stale["shm"].close()
+        _CACHE_EVICTIONS += 1
     segment = _attach(name)
     data = bytes(segment.buf[:length])
     header, body = segments._unframe(data)
     blocks = segments._split_blocks(body, header["blocks"])
-    registry = VariableRegistry()
-    registry.restore_state(segments.decode_registry_segment(blocks[0]))
-    policy = DispatchPolicy(**header["policy"])
-    payload: Dict[str, Any] = {
-        "shm": segment,
-        "header": header,
-        "registry": registry,
-        "policy": policy,
-        "arena": ClauseArena(registry),
-    }
+    kind = header["kind"]
+    payload: Dict[str, Any] = {"shm": segment, "header": header}
     encodings = header["encodings"]
-    data_blocks = blocks[1:]
-    if header["kind"] == "conf-groups":
+    if kind in ("conf-groups", "aconf-groups", "conf-components", "expect"):
+        registry = VariableRegistry()
+        registry.restore_state(segments.decode_registry_segment(blocks[0]))
+        payload["registry"] = registry
+        data_blocks = blocks[1:]
+    else:
+        data_blocks = blocks
+    if "policy" in header:
+        payload["policy"] = DispatchPolicy(**header["policy"])
+    if kind in ("conf-groups", "aconf-groups", "conf-components"):
+        payload["arena"] = ClauseArena(payload["registry"])
+    if kind in ("conf-groups", "aconf-groups"):
         cond_arity = header["cond_arity"]
         rows = header["rows"]
         decoded = [
@@ -331,7 +508,7 @@ def _decode_payload(name: str, length: int) -> Dict[str, Any]:
         payload["conditions"] = _batch_conditions(batch, cond_arity)
         payload["flat_index"] = flat_index
         payload["starts"] = starts
-    else:
+    elif kind == "conf-components":
         units = header["units"]
         clauses = header["clauses"]
         atoms = header["atoms"]
@@ -347,7 +524,55 @@ def _decode_payload(name: str, length: int) -> Dict[str, Any]:
         )
         payload["deltas"] = segments.decode_column(encodings[4], data_blocks[4], units)
         payload["seeds"] = segments.decode_column(encodings[5], data_blocks[5], units)
-    _PAYLOAD_CACHE[name] = payload
+    elif kind == "table":
+        rows = header["rows"]
+        payload["columns"] = tuple(
+            segments.decode_column(encodings[i], data_blocks[i], rows)
+            for i in range(header["arity"])
+        )
+    elif kind == "join":
+        rows = header["rows"]
+        build_rows = header["build_rows"]
+        left_arity = header["left_arity"]
+        payload["probe_columns"] = tuple(
+            segments.decode_column(encodings[i], data_blocks[i], rows)
+            for i in range(left_arity)
+        )
+        payload["build_columns"] = tuple(
+            segments.decode_column(
+                encodings[left_arity + i], data_blocks[left_arity + i], build_rows
+            )
+            for i in range(header["right_arity"])
+        )
+    elif kind == "expect":
+        cond_arity = header["cond_arity"]
+        rows = header["rows"]
+        var_columns = [
+            segments.decode_column(encodings[i], data_blocks[i], rows)
+            for i in range(cond_arity)
+        ]
+        val_columns = [
+            segments.decode_column(
+                encodings[cond_arity + i], data_blocks[cond_arity + i], rows
+            )
+            for i in range(cond_arity)
+        ]
+        base = 2 * cond_arity
+        payload["flat_index"] = segments.decode_column(
+            encodings[base], data_blocks[base], header["indexed_rows"]
+        )
+        payload["starts"] = segments.decode_column(
+            encodings[base + 1], data_blocks[base + 1], header["groups"] + 1
+        )
+        payload["values"] = (
+            segments.decode_column(encodings[base + 2], data_blocks[base + 2], rows)
+            if header["has_value"]
+            else None
+        )
+        payload["weights"] = _marginal_weights(
+            var_columns, val_columns, payload["registry"]
+        )
+    _PAYLOAD_CACHE[key] = payload
     return payload
 
 
@@ -366,12 +591,60 @@ def _batch_conditions(batch: ColumnBatch, cond_arity: int) -> List[Optional[Cond
     return out
 
 
+def _marginal_weights(
+    var_columns: Sequence[Sequence[int]],
+    val_columns: Sequence[Sequence[int]],
+    registry: VariableRegistry,
+) -> List[float]:
+    """Per-row condition marginals, replicating
+    ``URelation.condition_probabilities`` exactly (same memoization, same
+    product order, same duplicate-variable fallback) over the shipped
+    columns, so worker-side weights are bit-identical to the
+    coordinator's."""
+    probability = registry.probability
+    out: List[float] = []
+    if len(var_columns) == 1:
+        memo: Dict[Tuple[int, int], float] = {}
+        for var, value in zip(var_columns[0], val_columns[0]):
+            key = (var, value)
+            p = memo.get(key)
+            if p is None:
+                p = probability(var, value)
+                memo[key] = p
+            out.append(p)
+        return out
+    atom_columns: List[Sequence] = []
+    for i in range(len(var_columns)):
+        atom_columns.append(var_columns[i])
+        atom_columns.append(val_columns[i])
+    arity = len(var_columns)
+    for flat in zip(*atom_columns):
+        p = 1.0
+        seen: List[int] = []
+        duplicate = False
+        for k in range(arity):
+            var = flat[2 * k]
+            if var == TOP_VARIABLE:
+                continue
+            if var in seen:
+                duplicate = True
+                break
+            seen.append(var)
+            p *= probability(var, flat[2 * k + 1])
+        if duplicate:
+            atoms = [(flat[2 * k], flat[2 * k + 1]) for k in range(arity)]
+            condition = Condition.of(atoms)
+            p = 0.0 if condition is None else condition.probability(registry)
+        out.append(p)
+    return out
+
+
 _MISSING = object()
 
 
 def _run_group_shard(
     name: str, length: int, ordinals: Sequence[int]
-) -> Tuple[List[Tuple[int, float, List[Tuple[str, float, int, int]]]], float]:
+) -> Tuple[List[Tuple[int, float, List[Tuple[str, float, int, int]]]], float, int]:
     """One group shard: build each group's lineage from the shared batch
     and run the full dispatcher on it."""
     begin = time.process_time()
@@ -405,12 +678,12 @@ def _run_group_shard(
                 ],
             )
         )
-    return out, time.process_time() - begin
+    return out, time.process_time() - begin, _drain_evictions()
 
 
 def _run_component_shard(
     name: str, length: int, ordinals: Sequence[int]
-) -> Tuple[List[Tuple[int, str, float, int, int]], float]:
+) -> Tuple[List[Tuple[int, str, float, int, int]], float, int]:
     """One component shard: dispatch single independent components."""
     begin = time.process_time()
     payload = _decode_payload(name, length)
@@ -440,14 +713,214 @@ def _run_component_shard(
                 decision.variable_count,
             )
         )
-    return out, time.process_time() - begin
+    return out, time.process_time() - begin, _drain_evictions()
+
+
+def _run_aconf_shard(
+    name: str, length: int, ordinals: Sequence[int]
+) -> Tuple[List[Tuple[int, float, List[Tuple[str, float, int, int]]]], float, int]:
+    """One aconf group shard: same lineage build as the conf group path,
+    but each group runs the deterministic (ε, δ) approximation under its
+    own :func:`~repro.core.confidence.dklr.aconf_unit_seed`, so every
+    worker count reproduces the serial estimates bit-identically."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length)
+    header = payload["header"]
+    conditions = payload["conditions"]
+    flat_index = payload["flat_index"]
+    starts = payload["starts"]
+    base_seed = header["base_seed"]
+    epsilon = header["epsilon"]
+    delta = header["delta"]
+    out: List[Tuple[int, float, List[Tuple[str, float, int, int]]]] = []
+    for ordinal in ordinals:
+        clauses = (
+            conditions[row]
+            for row in flat_index[starts[ordinal] : starts[ordinal + 1]]
+            if conditions[row] is not None
+        )
+        lineage = Lineage(clauses, payload["arena"])
+        dispatcher = ConfidenceDispatcher(payload["registry"], payload["policy"])
+        result = dispatcher.approximate(
+            lineage, epsilon, delta, unit_seed=aconf_unit_seed(base_seed, ordinal)
+        )
+        out.append(
+            (
+                ordinal,
+                result.probability,
+                [
+                    (d.strategy, d.probability, d.clause_count, d.variable_count)
+                    for d in result.decisions
+                ],
+            )
+        )
+    return out, time.process_time() - begin, _drain_evictions()
+
+
+def _run_table_shard(
+    name: str, length: int, cache_key: Optional[str], start: int, stop: int, ops_blob: bytes
+) -> Tuple[Tuple[tuple, int], float, int]:
+    """One scan shard: slice ``[start, stop)`` of the shared table columns
+    and run the compiled filter/project pipeline batch-wise, exactly as
+    the serial batch engine would over that row range."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length, cache_key)
+    pipelines = payload.setdefault("pipelines", {})
+    compiled = pipelines.get(ops_blob)
+    if compiled is None:
+        predicate, projections, schema = pickle.loads(ops_blob)
+        predicate_kernel, projection_kernels = compile_pipeline(
+            schema, predicate, projections
+        )
+        arity = len(projections) if projections is not None else len(schema)
+        compiled = pipelines[ops_blob] = (predicate_kernel, projection_kernels, arity)
+    predicate_kernel, projection_kernels, arity = compiled
+    sliced = tuple(column[start:stop] for column in payload["columns"])
+    pieces: List[ColumnBatch] = []
+    for batch in batches_of_columns(sliced, stop - start):
+        if predicate_kernel is not None:
+            if batch.length == 0:
+                continue
+            batch = batch.filter_by_mask(predicate_kernel(batch.columns, batch.length))
+            if batch.length == 0:
+                continue
+        if projection_kernels is not None:
+            batch = ColumnBatch(
+                tuple(k(batch.columns, batch.length) for k in projection_kernels),
+                batch.length,
+            )
+        pieces.append(batch)
+    out = concat_batches(iter(pieces), arity)
+    return (out.columns, out.length), time.process_time() - begin, _drain_evictions()
+
+
+def _run_join_shard(
+    name: str, length: int, cache_key: Optional[str], start: int, stop: int, ops_blob: bytes
+) -> Tuple[Tuple[List[int], List[int]], float, int]:
+    """One probe shard: hash the broadcast build side once per payload
+    (cached across shards and queries), probe rows ``[start, stop)``,
+    apply the residual worker-side, and return global (probe, build)
+    index pairs.  The coordinator assembles the output from its *own*
+    batches, so joined values never round-trip through the codec."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length, cache_key)
+    header = payload["header"]
+    states = payload.setdefault("join_states", {})
+    state = states.get(ops_blob)
+    if state is None:
+        left_keys, right_keys, residual, left_schema, right_schema = pickle.loads(
+            ops_blob
+        )
+        build_columns = payload["build_columns"]
+        build_rows = header["build_rows"]
+        # Build order matches the serial build exactly, so bucket
+        # insertion order -- and therefore output order -- is identical.
+        key_columns = [
+            compile_kernel(k, right_schema)(build_columns, build_rows)
+            for k in right_keys
+        ]
+        table: Dict[tuple, List[int]] = {}
+        for i, key in enumerate(zip(*key_columns)):
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(i)
+        probe_kernels = [compile_kernel(k, left_schema) for k in left_keys]
+        residual_kernel = (
+            compile_kernel(residual, left_schema.concat(right_schema))
+            if residual is not None
+            else None
+        )
+        state = states[ops_blob] = (probe_kernels, residual_kernel, table)
+    probe_kernels, residual_kernel, table = state
+    left_indices: List[int] = []
+    right_indices: List[int] = []
+    if table:
+        sliced = tuple(c[start:stop] for c in payload["probe_columns"])
+        n = stop - start
+        key_columns = [k(sliced, n) for k in probe_kernels]
+        for i, key in enumerate(zip(*key_columns)):
+            if any(v is None for v in key):
+                continue
+            bucket = table.get(key)
+            if not bucket:
+                continue
+            left_indices.extend([start + i] * len(bucket))
+            right_indices.extend(bucket)
+        if residual_kernel is not None and left_indices:
+            probe = ColumnBatch(payload["probe_columns"], header["rows"])
+            build = ColumnBatch(payload["build_columns"], header["build_rows"])
+            out = probe.take(left_indices).concat_columns(build.take(right_indices))
+            mask = residual_kernel(out.columns, out.length)
+            left_indices = [v for v, keep in zip(left_indices, mask) if keep is True]
+            right_indices = [v for v, keep in zip(right_indices, mask) if keep is True]
+    return (left_indices, right_indices), time.process_time() - begin, _drain_evictions()
+
+
+def _run_expect_shard(
+    name: str, length: int, start: int, stop: int
+) -> Tuple[List[Tuple[int, List[float]]], float, int]:
+    """One expectation shard over positions ``[start, stop)`` of the
+    flattened group index: per touched group, the Shewchuk partials of
+    this shard's weight (ecount) or weight × value (esum) terms.  The
+    partials represent exact sums, so the coordinator's ``math.fsum``
+    over concatenated shard partials equals the serial fsum."""
+    begin = time.process_time()
+    payload = _decode_payload(name, length)
+    flat_index = payload["flat_index"]
+    starts = payload["starts"]
+    weights = payload["weights"]
+    values = payload["values"]
+    out: List[Tuple[int, List[float]]] = []
+    group = bisect.bisect_right(starts, start) - 1
+    partials: List[float] = []
+    for position in range(start, stop):
+        while position >= starts[group + 1]:
+            if partials:
+                out.append((group, partials))
+                partials = []
+            group += 1
+        row = flat_index[position]
+        if values is None:
+            _partials_add(partials, weights[row])
+        else:
+            value = values[row]
+            if value is not None:
+                _partials_add(partials, weights[row] * value)
+    if partials:
+        out.append((group, partials))
+    return out, time.process_time() - begin, _drain_evictions()
+
+
+# ---------------------------------------------------------------------------
+# Parallel-operator tracing (the EXPLAIN substrate for scans/joins/esum).
+# ---------------------------------------------------------------------------
+
+_OP_TRACES: List[List[Tuple[str, Dict[str, Any]]]] = []
+
+
+@contextmanager
+def trace_parallel_ops() -> Iterator[List[Tuple[str, Dict[str, Any]]]]:
+    """Collect (operator kind, shard-plan info) pairs for every parallel
+    relational operator executed in this scope; EXPLAIN renders them the
+    way ``trace_confidence`` feeds the confidence fragments."""
+    buffer: List[Tuple[str, Dict[str, Any]]] = []
+    _OP_TRACES.append(buffer)
+    try:
+        yield buffer
+    finally:
+        _OP_TRACES.pop()
+
+
+def _record_op(kind: str, info: Dict[str, Any]) -> None:
+    for buffer in _OP_TRACES:
+        buffer.append((kind, info))
 
 
 # ---------------------------------------------------------------------------
 # The pool (coordinator side).
 # ---------------------------------------------------------------------------
 
-_LIVE_POOLS: "weakref.WeakSet[ParallelConfidencePool]" = weakref.WeakSet()
+_LIVE_POOLS: "weakref.WeakSet[ParallelExecutionPool]" = weakref.WeakSet()
 _ATEXIT_REGISTERED = False
 
 
@@ -456,13 +929,16 @@ def _shutdown_all() -> None:  # pragma: no cover - interpreter exit path
         pool.shutdown()
 
 
-class ParallelConfidencePool:
-    """A persistent process pool for confidence computation, shared by all
-    sessions of one store.
+class ParallelExecutionPool:
+    """A persistent process pool for parallel query execution, shared by
+    all sessions of one store.
 
-    The executor starts lazily on the first eligible query and survives
-    across queries (spawn start-up is paid once).  All public methods are
-    thread-safe: server connection threads share one pool.
+    One pool serves every parallel path -- conf() group/component
+    shards, aconf() group shards, esum/ecount row-range shards, and the
+    relational scan/join operators the planner routes here.  The
+    executor starts lazily on the first eligible query and survives
+    across queries (spawn start-up is paid once).  All public methods
+    are thread-safe: server connection threads share one pool.
     """
 
     def __init__(
@@ -484,20 +960,32 @@ class ParallelConfidencePool:
         self._mutex = threading.Lock()
         self._closed = False
         self._segment_counter = 0
+        self._payload_counter = 0
+        self._pool_tag = f"{os.getpid()}-{os.urandom(3).hex()}"
         self._active_segments: Dict[str, shared_memory.SharedMemory] = {}
         #: Names of every segment ever published (tests assert they are
         #: all unlinked afterwards); bounded, oldest dropped first.
         self.segment_history: List[str] = []
-        self._counters: Dict[str, int] = {
+        self._counters: Dict[str, float] = {
             "parallel_queries": 0,
             "parallel_group_shards": 0,
             "parallel_component_shards": 0,
+            "parallel_scan_queries": 0,
+            "parallel_scan_shards": 0,
+            "parallel_join_queries": 0,
+            "parallel_join_shards": 0,
+            "parallel_aconf_queries": 0,
+            "parallel_aconf_shards": 0,
+            "parallel_expect_queries": 0,
+            "parallel_expect_shards": 0,
             "parallel_units": 0,
             "parallel_gated_serial": 0,
             "parallel_fallbacks": 0,
             "parallel_worker_crashes": 0,
             "parallel_shm_bytes": 0,
             "parallel_worker_cpu_ms": 0,
+            "parallel_encode_ms": 0.0,
+            "parallel_cache_evictions": 0,
         }
         self.last_call: Dict[str, Any] = {}
         global _ATEXIT_REGISTERED
@@ -542,30 +1030,31 @@ class ParallelConfidencePool:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
 
-    def __enter__(self) -> "ParallelConfidencePool":
+    def __enter__(self) -> "ParallelExecutionPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
 
     # -- introspection ------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         with self._mutex:
             out = dict(self._counters)
+            out["parallel_encode_ms"] = round(out["parallel_encode_ms"], 3)
             out["parallel_workers"] = self.workers
             out["parallel_segments_active"] = len(self._active_segments)
         return out
 
-    def _count(self, **deltas: int) -> None:
+    def _count(self, **deltas: float) -> None:
         with self._mutex:
             for key, delta in deltas.items():
                 self._counters[key] += delta
 
-    # -- the cost gate ------------------------------------------------------
+    # -- the cost gates -----------------------------------------------------
     def eligible(self, urel) -> bool:
-        """Should this relation's conf() even try the pool?  Small or
-        certain inputs stay serial (the gate's job); ineligibility here is
-        not counted as a fallback."""
+        """Should this relation's conf()/aconf()/esum even try the pool?
+        Small or certain inputs stay serial (the gate's job);
+        ineligibility here is not counted as a fallback."""
         if self._closed or urel.cond_arity == 0:
             return False
         if len(urel.relation) < self.min_rows:
@@ -573,7 +1062,98 @@ class ParallelConfidencePool:
             return False
         return True
 
-    # -- the entry point ----------------------------------------------------
+    def operator_eligible(self, rows: int) -> bool:
+        """The per-operator cost gate (``parallel_min_rows`` semantics)
+        for relational operators: should a scan/join over this many input
+        rows try the pool?  Asked by the planner for every candidate, so
+        a negative answer is not counted."""
+        return not self._closed and rows > 0 and rows >= self.min_rows
+
+    # -- degradation --------------------------------------------------------
+    def _attempt(self, run: Callable[[], Any]) -> Any:
+        """Run a parallel attempt with the standard degradation contract:
+        worker crashes and infrastructure failures fall back to serial
+        (counted, never raised); query-level errors (MayBMSError) still
+        propagate exactly as the serial path would raise them."""
+        try:
+            return run()
+        except BrokenProcessPool:
+            self._count(parallel_worker_crashes=1, parallel_fallbacks=1)
+            self._discard_executor()
+            return None
+        except (OSError, RuntimeError, ValueError, TypeError, pickle.PickleError) as exc:
+            # Shared-memory exhaustion, a dying interpreter, an
+            # unpicklable plan, a worker raising through the future:
+            # degrade to serial, never fail the query from the parallel
+            # path.
+            self._count(parallel_fallbacks=1)
+            self.last_call["error"] = f"{type(exc).__name__}: {exc}"
+            return None
+
+    # -- execution core -----------------------------------------------------
+    def _run_shards(
+        self,
+        worker: Callable,
+        data: bytes,
+        tasks: Sequence[tuple],
+        *,
+        path: str,
+        query_counter: str,
+        shard_counter: str,
+        units: int = 0,
+        encode_ms: float = 0.0,
+        op_kind: Optional[str] = None,
+    ) -> Tuple[List[Any], Dict[str, Any]]:
+        """Publish one payload, run ``worker(name, length, *task)`` per
+        task, collect (result, cpu seconds, evictions) triples, update
+        counters, and record the shard-plan info."""
+        executor = self._ensure_executor()
+        with self._mutex:
+            self._segment_counter += 1
+            name = f"maybms-{os.getpid()}-{self._segment_counter}-{os.urandom(3).hex()}"
+        segment = _publish(data, name)
+        with self._mutex:
+            self._active_segments[name] = segment
+            self.segment_history.append(name)
+            del self.segment_history[:-64]
+        try:
+            futures = [
+                executor.submit(worker, name, len(data), *task) for task in tasks
+            ]
+            returned = [future.result() for future in futures]
+        finally:
+            with self._mutex:
+                self._active_segments.pop(name, None)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        shard_cpu = [cpu for _, cpu, _ in returned]
+        evictions = sum(ev for _, _, ev in returned)
+        self._count(
+            parallel_units=units,
+            parallel_shm_bytes=len(data),
+            parallel_worker_cpu_ms=int(sum(shard_cpu) * 1000),
+            parallel_encode_ms=encode_ms,
+            parallel_cache_evictions=evictions,
+            **{query_counter: 1, shard_counter: len(tasks)},
+        )
+        info = {
+            "path": path,
+            "workers": self.workers,
+            "shards": len(tasks),
+            "payload_bytes": len(data),
+            "shard_cpu_s": shard_cpu,
+            "encode_ms": round(encode_ms, 3),
+            "cache_evictions": evictions,
+        }
+        self.last_call = info
+        if op_kind is not None:
+            _record_op(op_kind, info)
+        return [result for result, _, _ in returned], info
+
+    # -- confidence entry points --------------------------------------------
     def conf_groups(
         self,
         urel,
@@ -594,7 +1174,9 @@ class ParallelConfidencePool:
         n_groups = len(row_groups)
         if n_groups == 0:
             return None
-        try:
+
+        def attempt():
+            begin = time.perf_counter()
             if policy.strategy == "auto" and n_groups < 2 * self.workers:
                 plan = self._plan_components(urel, row_groups, policy, lineages, dispatcher)
             else:
@@ -602,18 +1184,243 @@ class ParallelConfidencePool:
             if plan is None:
                 self._count(parallel_gated_serial=1)
                 return None
-            return self._execute(plan)
-        except BrokenProcessPool:
-            self._count(parallel_worker_crashes=1, parallel_fallbacks=1)
-            self._discard_executor()
+            encode_ms = (time.perf_counter() - begin) * 1000.0
+            if plan["kind"] == "groups":
+                worker, shard_counter = _run_group_shard, "parallel_group_shards"
+            else:
+                worker, shard_counter = _run_component_shard, "parallel_component_shards"
+            shards: List[List[int]] = plan["shards"]
+            results, info = self._run_shards(
+                worker,
+                plan["data"],
+                [(shard,) for shard in shards],
+                path=plan["kind"],
+                query_counter="parallel_queries",
+                shard_counter=shard_counter,
+                units=sum(len(s) for s in shards),
+                encode_ms=encode_ms,
+            )
+            if plan["kind"] == "groups":
+                return self._assemble_groups(plan, results), info
+            return self._assemble_components(plan, results), info
+
+        return self._attempt(attempt)
+
+    def aconf_groups(
+        self,
+        urel,
+        row_groups: Sequence[Sequence[int]],
+        policy: DispatchPolicy,
+        epsilon: float,
+        delta: float,
+        base_seed: int,
+    ) -> Optional[Tuple[List[DispatchResult], Dict[str, Any]]]:
+        """Parallel ``aconf(ε, δ)`` over pre-grouped row indexes: group
+        shards only, each group pinned to ``aconf_unit_seed(base_seed,
+        ordinal)`` so any worker count matches the deterministic serial
+        path bit-for-bit."""
+        n_groups = len(row_groups)
+        if n_groups < 2:
+            self._count(parallel_gated_serial=1)
             return None
-        except (OSError, RuntimeError, ValueError) as exc:
-            # Shared-memory exhaustion, a dying interpreter, a worker
-            # raising through the future: degrade to serial, never fail
-            # the query from the parallel path.
-            self._count(parallel_fallbacks=1)
-            self.last_call["error"] = f"{type(exc).__name__}: {exc}"
+
+        def attempt():
+            begin = time.perf_counter()
+            data = _encode_group_payload(
+                urel,
+                row_groups,
+                policy,
+                base_seed,
+                kind="aconf-groups",
+                extra={"epsilon": epsilon, "delta": delta},
+            )
+            shards = _greedy_shards(
+                [len(g) for g in row_groups], self.workers * _SHARDS_PER_WORKER
+            )
+            if len(shards) < 2:
+                self._count(parallel_gated_serial=1)
+                return None
+            encode_ms = (time.perf_counter() - begin) * 1000.0
+            results, info = self._run_shards(
+                _run_aconf_shard,
+                data,
+                [(shard,) for shard in shards],
+                path="groups",
+                query_counter="parallel_aconf_queries",
+                shard_counter="parallel_aconf_shards",
+                units=sum(len(s) for s in shards),
+                encode_ms=encode_ms,
+            )
+            return self._assemble_groups({"groups": n_groups}, results), info
+
+        return self._attempt(attempt)
+
+    def expectation_groups(
+        self,
+        urel,
+        row_groups: Sequence[Sequence[int]],
+        value_position: Optional[int],
+    ) -> Optional[Tuple[List[float], Dict[str, Any]]]:
+        """Parallel ``esum``/``ecount``: shard the flattened group index
+        by row range; workers return exact Shewchuk partials per group and
+        the coordinator reduces with ``math.fsum`` -- bit-identical to the
+        serial fsum at any worker count.  ``value_position`` is the esum
+        value column, or ``None`` for ecount."""
+        n_groups = len(row_groups)
+        if n_groups == 0:
             return None
+
+        def attempt():
+            begin = time.perf_counter()
+            total = sum(len(g) for g in row_groups)
+            ranges = _row_ranges(total, self.workers * _SHARDS_PER_WORKER)
+            if len(ranges) < 2:
+                self._count(parallel_gated_serial=1)
+                return None
+            data = _encode_expect_payload(urel, row_groups, value_position)
+            encode_ms = (time.perf_counter() - begin) * 1000.0
+            results, info = self._run_shards(
+                _run_expect_shard,
+                data,
+                ranges,
+                path="row-range",
+                query_counter="parallel_expect_queries",
+                shard_counter="parallel_expect_shards",
+                encode_ms=encode_ms,
+                op_kind="expect",
+            )
+            partials: List[List[float]] = [[] for _ in range(n_groups)]
+            for shard_out in results:
+                for ordinal, chunk in shard_out:
+                    partials[ordinal].extend(chunk)
+            return [math.fsum(p) for p in partials], info
+
+        return self._attempt(attempt)
+
+    # -- relational entry points --------------------------------------------
+    def table_pipeline(
+        self,
+        relation,
+        schema,
+        predicate,
+        projections,
+    ) -> Optional[ColumnBatch]:
+        """Parallel scan/filter/project over a base relation: encode the
+        table once per version, shard by row range, run compiled kernels
+        shard-local, concatenate in range order.  Returns the result
+        batch, or ``None`` to run serially (gated, unpicklable, or worker
+        failure)."""
+        rows = len(relation)
+        if not self.operator_eligible(rows):
+            return None
+        items = tuple(projections) if projections is not None else None
+        try:
+            ops_blob = pickle.dumps((predicate, items, schema))
+        except Exception:
+            return None
+
+        def attempt():
+            begin = time.perf_counter()
+            ranges = _row_ranges(rows, self.workers * _SHARDS_PER_WORKER)
+            if len(ranges) < 2:
+                self._count(parallel_gated_serial=1)
+                return None
+            data, cache_key = self._table_payload(relation)
+            encode_ms = (time.perf_counter() - begin) * 1000.0
+            tasks = [(cache_key, start, stop, ops_blob) for start, stop in ranges]
+            results, info = self._run_shards(
+                _run_table_shard,
+                data,
+                tasks,
+                path="row-range",
+                query_counter="parallel_scan_queries",
+                shard_counter="parallel_scan_shards",
+                encode_ms=encode_ms,
+                op_kind="scan",
+            )
+            arity = len(items) if items is not None else len(schema)
+            pieces = [ColumnBatch(tuple(columns), count) for columns, count in results]
+            return concat_batches(iter(pieces), arity)
+
+        return self._attempt(attempt)
+
+    def hash_join(
+        self,
+        probe: ColumnBatch,
+        build: ColumnBatch,
+        left_keys,
+        left_schema,
+        right_keys,
+        right_schema,
+        residual,
+    ) -> Optional[ColumnBatch]:
+        """Parallel equi-join: broadcast the build side, shard the probe
+        side by row range.  Returns the joined batch (possibly empty), or
+        ``None`` to run serially."""
+        if not self.operator_eligible(probe.length) or build.length == 0:
+            return None
+        try:
+            ops_blob = pickle.dumps(
+                (tuple(left_keys), tuple(right_keys), residual, left_schema, right_schema)
+            )
+        except Exception:
+            return None
+
+        def attempt():
+            begin = time.perf_counter()
+            ranges = _row_ranges(probe.length, self.workers * _SHARDS_PER_WORKER)
+            if len(ranges) < 2:
+                self._count(parallel_gated_serial=1)
+                return None
+            data = _encode_join_payload(
+                probe,
+                build,
+                [c.type.name for c in left_schema],
+                [c.type.name for c in right_schema],
+            )
+            encode_ms = (time.perf_counter() - begin) * 1000.0
+            tasks = [(None, start, stop, ops_blob) for start, stop in ranges]
+            results, info = self._run_shards(
+                _run_join_shard,
+                data,
+                tasks,
+                path="probe",
+                query_counter="parallel_join_queries",
+                shard_counter="parallel_join_shards",
+                encode_ms=encode_ms,
+                op_kind="join",
+            )
+            left_indices: List[int] = []
+            right_indices: List[int] = []
+            for shard_left, shard_right in results:
+                left_indices.extend(shard_left)
+                right_indices.extend(shard_right)
+            if not left_indices:
+                return ColumnBatch.empty(len(left_schema) + len(right_schema))
+            return probe.take(left_indices).concat_columns(build.take(right_indices))
+
+        return self._attempt(attempt)
+
+    def _table_payload(self, relation) -> Tuple[bytes, str]:
+        """The framed column payload of a relation, cached on the relation
+        snapshot itself (tables cache one snapshot per version, so the
+        entry's lifetime is exactly the version's) under a stable cache
+        key that lets workers reuse their decoded columns across
+        queries."""
+        cache = relation._lineage_cache
+        if cache is None:
+            cache = relation._lineage_cache = {}
+        entry = cache.get("parallel-payload")
+        if entry is None:
+            with self._mutex:
+                self._payload_counter += 1
+                counter = self._payload_counter
+            cache_key = f"table-{self._pool_tag}-{counter}"
+            entry = cache["parallel-payload"] = (
+                _encode_table_payload(relation),
+                cache_key,
+            )
+        return entry
 
     # -- planning -----------------------------------------------------------
     def _plan_groups(
@@ -675,65 +1482,11 @@ class ParallelConfidencePool:
             "units": units,
         }
 
-    # -- execution ----------------------------------------------------------
-    def _execute(
-        self, plan: Dict[str, Any]
-    ) -> Tuple[List[DispatchResult], Dict[str, Any]]:
-        executor = self._ensure_executor()
-        data: bytes = plan["data"]
-        with self._mutex:
-            self._segment_counter += 1
-            name = f"maybms-{os.getpid()}-{self._segment_counter}-{os.urandom(3).hex()}"
-        segment = _publish(data, name)
-        with self._mutex:
-            self._active_segments[name] = segment
-            self.segment_history.append(name)
-            del self.segment_history[:-64]
-        worker = _run_group_shard if plan["kind"] == "groups" else _run_component_shard
-        shards: List[List[int]] = plan["shards"]
-        try:
-            futures = [
-                executor.submit(worker, name, len(data), shard) for shard in shards
-            ]
-            returned = [future.result() for future in futures]
-        finally:
-            with self._mutex:
-                self._active_segments.pop(name, None)
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-        shard_cpu = [cpu for _, cpu in returned]
-        self._count(
-            parallel_queries=1,
-            parallel_units=sum(len(s) for s in shards),
-            parallel_shm_bytes=len(data),
-            parallel_worker_cpu_ms=int(sum(shard_cpu) * 1000),
-            **{
-                "parallel_group_shards"
-                if plan["kind"] == "groups"
-                else "parallel_component_shards": len(shards)
-            },
-        )
-        info = {
-            "path": plan["kind"],
-            "workers": self.workers,
-            "shards": len(shards),
-            "payload_bytes": len(data),
-            "shard_cpu_s": shard_cpu,
-        }
-        self.last_call = info
-        if plan["kind"] == "groups":
-            results = self._assemble_groups(plan, returned)
-        else:
-            results = self._assemble_components(plan, returned)
-        return results, info
-
+    # -- assembly -----------------------------------------------------------
     @staticmethod
-    def _assemble_groups(plan, returned) -> List[DispatchResult]:
+    def _assemble_groups(plan, results) -> List[DispatchResult]:
         slots: List[Optional[DispatchResult]] = [None] * plan["groups"]
-        for rows, _ in returned:
+        for rows in results:
             for ordinal, probability, decisions in rows:
                 slots[ordinal] = DispatchResult(
                     probability,
@@ -744,21 +1497,26 @@ class ParallelConfidencePool:
         return slots  # type: ignore[return-value]
 
     @staticmethod
-    def _assemble_components(plan, returned) -> List[DispatchResult]:
+    def _assemble_components(plan, results) -> List[DispatchResult]:
         unit_decisions: List[Optional[ComponentDecision]] = [None] * len(plan["units"])
-        for rows, _ in returned:
+        for rows in results:
             for ordinal, strategy, probability, clause_count, variable_count in rows:
                 unit_decisions[ordinal] = ComponentDecision(
                     strategy, probability, clause_count, variable_count
                 )
         if any(decision is None for decision in unit_decisions):
             raise RuntimeError("worker returned an incomplete shard")
-        results: List[DispatchResult] = []
+        out: List[DispatchResult] = []
         for ordinal, (first, count) in enumerate(plan["group_meta"]):
             if count == 0:
-                results.append(plan["local"][ordinal])
+                out.append(plan["local"][ordinal])
                 continue
             decisions = tuple(unit_decisions[first : first + count])
             probability = combine_independent(d.probability for d in decisions)
-            results.append(DispatchResult(probability, decisions))
-        return results
+            out.append(DispatchResult(probability, decisions))
+        return out
+
+
+#: Backwards-compatible alias: PR 6 shipped the pool under this name when
+#: it only parallelized confidence; external callers keep working.
+ParallelConfidencePool = ParallelExecutionPool

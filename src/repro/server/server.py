@@ -29,9 +29,10 @@ Over-capacity work is refused with a clean
 connection is closed after the error, a refused statement keeps its
 connection and transaction -- so overload degrades to explicit client
 retries instead of unbounded thread/queue growth.  The store's
-process-parallel confidence pool (``parallel_workers``) is owned by the
+process-parallel execution pool (``parallel_workers``) is owned by the
 shared :class:`~repro.db.MayBMS`, so every client session shards its
-``conf()`` work over the same worker pool.
+eligible scans, joins, ``conf``/``aconf``, and ``esum``/``ecount``
+work over the same worker pool.
 """
 
 from __future__ import annotations
@@ -353,7 +354,8 @@ class MayBMSServer:
                 # tables_snapshotted, segments_reused, recovery_ms, fsync
                 # and commit totals); empty object for in-memory stores.
                 # "serving" adds the backpressure counters, "parallel" the
-                # shared confidence pool's (empty when no pool).
+                # shared execution pool's per-operator counters (empty
+                # when no pool).
                 with self._threads_mutex:
                     active = len(self._connections)
                 return (

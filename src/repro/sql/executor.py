@@ -28,6 +28,7 @@ from repro.core.translate import u_join, u_project, u_rename, u_select, u_union
 from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
 from repro.engine import algebra, planner
+from repro.engine import parallel as parallel_exec
 from repro.engine.catalog import KIND_STANDARD, KIND_URELATION, Catalog
 from repro.engine.expressions import (
     Arithmetic,
@@ -105,6 +106,7 @@ class Executor:
         transaction_supplier: Optional[Callable[[], Optional[Transaction]]] = None,
         checkpoint_hook: Optional[Callable[[], Any]] = None,
         parallel_pool=None,
+        base_seed: Optional[int] = None,
     ):
         self.catalog = catalog
         self.registry = registry
@@ -126,10 +128,16 @@ class Executor:
         #: Wired by the session facade to its durable checkpoint; None for
         #: a bare executor (CHECKPOINT is then a no-op).
         self.checkpoint_hook = checkpoint_hook
-        #: Shared :class:`~repro.engine.parallel.ParallelConfidencePool`
-        #: (or None).  Only ``conf`` shards across it; ``aconf`` stays on
-        #: the session RNG so its estimates remain seed-reproducible.
+        #: Shared :class:`~repro.engine.parallel.ParallelExecutionPool`
+        #: (or None).  Eligible scans, equi-joins, ``conf``, ``aconf``,
+        #: and ``esum``/``ecount`` shard across it; every sharded result
+        #: is bit-identical to serial execution at any worker count.
         self.parallel_pool = parallel_pool
+        #: Session seed for the deterministic ``aconf`` sample streams
+        #: (:func:`repro.core.confidence.dklr.aconf_unit_seed`).  None for
+        #: a bare executor: ``aconf`` then draws from the session RNG as
+        #: before and never shards.
+        self.base_seed = base_seed
         #: The transaction of the statement currently inside
         #: :meth:`write_transaction`, if any.  The session facade routes
         #: variable registrations (``repair key`` / ``pick tuples``) into
@@ -239,7 +247,8 @@ class Executor:
         (closed-form / sprout / exact / monte-carlo).
         """
         with planner.trace_plans() as trace, dispatch.trace_confidence() as conf_trace:
-            output = self.evaluate_query(statement.query)
+            with parallel_exec.trace_parallel_ops() as par_trace:
+                output = self.evaluate_query(statement.query)
         kind = "U-relation" if isinstance(output, URelation) else "relation"
         lines = [
             f"result: {kind} ({len(output)} rows), "
@@ -249,6 +258,14 @@ class Executor:
             lines.append(f"fragment {position + 1} [engine={engine}]:")
             for plan_line in node.explain().splitlines():
                 lines.append("  " + plan_line)
+        for position, (op_kind, info) in enumerate(par_trace):
+            lines.append(
+                f"parallel fragment {position + 1} [operator={op_kind}]:"
+            )
+            lines.append(
+                f"  parallel: {info['workers']} workers, "
+                f"{info['shards']} {info['path']} shard(s)"
+            )
         for position, event in enumerate(conf_trace):
             lines.append(
                 f"confidence fragment {position + 1} "
@@ -408,6 +425,14 @@ class Executor:
 
     # -- queries ---------------------------------------------------------------
     def evaluate_query(self, query: ast.SqlQuery) -> QueryOutput:
+        # Make the session's worker pool visible to the planner for the
+        # duration of this query: eligible batch-engine scans and
+        # equi-joins then shard across it (degrading to serial in-place
+        # on any pool failure).
+        with planner.parallel_execution(self.parallel_pool):
+            return self._evaluate_query(query)
+
+    def _evaluate_query(self, query: ast.SqlQuery) -> QueryOutput:
         if isinstance(query, ast.UnionQuery):
             return self._evaluate_union(query)
         if isinstance(query, ast.RepairKeyRef):
@@ -933,10 +958,18 @@ class Executor:
                 group_names,
                 result_name,
                 dispatcher=self.dispatcher,
+                parallel=self.parallel_pool,
+                base_seed=self.base_seed,
             )
         if node.name == "esum":
             assert value_name is not None
-            return agg.esum(prepared, value_name, group_names, result_name)
+            return agg.esum(
+                prepared,
+                value_name,
+                group_names,
+                result_name,
+                parallel=self.parallel_pool,
+            )
         if node.name == "ecount":
             if value_name is not None:
                 # ecount(expr): count rows whose expr is non-NULL -- weight
@@ -944,8 +977,15 @@ class Executor:
                 filtered = u_select(
                     prepared, IsNull(ColumnRef(value_name), negated=True)
                 )
-                return agg.ecount(filtered, group_names, result_name)
-            return agg.ecount(prepared, group_names, result_name)
+                return agg.ecount(
+                    filtered,
+                    group_names,
+                    result_name,
+                    parallel=self.parallel_pool,
+                )
+            return agg.ecount(
+                prepared, group_names, result_name, parallel=self.parallel_pool
+            )
         raise AnalysisError(f"unknown uncertain aggregate {node.name!r}")
 
     def _group_index(
