@@ -1,0 +1,259 @@
+"""Writer commit latency under a concurrent analytical reader: MVCC vs locks.
+
+The workload that motivated MVCC snapshot reads: one session loops a
+multi-second ``conf()`` scan (a U-relation joined against its base
+table, grouped, confidence per group) while writer sessions commit
+single-row inserts into the table the reader scans.
+
+- **locked mode** (``mvcc=False``): the reader holds shared table locks
+  for the whole statement, so each writer commit can stall behind a full
+  analytical scan -- p99 commit latency is the reader's statement time.
+- **mvcc mode** (the default): the reader pins an immutable version set
+  under a brief store-gate flip and then holds nothing, so writer p99
+  stays within a small factor of the no-reader baseline.
+
+Writes ``BENCH_mvcc.json`` and asserts the MVCC p99 is within 2x the
+baseline p99.  Two baselines are measured: a *quiet* one (writer alone)
+and a *gil* one (writer plus a non-database busy-compute thread).  The
+acceptance gates against the gil baseline: any concurrent compute-bound
+Python thread -- database reader or not -- costs a writer a few
+milliseconds of interpreter handoff per commit at p99, and that
+scheduling tax is not something the storage layer's synchronization can
+remove.  What locking *does* add shows in locked-mode p99 (reported,
+not gated): writer commits stall for the reader's full
+multi-hundred-millisecond statement, two orders of magnitude above
+either baseline.
+"""
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+
+from repro.db import MayBMS
+
+READER_QUERY = (
+    "select b.g, conf() as c from u a, big b where a.k = b.k group by b.g"
+)
+
+
+def build_store(mvcc, seed, groups, alternatives):
+    db = MayBMS(seed=seed, mvcc=mvcc)
+    values = ", ".join(
+        f"({g}, {k}, {1 + (g + k) % 5})"
+        for g in range(groups)
+        for k in range(alternatives)
+    )
+    db.execute_script(
+        "create table big (g integer, k integer, w float);"
+        f"insert into big values {values};"
+        "create table u as repair key g in big weight by w"
+    )
+    return db
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_writer_phase(db, reader_running, duration, max_commits):
+    """Commit single-row inserts for up to ``duration`` seconds (or
+    ``max_commits``), returning per-commit wall latencies.  ``reader_running``
+    (an Event or None) gates the measurement window on the reader actually
+    being mid-scan."""
+    writer = db.session()
+    latencies = []
+    if reader_running is not None:
+        reader_running.wait(timeout=60)
+    deadline = time.perf_counter() + duration
+    i = 0
+    try:
+        while time.perf_counter() < deadline and len(latencies) < max_commits:
+            started = time.perf_counter()
+            writer.execute(f"insert into big values (9000, {i}, 1.0)")
+            latencies.append(time.perf_counter() - started)
+            i += 1
+    finally:
+        writer.close()
+    return latencies
+
+
+def measure_mode(name, mvcc, args):
+    """One benchmark mode: a looping conf() reader plus a measured writer."""
+    db = build_store(mvcc, args.seed, args.groups, args.alternatives)
+    stop = threading.Event()
+    running = threading.Event()
+    reader_seconds = []
+    errors = []
+
+    def reader_loop():
+        session = db.session()
+        try:
+            while not stop.is_set():
+                started = time.perf_counter()
+                session.query(READER_QUERY)
+                reader_seconds.append(time.perf_counter() - started)
+                running.set()
+        except Exception as exc:  # pragma: no cover - fail the bench
+            errors.append(exc)
+            running.set()
+        finally:
+            session.close()
+
+    thread = threading.Thread(target=reader_loop, daemon=True)
+    thread.start()
+    try:
+        latencies = run_writer_phase(db, running, args.duration, args.commits)
+    finally:
+        stop.set()
+        thread.join(timeout=120)
+    snapshots = db.snapshot_stats()
+    db.close()
+    if errors:
+        raise errors[0]
+    result = {
+        "mode": name,
+        "commits": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "max_ms": round(max(latencies) * 1000, 3),
+        "reader_statements": len(reader_seconds),
+        "reader_statement_seconds": round(
+            statistics.mean(reader_seconds), 3
+        ) if reader_seconds else None,
+        "snapshot_captures": snapshots["snapshot_captures"],
+        "snapshot_versions_reclaimed": snapshots["snapshot_versions_reclaimed"],
+    }
+    print(
+        f"[{name}] {result['commits']} commits: "
+        f"p50 {result['p50_ms']}ms, p99 {result['p99_ms']}ms, "
+        f"max {result['max_ms']}ms "
+        f"({result['reader_statements']} reader scans, "
+        f"~{result['reader_statement_seconds']}s each)"
+    )
+    return result, latencies
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="BENCH_mvcc.json")
+    parser.add_argument("--groups", type=int, default=40)
+    parser.add_argument("--alternatives", type=int, default=30)
+    parser.add_argument("--duration", type=float, default=6.0)
+    parser.add_argument("--commits", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=29)
+    args = parser.parse_args(argv)
+
+    # Latency fairness: let writer threads grab the GIL every 1ms instead
+    # of the default 5ms while the reader crunches lineages.
+    sys.setswitchinterval(0.001)
+
+    # Quiet baseline: the writer owns the store and the interpreter.
+    baseline_db = build_store(True, args.seed, args.groups, args.alternatives)
+    baseline = run_writer_phase(baseline_db, None, args.duration, args.commits)
+    baseline_db.close()
+    baseline_p50 = percentile(baseline, 0.50)
+    baseline_p99 = percentile(baseline, 0.99)
+    print(
+        f"[baseline-quiet] {len(baseline)} commits, no reader: "
+        f"p50 {baseline_p50 * 1000:.3f}ms, p99 {baseline_p99 * 1000:.3f}ms"
+    )
+
+    # GIL baseline: the writer shares the interpreter with a busy compute
+    # thread that never touches the database -- pure scheduling tax,
+    # zero lock contention by construction.
+    stop_spin = threading.Event()
+
+    def spin():
+        while not stop_spin.is_set():
+            sum(i * i for i in range(10_000))
+
+    spinner = threading.Thread(target=spin, daemon=True)
+    spinner.start()
+    try:
+        gil_db = build_store(True, args.seed, args.groups, args.alternatives)
+        gil_baseline = run_writer_phase(
+            gil_db, None, args.duration, args.commits
+        )
+        gil_db.close()
+    finally:
+        stop_spin.set()
+        spinner.join(timeout=10)
+    gil_p50 = percentile(gil_baseline, 0.50)
+    gil_p99 = percentile(gil_baseline, 0.99)
+    print(
+        f"[baseline-gil] {len(gil_baseline)} commits, busy compute thread: "
+        f"p50 {gil_p50 * 1000:.3f}ms, p99 {gil_p99 * 1000:.3f}ms"
+    )
+
+    mvcc_result, mvcc_latencies = measure_mode("mvcc", True, args)
+    locked_result, _ = measure_mode("locked", False, args)
+
+    # Acceptance: lock-free reads keep writer p99 within 2x of the
+    # GIL baseline (see module docstring); locked mode stalls for full
+    # reader statements instead.
+    mvcc_p99 = percentile(mvcc_latencies, 0.99)
+    bound = 2.0 * gil_p99 + 0.002
+    accepted = mvcc_p99 <= bound
+    print(
+        f"acceptance: mvcc p99 {mvcc_p99 * 1000:.3f}ms <= "
+        f"2x gil-baseline p99 + 2ms = {bound * 1000:.3f}ms: "
+        f"{'PASS' if accepted else 'FAIL'}"
+    )
+    slowdown = (
+        locked_result["p99_ms"] / mvcc_result["p99_ms"]
+        if mvcc_result["p99_ms"]
+        else None
+    )
+    if slowdown is not None:
+        print(f"locked-mode p99 is {slowdown:.1f}x the mvcc p99")
+
+    record = {
+        "benchmark": "mvcc-writer-latency",
+        "workload": {
+            "groups": args.groups,
+            "alternatives": args.alternatives,
+            "reader_query": READER_QUERY,
+            "duration_seconds": args.duration,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "baseline_quiet": {
+            "commits": len(baseline),
+            "p50_ms": round(baseline_p50 * 1000, 3),
+            "p99_ms": round(baseline_p99 * 1000, 3),
+        },
+        "baseline_gil": {
+            "commits": len(gil_baseline),
+            "p50_ms": round(gil_p50 * 1000, 3),
+            "p99_ms": round(gil_p99 * 1000, 3),
+        },
+        "mvcc": mvcc_result,
+        "locked": locked_result,
+        "acceptance": {
+            "bound_ms": round(bound * 1000, 3),
+            "mvcc_p99_ms": round(mvcc_p99 * 1000, 3),
+            "locked_over_mvcc_p99": round(slowdown, 2) if slowdown else None,
+            "passed": accepted,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    print(f"wrote {args.output}")
+    assert accepted, (
+        f"MVCC writer p99 {mvcc_p99 * 1000:.3f}ms exceeded the 2x "
+        f"gil-baseline bound {bound * 1000:.3f}ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

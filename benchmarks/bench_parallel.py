@@ -49,7 +49,7 @@ from repro.engine import physical
 from repro.engine.columnar import ColumnBatch, batches_of_columns, concat_batches
 from repro.engine.expressions import Arithmetic, Comparison, Literal, PositionRef
 from repro.engine.kernels import compile_kernel
-from repro.engine.parallel import ParallelExecutionPool
+from repro.engine.parallel import ParallelExecutionPool, default_min_rows
 from repro.engine.relation import Relation
 from repro.engine.schema import Column, Schema
 from repro.engine.types import INTEGER
@@ -209,18 +209,29 @@ def bench_section(
     query_counter: str,
     min_speedup: Optional[float],
     cpus: int,
+    min_rows: int = 0,
 ) -> dict:
     """Time one operator family serially and at each worker count (cold
     and warm), differentially verify every parallel answer, and check
-    the 4-worker speedup floor when one applies."""
+    the 4-worker speedup floor when one applies.  ``min_rows`` is the
+    pool's cost gate: 0 forces sharding; a real value measures the gated
+    production configuration (the workload must clear the gate --
+    sharding is still asserted).  Adaptation is off either way so both
+    runs see the same gate."""
     started = time.perf_counter()
     serial_rows = serial_run()
     serial_seconds = time.perf_counter() - started
     print(f"[{name}] serial: {serial_seconds:.3f}s ({len(serial_rows)} rows)")
 
-    section = {"serial_seconds": round(serial_seconds, 4), "runs": []}
+    section = {
+        "serial_seconds": round(serial_seconds, 4),
+        "min_rows": min_rows,
+        "runs": [],
+    }
     for workers in workers_list:
-        with ParallelExecutionPool(workers=workers, min_rows=0) as pool:
+        with ParallelExecutionPool(
+            workers=workers, min_rows=min_rows, adaptive=False
+        ) as pool:
             started = time.perf_counter()
             cold_rows = parallel_run(pool)
             cold = time.perf_counter() - started
@@ -435,9 +446,12 @@ def main(argv=None) -> int:
         ),
         # Scan kernels are thin (one comparison + two arithmetic passes per
         # row), so coordination overhead weighs more than in the CPU-heavy
-        # sections; the speedup is recorded but not gated.
-        "scan": bench_section(
-            "scan",
+        # sections; the speedup is recorded but not gated.  Measured both
+        # forced (min_rows=0, the raw sharding cost) and gated (the
+        # production cost-gate configuration -- this workload clears the
+        # default gate, so it still shards).
+        "scan_forced": bench_section(
+            "scan_forced",
             lambda: run_scan_serial(scan_relation, scan_predicate, scan_projections),
             parallel_scan,
             args.workers,
@@ -445,7 +459,41 @@ def main(argv=None) -> int:
             None,
             cpus,
         ),
+        "scan_gated": bench_section(
+            "scan_gated",
+            lambda: run_scan_serial(scan_relation, scan_predicate, scan_projections),
+            parallel_scan,
+            args.workers,
+            "parallel_scan_queries",
+            None,
+            cpus,
+            min_rows=default_min_rows(),
+        ),
     }
+
+    # The gate's other half: a tiny scan must stay serial under the
+    # production gate -- declined by the pool (None), counted as a gated
+    # decision, never sharded.
+    tiny_relation, tiny_predicate, tiny_projections = build_scan_workload(256)
+    with ParallelExecutionPool(
+        workers=2, min_rows=default_min_rows(), adaptive=False
+    ) as gate_pool:
+        assert not gate_pool.operator_eligible(len(tiny_relation))
+        declined = gate_pool.table_pipeline(
+            tiny_relation, tiny_relation.schema, tiny_predicate, tiny_projections
+        )
+        gate_stats = gate_pool.stats()
+    assert declined is None, "tiny scan was sharded despite the cost gate"
+    assert gate_stats["parallel_scan_queries"] == 0, gate_stats
+    record["tiny_scan_gate"] = {
+        "rows": len(tiny_relation),
+        "min_rows": default_min_rows(),
+        "stayed_serial": True,
+    }
+    print(
+        f"[gate] {len(tiny_relation)}-row scan stayed serial under "
+        f"min_rows={default_min_rows()}"
+    )
 
     with open(args.output, "w", encoding="utf-8") as out:
         json.dump(record, out, indent=2, sort_keys=True)

@@ -184,15 +184,17 @@ class Client:
     def server_stats(self) -> Dict[str, Any]:
         """All server-side counter groups: ``durability`` (see
         :meth:`stats`), ``serving`` (active connections plus backpressure
-        rejections), and ``parallel`` (the shared execution pool's
+        rejections), ``parallel`` (the shared execution pool's
         per-operator query/shard counters plus encode-time, shard CPU,
         and cache-eviction totals; empty when the server runs
-        serial-only)."""
+        serial-only), and ``snapshots`` (the MVCC snapshot manager's
+        capture/pin/reclaim counters)."""
         response = self._request({"op": "stats"})
         return {
             "durability": dict(response.get("stats", {})),
             "serving": dict(response.get("serving", {})),
             "parallel": dict(response.get("parallel", {})),
+            "snapshots": dict(response.get("snapshots", {})),
         }
 
     def ping(self) -> bool:

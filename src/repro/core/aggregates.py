@@ -93,10 +93,14 @@ def _cached_groups(
     """Group the relation's rows, cached on the relation object.
 
     Table snapshots are cached per table version
-    (:meth:`repro.engine.storage.Table.snapshot`), so attaching the cache
-    to the relation keys it by *table version + group columns*; any
-    mutation produces a fresh snapshot object and therefore a fresh
-    cache.  Kept separate from the lineage cache so the parallel path
+    (:meth:`repro.engine.storage.Table.snapshot`), and the MVCC pin
+    chain (:meth:`repro.engine.storage.Table.pin_snapshot`) hands every
+    statement pinned to a version that same per-version relation
+    object, so attaching the cache to the relation keys it by *pinned
+    table version + group columns*: any mutation produces a fresh
+    snapshot object and therefore a fresh cache, while consecutive read
+    statements pinned to an unchanged version share it.  Kept separate
+    from the lineage cache so the parallel path
     (which builds lineages worker-side) shares grouping with a later
     serial fallback without paying for coordinator-side lineages.
     """

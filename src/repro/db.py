@@ -26,12 +26,17 @@ executor, so reader sessions run concurrently with a writer:
     writer = store.session()
     reader = store.session(read_only=True)
 
-Every statement acquires table locks through the shared
-:class:`~repro.engine.transactions.LockManager`: shared for tables it
-reads, exclusive for tables it writes (auto-commit statements release at
-statement end; explicit transactions hold them to commit/rollback --
-strict two-phase locking).  Under a durable store, concurrent commits
-coalesce in the group committer
+Writing statements acquire table locks through the shared
+:class:`~repro.engine.transactions.LockManager`: exclusive for tables
+they write (auto-commit statements release at statement end; explicit
+transactions hold them to commit/rollback -- strict two-phase locking,
+including shared read locks inside an explicit transaction for
+read-your-writes).  **Read statements take no table locks at all**:
+they execute against an immutable pinned version set captured by the
+store's :class:`~repro.engine.storage.SnapshotManager` (MVCC snapshot
+reads) -- a multi-second ``conf()`` scan never blocks a writer, and a
+saturating write stream never starves readers.  Under a durable store,
+concurrent commits coalesce in the group committer
 (:class:`~repro.engine.durability.DurabilityManager`): one fsync makes a
 whole batch of commits durable.
 """
@@ -54,7 +59,13 @@ from repro.engine.parallel import (
     default_workers,
 )
 from repro.engine.relation import Relation
-from repro.engine.transactions import LockManager, Transaction, WriteAheadLog
+from repro.engine.storage import SnapshotManager
+from repro.engine.transactions import (
+    STORE_GATE,
+    LockManager,
+    Transaction,
+    WriteAheadLog,
+)
 from repro.errors import AnalysisError, DurabilityError, TransactionError
 from repro.sql import ast_nodes as ast
 from repro.sql.analyzer import creates_variables, referenced_tables
@@ -63,11 +74,9 @@ from repro.sql.parser import parse_statement, parse_statements
 
 QueryOutput = Union[Relation, URelation]
 
-#: Pseudo-table serializing checkpoints against in-flight writers: every
-#: writing statement holds it shared (for the whole transaction, once the
-#: transaction has written), a checkpoint takes it exclusive -- so a
-#: snapshot never captures another session's uncommitted changes.
-_STORE_GATE = "__store_gate__"
+#: Back-compat alias; the gate lives in repro.engine.transactions now so
+#: the storage-layer SnapshotManager and the session facade share it.
+_STORE_GATE = STORE_GATE
 
 
 def _env_flag(name: str, default: bool) -> bool:
@@ -180,14 +189,27 @@ class _SessionBase:
                     "random variables in the shared store -- use a "
                     "read-write session"
                 )
-        acquired = self._acquire_statement_locks(reads, writes)
         store = self._store
+        pinned = None
+        acquired: List[Tuple[str, str]] = []
+        if store.mvcc and reads and not writes and not self.in_transaction:
+            # MVCC read path: pin a transactionally consistent version set
+            # under a brief store-gate acquisition, then run entirely
+            # without table locks.  Writers keep exclusive 2PL; statements
+            # inside an explicit transaction keep strict 2PL above so
+            # read-your-writes still holds.
+            pinned = store.snapshots.capture(reads, timeout=self.lock_timeout)
+        else:
+            acquired = self._acquire_statement_locks(reads, writes)
         previous = getattr(store._executing, "session", None)
         store._executing.session = self
         try:
-            result = self.executor.execute(statement)
+            with self.executor.pinned_versions(pinned):
+                result = self.executor.execute(statement)
         finally:
             store._executing.session = previous
+            if pinned is not None:
+                store.snapshots.release(pinned)
             if not self.in_transaction:
                 self._release_locks(acquired)
         if not self.in_transaction:
@@ -412,7 +434,22 @@ class _SessionBase:
         storage = self._store.storage
         if storage is None:
             return None
-        return storage.stats()
+        stats = storage.stats()
+        stats.update(self._store.snapshots.stats())
+        return stats
+
+    def snapshot_stats(self) -> Dict[str, int]:
+        """MVCC snapshot counters of the store's
+        :class:`~repro.engine.storage.SnapshotManager`:
+        ``snapshot_captures`` (pinned version sets taken),
+        ``snapshot_pins_held`` (per-table pins currently held by
+        in-flight read statements), ``snapshot_versions_retained``
+        (distinct superseded versions kept alive right now), and
+        ``snapshot_versions_reclaimed`` (superseded versions freed when
+        their last pin dropped).  Available for in-memory stores too,
+        unlike :meth:`durability_stats`; also served over the wire
+        protocol's ``stats`` operation."""
+        return self._store.snapshots.stats()
 
     def parallel_stats(self) -> Optional[Dict[str, int]]:
         """Counters of the store's shared parallel execution pool, or
@@ -484,6 +521,11 @@ class MayBMS(_SessionBase):
       :meth:`close`.  ``parallel_min_rows`` (``REPRO_PARALLEL_MIN_ROWS``,
       default 2048) is the per-operator cost gate: inputs with fewer
       rows stay serial.
+    - ``mvcc``: execute read statements against pinned MVCC snapshots
+      instead of shared table locks (``REPRO_MVCC``, default on).  Off
+      restores the pre-MVCC shared/exclusive 2PL read path -- useful as
+      a baseline for benchmarks and differential tests; results are
+      identical either way.
 
     :meth:`session` spawns additional concurrent sessions over this
     store; see the module docstring.
@@ -500,6 +542,7 @@ class MayBMS(_SessionBase):
         lock_timeout: Optional[float] = None,
         parallel_workers: Optional[int] = None,
         parallel_min_rows: Optional[int] = None,
+        mvcc: Optional[bool] = None,
     ):
         if seed is None:
             seed = int(os.environ.get("REPRO_SEED", "0"))
@@ -521,7 +564,10 @@ class MayBMS(_SessionBase):
             parallel_workers = default_workers()
         if parallel_min_rows is None:
             parallel_min_rows = default_min_rows()
+        if mvcc is None:
+            mvcc = _env_flag("REPRO_MVCC", True)
         self.seed = seed
+        self.mvcc = mvcc
         self.path = path
         self.checkpoint_every = checkpoint_every
         self.lock_timeout = lock_timeout
@@ -529,6 +575,7 @@ class MayBMS(_SessionBase):
         self.catalog = Catalog()
         self.registry = VariableRegistry()
         self.locks = LockManager()
+        self.snapshots = SnapshotManager(self.catalog, self.locks, _STORE_GATE)
         self._store = self
         #: Which session is executing a statement on the current thread --
         #: the on_register hook routes variable registrations into that

@@ -117,6 +117,16 @@ class Catalog:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def retained_snapshot_versions(self) -> int:
+        """Total MVCC snapshot-chain entries across all tables: how many
+        distinct pinned versions in-flight read statements are holding
+        right now (see :meth:`repro.engine.storage.Table.pin_snapshot`).
+        Zero when no reads are in flight -- released pins reclaim their
+        chain entries eagerly."""
+        return sum(
+            entry.table.pinned_version_count() for entry in self._entries.values()
+        )
+
     # -- checkpoint serialization --------------------------------------------------
     def dump_state(self) -> List[Dict[str, Any]]:
         """JSON-safe snapshot of every table: schema, kind, kind-specific

@@ -947,10 +947,28 @@ class ParallelExecutionPool:
         min_rows: Optional[int] = None,
         base_seed: int = 0,
         start_method: Optional[str] = None,
+        adaptive: Optional[bool] = None,
     ):
         self.workers = max(1, int(workers))
-        self.min_rows = default_min_rows() if min_rows is None else max(0, int(min_rows))
+        self._min_rows = default_min_rows() if min_rows is None else max(0, int(min_rows))
         self.base_seed = int(base_seed)
+        if adaptive is None:
+            adaptive = os.environ.get("REPRO_PARALLEL_ADAPTIVE", "1").lower() not in (
+                "0", "false", "no", "off",
+            )
+        #: Adaptive cost gate: every sharded call observes the ratio of
+        #: coordinator encode time to worker CPU time and nudges the
+        #: effective ``min_rows`` gate -- encode-dominated calls double
+        #: it (sharding was overhead), compute-dominated calls halve it
+        #: (smaller inputs would still win) -- clamped to
+        #: [max(64, min_rows/8), min_rows*16].  ``REPRO_PARALLEL_ADAPTIVE=0``
+        #: pins the gate at the configured value; ``min_rows < 64``
+        #: (tests and benchmarks forcing parallel with a tiny or zero
+        #: gate) disables adaptation too -- a sub-floor configured value
+        #: is an explicit "always shard" request, not a cost model.
+        self._adaptive_requested = bool(adaptive)
+        self._min_rows_effective = self.min_rows
+        self._gate_adaptations = 0
         # "spawn" everywhere: forking a store that may be serving from
         # multiple threads (the socket server) is a deadlock lottery.
         self.start_method = start_method or os.environ.get(
@@ -993,6 +1011,25 @@ class ParallelExecutionPool:
         if not _ATEXIT_REGISTERED:
             atexit.register(_shutdown_all)
             _ATEXIT_REGISTERED = True
+
+    @property
+    def min_rows(self) -> int:
+        """The configured cost gate.  Assigning it (tests and benchmarks
+        re-tune pools in place) resets the adaptive effective gate to the
+        new value."""
+        return self._min_rows
+
+    @min_rows.setter
+    def min_rows(self, value: int) -> None:
+        value = max(0, int(value))
+        with self._mutex:
+            self._min_rows = value
+            self._min_rows_effective = value
+            self._gate_adaptations = 0
+
+    @property
+    def adaptive(self) -> bool:
+        return self._adaptive_requested and self._min_rows >= 64
 
     # -- lifecycle ----------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -1043,6 +1080,8 @@ class ParallelExecutionPool:
             out["parallel_encode_ms"] = round(out["parallel_encode_ms"], 3)
             out["parallel_workers"] = self.workers
             out["parallel_segments_active"] = len(self._active_segments)
+            out["parallel_min_rows_effective"] = self._min_rows_effective
+            out["parallel_gate_adaptations"] = self._gate_adaptations
         return out
 
     def _count(self, **deltas: float) -> None:
@@ -1057,17 +1096,39 @@ class ParallelExecutionPool:
         ineligibility here is not counted as a fallback."""
         if self._closed or urel.cond_arity == 0:
             return False
-        if len(urel.relation) < self.min_rows:
+        if len(urel.relation) < self._min_rows_effective:
             self._count(parallel_gated_serial=1)
             return False
         return True
 
     def operator_eligible(self, rows: int) -> bool:
-        """The per-operator cost gate (``parallel_min_rows`` semantics)
-        for relational operators: should a scan/join over this many input
-        rows try the pool?  Asked by the planner for every candidate, so
-        a negative answer is not counted."""
-        return not self._closed and rows > 0 and rows >= self.min_rows
+        """The per-operator cost gate (``parallel_min_rows`` semantics,
+        adaptively adjusted -- see ``adaptive``) for relational
+        operators: should a scan/join over this many input rows try the
+        pool?  Asked by the planner for every candidate, so a negative
+        answer is not counted."""
+        return not self._closed and rows > 0 and rows >= self._min_rows_effective
+
+    def _observe_gate(self, encode_ms: float, cpu_ms: float) -> None:
+        """Feed one sharded call's encode-vs-CPU split to the adaptive
+        gate.  Encode-dominated (coordinator overhead exceeded worker
+        compute): double the effective gate.  Compute-dominated (encode
+        under a quarter of worker CPU): halve it.  In between: leave it."""
+        if not self.adaptive:
+            return
+        floor = max(64, self.min_rows // 8)
+        ceiling = self.min_rows * 16
+        with self._mutex:
+            current = self._min_rows_effective
+            if encode_ms > cpu_ms:
+                adjusted = min(ceiling, current * 2)
+            elif encode_ms * 4 < cpu_ms:
+                adjusted = max(floor, current // 2)
+            else:
+                adjusted = current
+            if adjusted != current:
+                self._min_rows_effective = adjusted
+                self._gate_adaptations += 1
 
     # -- degradation --------------------------------------------------------
     def _attempt(self, run: Callable[[], Any]) -> Any:
@@ -1103,6 +1164,7 @@ class ParallelExecutionPool:
         units: int = 0,
         encode_ms: float = 0.0,
         op_kind: Optional[str] = None,
+        source: Optional[tuple] = None,
     ) -> Tuple[List[Any], Dict[str, Any]]:
         """Publish one payload, run ``worker(name, length, *task)`` per
         task, collect (result, cpu seconds, evictions) triples, update
@@ -1139,6 +1201,7 @@ class ParallelExecutionPool:
             parallel_cache_evictions=evictions,
             **{query_counter: 1, shard_counter: len(tasks)},
         )
+        self._observe_gate(encode_ms, sum(shard_cpu) * 1000.0)
         info = {
             "path": path,
             "workers": self.workers,
@@ -1148,6 +1211,12 @@ class ParallelExecutionPool:
             "encode_ms": round(encode_ms, 3),
             "cache_evictions": evictions,
         }
+        if source is not None:
+            # (table name, pinned version) provenance of the sharded base
+            # relation -- surfaces in EXPLAIN's parallel fragments so a
+            # sharded scan can be shown to run against exactly the version
+            # the statement pinned.
+            info["source"] = source
         self.last_call = info
         if op_kind is not None:
             _record_op(op_kind, info)
@@ -1304,6 +1373,7 @@ class ParallelExecutionPool:
         schema,
         predicate,
         projections,
+        source: Optional[tuple] = None,
     ) -> Optional[ColumnBatch]:
         """Parallel scan/filter/project over a base relation: encode the
         table once per version, shard by row range, run compiled kernels
@@ -1337,6 +1407,7 @@ class ParallelExecutionPool:
                 shard_counter="parallel_scan_shards",
                 encode_ms=encode_ms,
                 op_kind="scan",
+                source=source if source is not None else relation.source,
             )
             arity = len(items) if items is not None else len(schema)
             pieces = [ColumnBatch(tuple(columns), count) for columns, count in results]
@@ -1353,6 +1424,7 @@ class ParallelExecutionPool:
         right_keys,
         right_schema,
         residual,
+        source: Optional[tuple] = None,
     ) -> Optional[ColumnBatch]:
         """Parallel equi-join: broadcast the build side, shard the probe
         side by row range.  Returns the joined batch (possibly empty), or
@@ -1389,6 +1461,7 @@ class ParallelExecutionPool:
                 shard_counter="parallel_join_shards",
                 encode_ms=encode_ms,
                 op_kind="join",
+                source=source,
             )
             left_indices: List[int] = []
             right_indices: List[int] = []
@@ -1403,10 +1476,12 @@ class ParallelExecutionPool:
 
     def _table_payload(self, relation) -> Tuple[bytes, str]:
         """The framed column payload of a relation, cached on the relation
-        snapshot itself (tables cache one snapshot per version, so the
-        entry's lifetime is exactly the version's) under a stable cache
-        key that lets workers reuse their decoded columns across
-        queries."""
+        snapshot itself (tables cache one snapshot per version, and the
+        MVCC pin chain hands every statement pinned to a version the
+        *same* relation object, so the entry's lifetime is exactly the
+        version's) under a stable cache key that lets workers reuse
+        their decoded columns across queries -- including consecutive
+        statements pinned to the same version."""
         cache = relation._lineage_cache
         if cache is None:
             cache = relation._lineage_cache = {}

@@ -677,7 +677,9 @@ def parallel_table_scan(
     is the pre-built serial operator used when the pool declines."""
 
     def run() -> BatchIterator:
-        result = pool.table_pipeline(relation, schema, predicate, projections)
+        result = pool.table_pipeline(
+            relation, schema, predicate, projections, source=relation.source
+        )
         if result is None:
             yield from serial()
         else:
@@ -696,19 +698,28 @@ def parallel_batch_hash_join(
     right_schema: Schema,
     residual,
     combined_schema: Schema,
+    source=None,
 ) -> BatchOp:
     """Equi-join with the probe side partitioned across ``pool``'s
     workers against a broadcast build side.  Inputs are materialized
     (the serial join materializes the build side anyway; the probe side
     is the price of sharding), then the pool gates on probe size; on
     decline the serial batch join runs over the same materialized
-    batches."""
+    batches.  ``source`` is the probe base table's (name, version)
+    provenance when the planner knows it (surfaced in EXPLAIN)."""
 
     def run() -> BatchIterator:
         probe = concat_batches(left(), len(left_schema))
         build = concat_batches(right(), len(right_schema))
         result = pool.hash_join(
-            probe, build, left_keys, left_schema, right_keys, right_schema, residual
+            probe,
+            build,
+            left_keys,
+            left_schema,
+            right_keys,
+            right_schema,
+            residual,
+            source=source,
         )
         if result is not None:
             if result.length:

@@ -550,6 +550,7 @@ class _Planner:
             if pool is not None and self.backend.name == BATCH_ENGINE:
                 # Probe size is only known at run time (the left input may
                 # be filtered), so the pool's cost gate applies there.
+                left_scan = _scan_of(node.left)
                 return physical.parallel_batch_hash_join(
                     pool,
                     left_op,
@@ -560,6 +561,9 @@ class _Planner:
                     right_schema,
                     residual_expr,
                     combined,
+                    source=left_scan.relation.source
+                    if left_scan is not None
+                    else None,
                 )
             return self.backend.hash_join(
                 left_op,

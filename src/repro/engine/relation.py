@@ -27,7 +27,7 @@ class Relation:
     paths; the storage layer validates types on insert instead).
     """
 
-    __slots__ = ("schema", "rows", "_columns", "_lineage_cache")
+    __slots__ = ("schema", "rows", "_columns", "_lineage_cache", "source")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
@@ -39,6 +39,12 @@ class Relation:
         # table contents": the cache is implicitly keyed by table version
         # and dies with the snapshot.  See repro.core.aggregates.
         self._lineage_cache: Optional[dict] = None
+        # Provenance tag for base-table snapshots: (table name, version)
+        # stamped by storage.Table.snapshot(), None for derived relations.
+        # Plans built over a pinned version set carry it into EXPLAIN and
+        # the parallel pool's shard traces, so a sharded scan can be shown
+        # to run against exactly the version the statement pinned.
+        self.source: Optional[Tuple[str, int]] = None
         arity = len(schema)
         for row in self.rows:
             if len(row) != arity:
@@ -59,6 +65,7 @@ class Relation:
         relation.rows = rows
         relation._columns = None
         relation._lineage_cache = None
+        relation.source = None
         return relation
 
     def columns(self) -> Tuple[Tuple[Any, ...], ...]:
@@ -123,6 +130,7 @@ class Relation:
             raise SchemaError("with_schema requires equal arity")
         relation = Relation.from_trusted_rows(schema, self.rows)
         relation._columns = self._columns
+        relation.source = self.source
         return relation
 
     def project_positions(self, positions: Sequence[int]) -> "Relation":

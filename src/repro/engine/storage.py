@@ -8,10 +8,23 @@ column is used for storing tuple ids", Section 2.1).
 
 Type checking happens here, on insert, so relations flowing through query
 plans do not pay per-row validation costs.
+
+MVCC read snapshots: besides the latest-version snapshot cache, a table
+retains a *chain* of versioned snapshots -- one entry per version some
+in-flight read statement has **pinned** (:meth:`Table.pin_snapshot`).
+The chain is bounded structurally: entries exist only while pinned, so
+its length never exceeds the number of distinct versions concurrently
+under read, and an unpinned non-current version is reclaimed eagerly on
+the last :meth:`Table.unpin_snapshot`.  The :class:`SnapshotManager`
+captures a transactionally consistent ``{table -> version}`` set across
+all the tables one statement references (under a brief store-gate
+acquisition, so the capture never splits a writer's statement), which is
+what lets read statements run entirely without shared table locks.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.columnar import columns_to_rows
@@ -37,6 +50,12 @@ class Table:
         # Relation itself).
         self._version = 0
         self._snapshot_cache: Optional[Tuple[int, Relation]] = None
+        # MVCC version chain: version -> (relation, pin count).  Entries
+        # exist only while some read statement holds a pin, so the chain
+        # is bounded by the number of concurrently pinned versions;
+        # unpinning the last reader of a non-current version reclaims it.
+        self._pinned_versions: Dict[int, Tuple[Relation, int]] = {}
+        self._pin_mutex = threading.Lock()
 
     # -- inspection -----------------------------------------------------------
     def __len__(self) -> int:
@@ -76,12 +95,65 @@ class Table:
         cached = self._snapshot_cache
         if cached is None or cached[0] != self._version:
             base = Relation.from_trusted_rows(self.schema, list(self._rows.values()))
+            base.source = (self.name, self._version)
             self._snapshot_cache = (self._version, base)
         else:
             base = cached[1]
         if alias:
             return base.with_schema(self.schema.with_qualifier(alias))
         return base
+
+    # -- MVCC pinning ---------------------------------------------------------
+    def pin_snapshot(self) -> Tuple[int, Relation, bool]:
+        """Pin the current version against reclamation.
+
+        Returns ``(version, relation, fresh)`` where ``fresh`` says a new
+        chain entry was created (False: an existing pin of the same
+        version was reference-counted up, and the very same Relation
+        object is returned -- which is what lets grouped-lineage caches
+        and the parallel pool's payload cache be shared across statements
+        pinned to the same version).  Callers must hold the store gate so
+        no writer is mid-statement; the pin mutex only orders this
+        against concurrent :meth:`unpin_snapshot` calls from finishing
+        readers."""
+        with self._pin_mutex:
+            version = self._version
+            entry = self._pinned_versions.get(version)
+            if entry is not None:
+                relation, count = entry
+                self._pinned_versions[version] = (relation, count + 1)
+                return version, relation, False
+            relation = self.snapshot()
+            self._pinned_versions[version] = (relation, 1)
+            return version, relation, True
+
+    def unpin_snapshot(self, version: int) -> Tuple[bool, bool]:
+        """Drop one pin on ``version``.
+
+        Returns ``(dropped, reclaimed)``: ``dropped`` when the last pin
+        went away and the chain entry was removed, ``reclaimed`` when
+        that entry held a *non-current* version -- a genuinely old
+        snapshot garbage-collected at statement end (the current
+        version's relation also lives in the plain snapshot cache, so
+        dropping its chain entry frees nothing)."""
+        with self._pin_mutex:
+            entry = self._pinned_versions.get(version)
+            if entry is None:
+                raise StorageError(
+                    f"table {self.name!r} has no pinned snapshot at "
+                    f"version {version}"
+                )
+            relation, count = entry
+            if count > 1:
+                self._pinned_versions[version] = (relation, count - 1)
+                return False, False
+            del self._pinned_versions[version]
+            return True, version != self._version
+
+    def pinned_version_count(self) -> int:
+        """How many distinct versions the chain currently retains."""
+        with self._pin_mutex:
+            return len(self._pinned_versions)
 
     # -- mutation ----------------------------------------------------------------
     def _coerce(self, row: Sequence[Any]) -> tuple:
@@ -299,6 +371,7 @@ class Table:
         self._version += 1
         snapshot = Relation.from_trusted_rows(self.schema, rows)
         snapshot._columns = tuple(columns)
+        snapshot.source = (self.name, self._version)
         self._snapshot_cache = (self._version, snapshot)
         for kind, name, positions, unique in indexes:
             positions = [int(p) for p in positions]
@@ -359,3 +432,153 @@ class Table:
         if not isinstance(index, HashIndex):
             raise StorageError(f"index {index_name!r} is not a hash index")
         return [self._rows[tid] for tid in sorted(index.lookup(key_values))]
+
+
+# -- MVCC snapshot management ---------------------------------------------------
+
+
+class PinnedVersionSet:
+    """The immutable ``{table -> version}`` capture one read statement
+    executes against.
+
+    Produced by :meth:`SnapshotManager.capture` and released by
+    :meth:`SnapshotManager.release` at statement end.  Holds, per
+    referenced table (lower-cased name): the catalog entry at capture
+    time and the pinned snapshot relation -- so the statement reads the
+    same transactionally consistent version set even while writers
+    commit, and even if a table is dropped or replaced mid-statement.
+    """
+
+    __slots__ = ("pins",)
+
+    def __init__(self, pins: Dict[str, Tuple[Any, int, Relation]]):
+        #: name -> (catalog entry, pinned version, pinned relation)
+        self.pins = pins
+
+    @property
+    def versions(self) -> Dict[str, int]:
+        return {name: version for name, (_, version, _) in self.pins.items()}
+
+    def lookup(self, name: str) -> Optional[Tuple[Any, Relation]]:
+        """The pinned (catalog entry, relation) for ``name``, or None when
+        the statement did not pin that table (e.g. it was created after
+        the capture)."""
+        pinned = self.pins.get(name.lower())
+        if pinned is None:
+            return None
+        entry, _, relation = pinned
+        return entry, relation
+
+    def __len__(self) -> int:
+        return len(self.pins)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(
+            f"{name}@v{version}" for name, version in sorted(self.versions.items())
+        )
+        return f"<PinnedVersionSet {inside}>"
+
+
+class SnapshotManager:
+    """Captures, pins, and reclaims MVCC read snapshots across tables.
+
+    One per store, shared by every session.  :meth:`capture` takes the
+    store gate exclusively for a *brief* moment -- long enough to read
+    ``len(tables)`` version counters and pin their snapshots, and by
+    construction free of mid-statement writers (every writing statement
+    holds the gate shared) -- then releases it before the statement runs.
+    From then on the reader touches no locks at all: writers proceed
+    under their exclusive 2PL table locks while the reader scans its
+    pinned versions.  :meth:`release` drops the pins at statement end
+    (success, error, or a killed reader session -- the dispatch path
+    releases in a ``finally``), eagerly garbage-collecting versions no
+    statement holds anymore.
+
+    The catalog and lock manager are duck-typed constructor arguments
+    (the catalog module imports this one, so the types cannot be named
+    here without a cycle).
+    """
+
+    def __init__(self, catalog: Any, locks: Any, gate: str):
+        self.catalog = catalog
+        self.locks = locks
+        self.gate = gate
+        self._mutex = threading.Lock()
+        self._captures = 0
+        self._pins_held = 0
+        self._versions_retained = 0
+        self._versions_reclaimed = 0
+        #: Test seam: called with the fresh PinnedVersionSet after the
+        #: gate is released and before the statement executes -- the only
+        #: deterministic window in which a test can commit a concurrent
+        #: write *between* the pin and the read.
+        self.on_capture: Optional[Callable[[PinnedVersionSet], None]] = None
+
+    def capture(
+        self, names: Iterable[str], timeout: Optional[float] = None
+    ) -> PinnedVersionSet:
+        """Atomically pin the current version of every named table.
+
+        Names that do not exist are skipped (the executor raises its
+        usual ``TableNotFoundError`` when the statement actually reads
+        them).  Raises :class:`~repro.errors.LockTimeout` when in-flight
+        writers keep the gate busy past ``timeout`` -- the LockManager
+        queues new writers behind this waiter, so a saturating write
+        stream drains rather than starving the capture."""
+        self.locks.acquire_exclusive(self.gate, timeout=timeout)
+        pins: Dict[str, Tuple[Any, int, Relation]] = {}
+        fresh_entries = 0
+        try:
+            for name in sorted({n.lower() for n in names}):
+                if not self.catalog.has_table(name):
+                    continue
+                entry = self.catalog.entry(name)
+                version, relation, fresh = entry.table.pin_snapshot()
+                pins[name] = (entry, version, relation)
+                fresh_entries += int(fresh)
+        except BaseException:
+            for name, (entry, version, _) in pins.items():
+                entry.table.unpin_snapshot(version)
+            raise
+        finally:
+            self.locks.release_exclusive(self.gate)
+        with self._mutex:
+            self._captures += 1
+            self._pins_held += len(pins)
+            self._versions_retained += fresh_entries
+        pinned = PinnedVersionSet(pins)
+        hook = self.on_capture
+        if hook is not None:
+            try:
+                hook(pinned)
+            except BaseException:
+                # The caller never saw the set -- releasing is on us.
+                self.release(pinned)
+                raise
+        return pinned
+
+    def release(self, pinned: PinnedVersionSet) -> None:
+        """Drop the statement's pins; reclaim versions nobody holds."""
+        dropped = 0
+        reclaimed = 0
+        for name, (entry, version, _) in pinned.pins.items():
+            was_dropped, was_reclaimed = entry.table.unpin_snapshot(version)
+            dropped += int(was_dropped)
+            reclaimed += int(was_reclaimed)
+        with self._mutex:
+            self._pins_held -= len(pinned.pins)
+            self._versions_retained -= dropped
+            self._versions_reclaimed += reclaimed
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot counters: total captures, pins currently held,
+        versions currently retained in table chains, and old versions
+        reclaimed so far.  Merged into ``durability_stats()`` and served
+        by the wire protocol's ``stats`` operation."""
+        with self._mutex:
+            return {
+                "snapshot_captures": self._captures,
+                "snapshot_pins_held": self._pins_held,
+                "snapshot_versions_retained": self._versions_retained,
+                "snapshot_versions_reclaimed": self._versions_reclaimed,
+            }

@@ -11,7 +11,14 @@ machinery so that the claim can be exercised:
 - :class:`LockManager` -- table-granularity reader/writer locks (MayBMS
   inherits PostgreSQL's concurrency control; table locks are the simplest
   faithful equivalent for an in-memory engine), with shared->exclusive
-  upgrade support.
+  upgrade support.  Since the MVCC refactor, *read statements do not use
+  table locks at all*: they pin a version set through
+  :class:`repro.engine.storage.SnapshotManager` (a brief exclusive
+  acquisition of :data:`STORE_GATE`, then lock-free execution).  The
+  LockManager serves writers (exclusive 2PL), explicit read-write
+  transactions (strict 2PL, including shared read locks for
+  read-your-writes), and the store gate itself.  Timed-out acquisitions
+  raise :class:`repro.errors.LockTimeout`.
 - :class:`WriteAheadLog` -- a redo log of committed logical operations
   that can be replayed into an empty catalog to recover state.  When
   given a durable sink (:class:`repro.engine.durability.DurabilityManager`)
@@ -35,7 +42,14 @@ from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.schema import Column, Schema
 from repro.engine.storage import Table
 from repro.engine.types import type_from_name
-from repro.errors import TransactionError
+from repro.errors import LockTimeout, TransactionError
+
+#: Pseudo-table serializing whole-store operations against in-flight
+#: writers: every writing statement holds it shared (for the whole
+#: transaction, once the transaction has written); checkpoints and MVCC
+#: snapshot captures take it exclusive -- briefly -- so neither ever
+#: observes another session's half-applied statement.
+STORE_GATE = "__store_gate__"
 
 
 # -- undo records --------------------------------------------------------------
@@ -345,7 +359,7 @@ class LockManager:
 
             granted = self._condition.wait_for(admissible, timeout=timeout)
             if not granted:
-                raise TransactionError(f"timeout acquiring shared lock on {table_name!r}")
+                raise LockTimeout(f"timeout acquiring shared lock on {table_name!r}")
             holders = self._readers.setdefault(key, {})
             holders[me] = holders.get(me, 0) + 1
 
@@ -408,7 +422,7 @@ class LockManager:
                 # the predicate.
                 self._condition.notify_all()
             if not granted:
-                raise TransactionError(
+                raise LockTimeout(
                     f"timeout acquiring exclusive lock on {table_name!r}"
                 )
             self._writer[key] = me

@@ -58,6 +58,16 @@ class TransactionError(EngineError):
     """Illegal transaction state transition (commit without begin, ...)."""
 
 
+class LockTimeout(TransactionError):
+    """A table-lock (or store-gate) acquisition timed out.
+
+    Subclasses :class:`TransactionError` so existing handlers keep
+    working; raised distinctly so callers (and tests) can tell "a writer
+    starved behind a long reader" apart from other transaction errors.
+    MVCC read statements never hold table locks, so a saturated writer
+    seeing this means writer-vs-writer contention, not analytics."""
+
+
 class DurabilityError(EngineError):
     """The on-disk log or checkpoint could not be written or read."""
 

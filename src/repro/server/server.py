@@ -355,7 +355,9 @@ class MayBMSServer:
                 # and commit totals); empty object for in-memory stores.
                 # "serving" adds the backpressure counters, "parallel" the
                 # shared execution pool's per-operator counters (empty
-                # when no pool).
+                # when no pool), "snapshots" the MVCC snapshot manager's
+                # capture/pin/reclaim counters (always present -- reads
+                # are lock-free for in-memory stores too).
                 with self._threads_mutex:
                     active = len(self._connections)
                 return (
@@ -369,6 +371,7 @@ class MayBMSServer:
                             "statements_rejected": self.statements_rejected,
                         },
                         "parallel": session.parallel_stats() or {},
+                        "snapshots": session.snapshot_stats(),
                     },
                     False,
                 )

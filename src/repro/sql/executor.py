@@ -144,6 +144,38 @@ class Executor:
         #: it so they are undone by rollback and reach the WAL only inside
         #: the statement's committed unit.
         self.active_write_transaction: Optional[Transaction] = None
+        #: The MVCC pinned version set of the statement currently running
+        #: (a :class:`~repro.engine.storage.PinnedVersionSet`), or None
+        #: when the statement runs under table locks.  Base-table reads
+        #: resolve through it (:meth:`_table_snapshot`) so every scan of
+        #: the statement -- serial or sharded -- sees exactly the versions
+        #: pinned at statement start, regardless of concurrent writers.
+        self.pinned = None
+
+    @contextmanager
+    def pinned_versions(self, pinned) -> Iterator[None]:
+        """Run the enclosed statement against a pinned version set (or,
+        with None, against live table snapshots under whatever locks the
+        session took).  Set by the session facade around every statement;
+        restores the previous set on exit so EXPLAIN-triggered nested
+        evaluation keeps its pins."""
+        previous = self.pinned
+        self.pinned = pinned
+        try:
+            yield
+        finally:
+            self.pinned = previous
+
+    def _table_snapshot(self, name: str, entry) -> Relation:
+        """The relation a base-table read of ``name`` should scan: the
+        pinned version when the current statement holds one, else the
+        table's live snapshot."""
+        pinned = self.pinned
+        if pinned is not None:
+            hit = pinned.lookup(name)
+            if hit is not None:
+                return hit[1]
+        return entry.table.snapshot()
 
     @contextmanager
     def write_transaction(self) -> Iterator[Transaction]:
@@ -254,6 +286,12 @@ class Executor:
             f"result: {kind} ({len(output)} rows), "
             f"default engine: {planner.get_default_engine()}"
         ]
+        if self.pinned is not None and len(self.pinned):
+            pins = ", ".join(
+                f"{name}@v{version}"
+                for name, version in sorted(self.pinned.versions.items())
+            )
+            lines.append(f"snapshot: mvcc pinned {pins}")
         for position, (node, engine) in enumerate(trace):
             lines.append(f"fragment {position + 1} [engine={engine}]:")
             for plan_line in node.explain().splitlines():
@@ -266,6 +304,9 @@ class Executor:
                 f"  parallel: {info['workers']} workers, "
                 f"{info['shards']} {info['path']} shard(s)"
             )
+            source = info.get("source")
+            if source is not None:
+                lines.append(f"  source: {source[0]}@v{source[1]}")
         for position, event in enumerate(conf_trace):
             lines.append(
                 f"confidence fragment {position + 1} "
@@ -514,7 +555,7 @@ class Executor:
                     f"{construct} requires a t-certain input, but "
                     f"{source.name!r} is a U-relation"
                 )
-            return entry.table.snapshot()
+            return self._table_snapshot(source.name, entry)
         output = self.evaluate_query(source)
         return self._as_relation(output, construct)
 
@@ -724,13 +765,15 @@ class Executor:
             alias = item.alias if item.alias is not None else item.name
             if entry.is_urelation:
                 urel = URelation(
-                    entry.table.snapshot(),
+                    self._table_snapshot(item.name, entry),
                     int(entry.properties["payload_arity"]),
                     int(entry.properties["cond_arity"]),
                     self.registry,
                 )
             else:
-                urel = URelation.t_certain(entry.table.snapshot(), self.registry)
+                urel = URelation.t_certain(
+                    self._table_snapshot(item.name, entry), self.registry
+                )
             return u_rename(urel, alias)
         if isinstance(item, ast.SubqueryRef):
             output = self.evaluate_query(item.query)

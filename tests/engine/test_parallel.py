@@ -315,3 +315,81 @@ class TestShardingPrimitives:
         seeds = {_unit_seed(42, g, c) for g in range(20) for c in range(-1, 5)}
         assert len(seeds) == 20 * 6
         assert _unit_seed(1, 3) != _unit_seed(2, 3)
+
+
+class TestAdaptiveGate:
+    """The adaptive parallel_min_rows gate: every sharded call feeds its
+    encode-vs-worker-CPU split to _observe_gate, which doubles the
+    effective gate when coordinator encode time dominated (sharding was
+    overhead) and halves it when worker compute dominated, clamped to
+    [max(64, min_rows/8), min_rows*16]."""
+
+    def test_encode_dominated_observations_raise_gate(self):
+        pool = ParallelConfidencePool(workers=2, min_rows=1024)
+        try:
+            assert pool.adaptive
+            pool._observe_gate(encode_ms=50.0, cpu_ms=5.0)
+            assert pool._min_rows_effective == 2048
+            assert not pool.operator_eligible(1500)
+            for _ in range(10):  # clamp at min_rows * 16
+                pool._observe_gate(encode_ms=50.0, cpu_ms=5.0)
+            assert pool._min_rows_effective == 1024 * 16
+            assert pool.stats()["parallel_gate_adaptations"] == 4
+        finally:
+            pool.shutdown()
+
+    def test_compute_dominated_observations_lower_gate(self):
+        pool = ParallelConfidencePool(workers=2, min_rows=1024)
+        try:
+            pool._observe_gate(encode_ms=1.0, cpu_ms=100.0)
+            assert pool._min_rows_effective == 512
+            assert pool.operator_eligible(512)
+            for _ in range(10):  # clamp at max(64, min_rows / 8)
+                pool._observe_gate(encode_ms=1.0, cpu_ms=100.0)
+            assert pool._min_rows_effective == 128
+        finally:
+            pool.shutdown()
+
+    def test_balanced_observations_leave_gate_alone(self):
+        pool = ParallelConfidencePool(workers=2, min_rows=1024)
+        try:
+            pool._observe_gate(encode_ms=10.0, cpu_ms=20.0)
+            assert pool._min_rows_effective == 1024
+            assert pool.stats()["parallel_gate_adaptations"] == 0
+        finally:
+            pool.shutdown()
+
+    def test_env_escape_hatch_pins_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_ADAPTIVE", "0")
+        pool = ParallelConfidencePool(workers=2, min_rows=1024)
+        try:
+            assert not pool.adaptive
+            pool._observe_gate(encode_ms=100.0, cpu_ms=1.0)
+            assert pool._min_rows_effective == 1024
+            assert pool.stats()["parallel_gate_adaptations"] == 0
+        finally:
+            pool.shutdown()
+
+    def test_forced_parallel_gate_never_adapts(self):
+        # min_rows < 64 means "always shard" (tests and benchmarks):
+        # adaptation must not re-gate forced-parallel pools.
+        for forced in (0, 1):
+            pool = ParallelConfidencePool(workers=2, min_rows=forced)
+            try:
+                assert not pool.adaptive
+                pool._observe_gate(encode_ms=100.0, cpu_ms=1.0)
+                assert pool._min_rows_effective == forced
+            finally:
+                pool.shutdown()
+
+    def test_assigning_min_rows_resets_effective_gate(self):
+        pool = ParallelConfidencePool(workers=2, min_rows=1024)
+        try:
+            pool._observe_gate(encode_ms=50.0, cpu_ms=5.0)
+            assert pool._min_rows_effective == 2048
+            pool.min_rows = 1  # in-place re-tune, as tests do
+            assert pool._min_rows_effective == 1
+            assert not pool.adaptive
+            assert pool.operator_eligible(2)
+        finally:
+            pool.shutdown()

@@ -445,6 +445,15 @@ class TestParallelConfidenceOverTheWire:
         with Client(memory_server.host, memory_server.port) as client:
             assert client.server_stats()["parallel"] == {}
 
+    def test_snapshot_counters_over_the_wire(self, memory_server):
+        with Client(memory_server.host, memory_server.port) as client:
+            client.execute("create table t (k integer, w float)")
+            client.execute("insert into t values (1, 0.5), (2, 1.5)")
+            client.query("select k from t")
+            snapshots = client.server_stats()["snapshots"]
+        assert snapshots["snapshot_captures"] >= 1
+        assert snapshots["snapshot_pins_held"] == 0
+
 
 class TestDurabilityStatsOp:
     def test_stats_over_the_wire(self, server):

@@ -14,7 +14,7 @@ import time
 import pytest
 
 from repro.db import MayBMS
-from repro.errors import AnalysisError, TransactionError
+from repro.errors import AnalysisError, LockTimeout, TransactionError
 
 
 @pytest.fixture
@@ -396,5 +396,69 @@ class TestCheckpointFairness:
         assert not errors
         assert store.durability_stats()["checkpoints_total"] >= 1
         for session in sessions:
+            session.close()
+        store.close()
+
+
+class TestMvccWriterLatency:
+    def test_long_conf_never_times_out_writers(self):
+        """The lock-free read guarantee, end to end: a reader session
+        loops a multi-statement conf() workload while writer sessions
+        commit on a *short* lock timeout.  Pre-MVCC, each read held
+        shared table locks for its whole duration and a slow conf()
+        would push writers into LockTimeout; with pinned snapshot reads
+        the only contention left is the capture's brief gate flip, so
+        no statement on either side may time out."""
+        store = MayBMS(seed=23, lock_timeout=1.0)
+        values = ", ".join(
+            f"({g}, {k}, {1 + (g + k) % 5})"
+            for g in range(40)
+            for k in range(25)
+        )
+        store.execute_script(
+            "create table big (g integer, k integer, w float);"
+            f"insert into big values {values}"
+        )
+        stop = threading.Event()
+        errors = []
+
+        def reader_loop(session):
+            try:
+                while not stop.is_set():
+                    session.query(
+                        "select g, conf() as c from "
+                        "(repair key g, k in big weight by w) r group by g"
+                    )
+            except Exception as exc:  # pragma: no cover - fail the test
+                errors.append(exc)
+
+        reader = store.session()
+        writers = [store.session() for _ in range(3)]
+        reader_thread = threading.Thread(
+            target=reader_loop, args=(reader,), daemon=True
+        )
+        reader_thread.start()
+        committed = 0
+        try:
+            deadline = time.monotonic() + 4.0
+            i = 0
+            while time.monotonic() < deadline:
+                for writer in writers:
+                    writer.execute(
+                        f"insert into big values (1000, {i}, 1.0)"
+                    )
+                    committed += 1
+                    i += 1
+        except LockTimeout as exc:  # pragma: no cover - the regression
+            pytest.fail(f"writer timed out behind a lock-free reader: {exc}")
+        finally:
+            stop.set()
+            reader_thread.join(timeout=30)
+        assert not errors, errors
+        assert committed > 0
+        stats = store.snapshot_stats()
+        assert stats["snapshot_captures"] >= 1
+        assert stats["snapshot_pins_held"] == 0
+        for session in [reader] + writers:
             session.close()
         store.close()

@@ -1,0 +1,288 @@
+"""MVCC snapshot reads: pinned version sets across storage and sessions.
+
+Read statements execute against an immutable pinned version set captured
+by the store's :class:`~repro.engine.storage.SnapshotManager` -- zero
+table locks.  These tests drive the one nondeterministic window
+deterministically: ``SnapshotManager.on_capture`` fires after the pins
+are taken and the store gate is released, *before* the statement
+executes, so a test can commit a concurrent write exactly between the
+pin and the read and assert the reader still sees the pinned version
+bit-identically -- serial or parallel, batch or row engine.
+"""
+
+import pytest
+
+from repro.db import MayBMS
+from repro.engine import planner
+from repro.errors import AnalysisError, MayBMSError
+
+ENGINES = ["batch", "row"]
+
+SELECT_QUERY = "select g, k, w from t where k < 7"
+CONF_QUERY = (
+    "select g, conf() as c from (repair key g, k in t weight by w) r group by g"
+)
+
+
+def build_store(**kwargs):
+    kwargs.setdefault("seed", 13)
+    db = MayBMS(**kwargs)
+    values = ", ".join(
+        f"({g}, {k}, {1 + (g + k) % 3})" for g in range(6) for k in range(10)
+    )
+    db.execute_script(
+        "create table t (g integer, k integer, w float);"
+        f"insert into t values {values}"
+    )
+    return db
+
+
+def arm_one_shot(db, action):
+    """Install an on_capture hook that runs ``action`` on the first
+    capture only, then disarms itself (later statements in the test --
+    including the verification reads -- must not retrigger it)."""
+
+    def hook(pinned):
+        db.snapshots.on_capture = None
+        action(pinned)
+
+    db.snapshots.on_capture = hook
+
+
+class TestSnapshotIsolation:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_select_isolated_from_concurrent_commit(self, engine, parallel):
+        kwargs = {"parallel_workers": 2, "parallel_min_rows": 0} if parallel else {}
+        db = build_store(**kwargs)
+        try:
+            with planner.forced_engine(engine):
+                expected = sorted(db.query(SELECT_QUERY).rows)
+                writer = db.session()
+                arm_one_shot(
+                    db,
+                    lambda pinned: writer.execute(
+                        "insert into t values (99, 1, 1.0), (99, 2, 2.0)"
+                    ),
+                )
+                during = sorted(db.query(SELECT_QUERY).rows)
+                after = sorted(db.query(SELECT_QUERY).rows)
+            # The read that overlapped the commit saw the pinned version,
+            # bit-identical to the pre-write result ...
+            assert during == expected
+            # ... and the next statement pins the new version.
+            assert len(after) == len(expected) + 2
+        finally:
+            db.close()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_conf_isolated_from_concurrent_commit(self, engine, parallel):
+        kwargs = {"parallel_workers": 2, "parallel_min_rows": 0} if parallel else {}
+        db = build_store(**kwargs)
+        try:
+            with planner.forced_engine(engine):
+                expected = sorted(db.query(CONF_QUERY).rows)
+                writer = db.session()
+                arm_one_shot(
+                    db,
+                    lambda pinned: writer.execute("delete from t where g = 0"),
+                )
+                during = sorted(db.query(CONF_QUERY).rows)
+                after = sorted(db.query(CONF_QUERY).rows)
+            assert during == expected
+            assert len(after) == len(expected) - 1
+        finally:
+            db.close()
+
+    def test_interleaved_writer_stream_never_tears_a_read(self):
+        # A read pinned at version N must not see a *mix* of versions:
+        # the invariant column (every row of one statement's insert
+        # shares one g) would tear if a scan combined versions.
+        db = build_store()
+        try:
+            writer = db.session()
+
+            def commit_two_statements(pinned):
+                writer.execute("insert into t values (50, 0, 1.0)")
+                writer.execute("delete from t where g = 50")
+
+            arm_one_shot(db, commit_two_statements)
+            during = sorted(db.query("select g from t where g = 50").rows)
+            assert during == []  # pinned before both writes
+        finally:
+            db.close()
+
+
+class TestVersionChainReclamation:
+    def test_release_reclaims_superseded_version(self):
+        db = build_store()
+        try:
+            writer = db.session()
+            arm_one_shot(
+                db, lambda pinned: writer.execute("insert into t values (7, 7, 1.0)")
+            )
+            db.query(SELECT_QUERY)
+            stats = db.snapshot_stats()
+            # The pinned version was superseded mid-statement; releasing
+            # the last pin reclaimed it from the chain.
+            assert stats["snapshot_pins_held"] == 0
+            assert stats["snapshot_versions_retained"] == 0
+            assert stats["snapshot_versions_reclaimed"] >= 1
+            assert db.catalog.retained_snapshot_versions() == 0
+        finally:
+            db.close()
+
+    def test_killed_reader_releases_pins(self):
+        # A statement that dies after capture (here: analysis rejects it,
+        # which runs inside the executor, after the pins are taken) must
+        # release its pins on the error path, reclaiming any version a
+        # concurrent commit superseded meanwhile.
+        db = build_store()
+        try:
+            writer = db.session()
+            arm_one_shot(
+                db, lambda pinned: writer.execute("insert into t values (8, 8, 1.0)")
+            )
+            with pytest.raises(MayBMSError):
+                db.query("select no_such_column from t")
+            stats = db.snapshot_stats()
+            assert stats["snapshot_pins_held"] == 0
+            assert stats["snapshot_versions_retained"] == 0
+            assert stats["snapshot_versions_reclaimed"] >= 1
+            assert db.catalog.retained_snapshot_versions() == 0
+        finally:
+            db.close()
+
+    def test_failing_capture_hook_leaks_no_pins(self):
+        db = build_store()
+        try:
+            arm_one_shot(db, lambda pinned: (_ for _ in ()).throw(RuntimeError("boom")))
+            with pytest.raises(RuntimeError):
+                db.query(SELECT_QUERY)
+            assert db.snapshot_stats()["snapshot_pins_held"] == 0
+            assert db.catalog.retained_snapshot_versions() == 0
+        finally:
+            db.close()
+
+
+class TestLockFreeReads:
+    def test_reader_holds_no_table_locks(self):
+        # Between the capture and the read the statement holds nothing:
+        # an exclusive acquisition of every referenced table (and the
+        # store gate) succeeds instantly while the read is in flight.
+        db = build_store()
+        try:
+            observed = {}
+
+            def probe(pinned):
+                db.locks.acquire_exclusive("t", timeout=0.1)
+                db.locks.release_exclusive("t")
+                db.locks.acquire_exclusive(db.snapshots.gate, timeout=0.1)
+                db.locks.release_exclusive(db.snapshots.gate)
+                observed["lock_free"] = True
+
+            arm_one_shot(db, probe)
+            db.query(SELECT_QUERY)
+            assert observed.get("lock_free") is True
+            assert db._held_locks == {}
+        finally:
+            db.close()
+
+    def test_mvcc_off_reads_take_shared_locks(self):
+        # The locked-mode baseline still exists: with mvcc off, no
+        # capture happens and reads go through shared 2PL.
+        db = build_store(mvcc=False)
+        try:
+            db.snapshots.on_capture = lambda pinned: pytest.fail(
+                "mvcc=False must not capture snapshots"
+            )
+            db.query(SELECT_QUERY)
+            assert db.snapshot_stats()["snapshot_captures"] == 0
+        finally:
+            db.close()
+
+
+class TestDifferentialLockedVsMvcc:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_results_identical_mvcc_on_off(self, engine):
+        mvcc_db = build_store(mvcc=True)
+        locked_db = build_store(mvcc=False)
+        try:
+            with planner.forced_engine(engine):
+                for query in (SELECT_QUERY, CONF_QUERY):
+                    assert sorted(mvcc_db.query(query).rows) == sorted(
+                        locked_db.query(query).rows
+                    )
+        finally:
+            mvcc_db.close()
+            locked_db.close()
+
+
+class TestPinnedVersionSet:
+    def test_repeated_pins_share_one_relation_object(self):
+        # Pin-stable relation identity is the cache-reuse contract:
+        # grouped-lineage and parallel-payload caches live on the
+        # relation, so two statements pinned to the same version share
+        # them for free.
+        db = build_store()
+        try:
+            first = db.snapshots.capture(["t"])
+            second = db.snapshots.capture(["t"])
+            assert first.lookup("t")[1] is second.lookup("t")[1]
+            assert first.versions == second.versions
+            db.snapshots.release(first)
+            db.snapshots.release(second)
+            assert db.catalog.retained_snapshot_versions() == 0
+        finally:
+            db.close()
+
+    def test_capture_skips_missing_tables(self):
+        db = build_store()
+        try:
+            pinned = db.snapshots.capture(["t", "no_such"])
+            assert len(pinned) == 1
+            assert pinned.lookup("no_such") is None
+            db.snapshots.release(pinned)
+        finally:
+            db.close()
+
+
+class TestExplainSnapshots:
+    def test_explain_reports_pinned_versions(self):
+        db = build_store()
+        try:
+            explain = "\n".join(
+                row[0] for row in db.query("explain " + SELECT_QUERY)
+            )
+            assert "snapshot: mvcc pinned t@v" in explain
+        finally:
+            db.close()
+
+    def test_explain_omits_snapshot_line_when_locked(self):
+        db = build_store(mvcc=False)
+        try:
+            explain = "\n".join(
+                row[0] for row in db.query("explain " + SELECT_QUERY)
+            )
+            assert "snapshot: mvcc pinned" not in explain
+        finally:
+            db.close()
+
+
+class TestSnapshotCountersOverSessions:
+    def test_counters_flow_through_session_and_durability_stats(self, tmp_path):
+        db = MayBMS(path=str(tmp_path / "store"))
+        try:
+            db.execute_script(
+                "create table t (a integer); insert into t values (1), (2)"
+            )
+            session = db.session(read_only=True)
+            session.query("select a from t")
+            stats = session.snapshot_stats()
+            assert stats["snapshot_captures"] >= 1
+            durable = db.durability_stats()
+            assert durable is not None
+            assert durable["snapshot_captures"] == stats["snapshot_captures"]
+        finally:
+            db.close()
