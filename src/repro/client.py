@@ -187,14 +187,17 @@ class Client:
         rejections), ``parallel`` (the shared execution pool's
         per-operator query/shard counters plus encode-time, shard CPU,
         and cache-eviction totals; empty when the server runs
-        serial-only), and ``snapshots`` (the MVCC snapshot manager's
-        capture/pin/reclaim counters)."""
+        serial-only), ``snapshots`` (the MVCC snapshot manager's
+        capture/pin/reclaim counters), and ``sanitizer`` (the runtime
+        concurrency sanitizer's violation counters and live gauges;
+        empty unless the server runs with ``REPRO_SANITIZE=1``)."""
         response = self._request({"op": "stats"})
         return {
             "durability": dict(response.get("stats", {})),
             "serving": dict(response.get("serving", {})),
             "parallel": dict(response.get("parallel", {})),
             "snapshots": dict(response.get("snapshots", {})),
+            "sanitizer": dict(response.get("sanitizer", {})),
         }
 
     def ping(self) -> bool:

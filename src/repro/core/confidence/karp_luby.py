@@ -61,7 +61,7 @@ class KarpLubyEstimator:
         rng: Optional[random.Random] = None,
     ):
         self.registry = registry
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
         self.lineage = Lineage.of(dnf, registry).simplified()
         self.clause_probabilities = self.lineage.clause_probabilities()
         self.total_weight = sum(self.clause_probabilities)  # U = Σ pᵢ

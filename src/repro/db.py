@@ -58,6 +58,7 @@ from repro.engine.parallel import (
     default_min_rows,
     default_workers,
 )
+from repro.engine import sanitizer as _sanitizer
 from repro.engine.relation import Relation
 from repro.engine.storage import SnapshotManager
 from repro.engine.transactions import (
@@ -436,6 +437,9 @@ class _SessionBase:
             return None
         stats = storage.stats()
         stats.update(self._store.snapshots.stats())
+        san = _sanitizer.get_sanitizer()
+        if san is not None:
+            stats.update(san.stats())
         return stats
 
     def snapshot_stats(self) -> Dict[str, int]:
@@ -450,6 +454,18 @@ class _SessionBase:
         unlike :meth:`durability_stats`; also served over the wire
         protocol's ``stats`` operation."""
         return self._store.snapshots.stats()
+
+    def sanitizer_stats(self) -> Optional[Dict[str, int]]:
+        """Counters of the runtime concurrency sanitizer
+        (:mod:`repro.engine.sanitizer`), or None unless the process runs
+        with ``REPRO_SANITIZE=1``: lock-order cycles, locks held across
+        fsync/pool submits, pin and shared-memory leak totals, and the
+        live pin/segment gauges.  Also served over the wire protocol's
+        ``stats`` operation."""
+        san = _sanitizer.get_sanitizer()
+        if san is None:
+            return None
+        return san.stats()
 
     def parallel_stats(self) -> Optional[Dict[str, int]]:
         """Counters of the store's shared parallel execution pool, or
@@ -582,7 +598,7 @@ class MayBMS(_SessionBase):
         #: session's in-flight transaction.
         self._executing = threading.local()
         self._sessions: List["Session"] = []
-        self._session_mutex = threading.Lock()
+        self._session_mutex = _sanitizer.wrap_lock("MayBMS._session_mutex")
         self.storage: Optional[DurabilityManager] = None
         if path is not None:
             # Recover BEFORE wiring the registry hook: restored variables
@@ -719,7 +735,12 @@ class MayBMS(_SessionBase):
                         "cannot checkpoint: a session has an open "
                         "transaction with uncommitted writes"
                     )
-            self.wal.flush()
+            # Buffered variable-only units must reach the pre-rotation WAL
+            # epoch; the flush (usually a no-op) may fsync while we hold the
+            # gate exclusively -- an audited exception to the sanitizer's
+            # no-fsync-under-exclusive-gate rule.
+            with _sanitizer.allowed_blocking("fsync"):
+                self.wal.flush()
             assert self.storage is not None
             capture = self.storage.prepare_checkpoint(
                 self.catalog, self.registry, timeout=timeout

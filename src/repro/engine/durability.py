@@ -45,6 +45,7 @@ double-applied mixture.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
@@ -53,13 +54,14 @@ import threading
 import time
 import weakref
 import zlib
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 try:
     import fcntl
 except ImportError:  # non-POSIX platform: single-writer check unavailable
     fcntl = None
 
+from repro.engine import sanitizer as _sanitizer
 from repro.engine import segments as segment_codec
 from repro.engine.catalog import Catalog
 from repro.errors import DurabilityError, RecoveryError
@@ -72,6 +74,17 @@ MANIFEST_FORMAT = 2
 
 _HEADER = struct.Struct(">II")  # (payload length, crc32 of payload)
 _MANIFEST_RE = re.compile(r"^checkpoint\.(\d{6,})\.manifest$")
+
+
+@contextlib.contextmanager
+def _condition_released(cond: "threading.Condition") -> Iterator[None]:
+    """Scoped inversion of ``with cond``: release the held condition lock for
+    the duration of the block and re-acquire it on every exit path."""
+    cond.release()
+    try:
+        yield
+    finally:
+        cond.acquire()  # reprolint: disable=R001 -- re-acquire half of the scoped-release pair; the enclosing 'with cond' owns the release
 
 
 # -- record framing ------------------------------------------------------------
@@ -349,12 +362,14 @@ class DurabilityManager:
         self._segment_map: Dict[str, Tuple[Any, int, str]] = {}
         self._registry_record: Optional[Tuple[int, int, List[str]]] = None
         self._current_artifact: Optional[Tuple[str, int, Set[str]]] = None
-        self._checkpoint_lock = threading.Lock()
+        self._checkpoint_lock = _sanitizer.wrap_lock(
+            "DurabilityManager._checkpoint_lock"
+        )
         # Group-commit state: a queue of (ticket, frames, dml_units,
         # commit_markers) entries protected by a condition variable, plus
         # the id of the highest ticket made durable and the failures to
         # report to individual waiters.
-        self._gc_cond = threading.Condition()
+        self._gc_cond = _sanitizer.wrap_condition("DurabilityManager._gc_cond")
         self._gc_queue: List[Tuple[int, bytes, int, int]] = []
         self._gc_ticket = 0
         self._gc_durable = 0
@@ -366,7 +381,9 @@ class DurabilityManager:
         self._gc_leader_running = False
         self._gc_failures: Dict[int, BaseException] = {}
         #: Serializes physical WAL writes with checkpoint rotation.
-        self._file_mutex = threading.RLock()
+        self._file_mutex = _sanitizer.wrap_lock(
+            "DurabilityManager._file_mutex", threading.RLock()
+        )
         self._acquire_directory_lock()
 
     def _acquire_directory_lock(self) -> None:
@@ -693,9 +710,8 @@ class DurabilityManager:
                 self._gc_leader_running = True
                 batch, self._gc_queue = self._gc_queue, []
                 self._gc_inflight_top = batch[-1][0]
-                cond.release()
                 error: Optional[BaseException] = None
-                try:
+                with _condition_released(cond):
                     try:
                         with self._file_mutex:
                             self._require_open()
@@ -704,22 +720,20 @@ class DurabilityManager:
                             )
                     except BaseException as exc:
                         error = exc
-                finally:
-                    cond.acquire()
-                    self._gc_leader_running = False
-                    top = batch[-1][0]
-                    if error is None:
-                        self.commits_since_checkpoint += sum(
-                            units for _, _, units, _ in batch
-                        )
-                        self.commit_count += sum(
-                            markers for _, _, _, markers in batch
-                        )
-                    else:
-                        for waiter_ticket, _, _, _ in batch:
-                            self._gc_failures[waiter_ticket] = error
-                    self._gc_durable = max(self._gc_durable, top)
-                    cond.notify_all()
+                self._gc_leader_running = False
+                top = batch[-1][0]
+                if error is None:
+                    self.commits_since_checkpoint += sum(
+                        units for _, _, units, _ in batch
+                    )
+                    self.commit_count += sum(
+                        markers for _, _, _, markers in batch
+                    )
+                else:
+                    for waiter_ticket, _, _, _ in batch:
+                        self._gc_failures[waiter_ticket] = error
+                self._gc_durable = max(self._gc_durable, top)
+                cond.notify_all()
             failure = self._gc_failures.pop(ticket, None)
         if failure is not None:
             raise failure
@@ -727,6 +741,7 @@ class DurabilityManager:
     def _write_durably(self, buffer: bytes) -> None:
         """Append ``buffer`` to the WAL file and fsync it (caller holds the
         file mutex)."""
+        _sanitizer.guard_blocking("fsync")
         handle = self._ensure_wal_handle()
         start = handle.tell()
         try:
@@ -798,7 +813,7 @@ class DurabilityManager:
         checkpoint mutex.
         """
         self._require_open()
-        if not self._checkpoint_lock.acquire(
+        if not self._checkpoint_lock.acquire(  # reprolint: disable=R001 -- two-phase handoff by design: commit_checkpoint()/abort path releases in its finally; callers are contractually bound to call it
             timeout=30.0 if timeout is None else max(timeout, 0.001)
         ):
             raise DurabilityError("another checkpoint is already in progress")
@@ -990,6 +1005,7 @@ class DurabilityManager:
     def _write_atomically(
         self, target: str, data: bytes, fsync_dir: bool = True
     ) -> None:
+        _sanitizer.guard_blocking("fsync")
         tmp_path = target + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(data)

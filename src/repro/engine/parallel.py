@@ -90,6 +90,7 @@ from repro.core.confidence.dispatch import (
 from repro.core.confidence.dklr import aconf_unit_seed, fnv_mix
 from repro.core.lineage import ClauseArena, Lineage, combine_independent
 from repro.core.variables import TOP_VARIABLE, VariableRegistry
+from repro.engine import sanitizer as _sanitizer
 from repro.engine import segments
 from repro.engine.columnar import ColumnBatch, batches_of_columns, concat_batches
 from repro.engine.kernels import compile_kernel, compile_pipeline
@@ -975,7 +976,7 @@ class ParallelExecutionPool:
             "REPRO_PARALLEL_MP_START", "spawn"
         )
         self._executor: Optional[ProcessPoolExecutor] = None
-        self._mutex = threading.Lock()
+        self._mutex = _sanitizer.wrap_lock("ParallelExecutionPool._mutex")
         self._closed = False
         self._segment_counter = 0
         self._payload_counter = 0
@@ -1056,16 +1057,19 @@ class ParallelExecutionPool:
         with self._mutex:
             self._closed = True
             executor, self._executor = self._executor, None
-            segments_left = list(self._active_segments.values())
+            segments_left = list(self._active_segments.items())
             self._active_segments.clear()
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
-        for segment in segments_left:  # normally empty: queries clean up
+        san = _sanitizer.get_sanitizer()
+        for name, segment in segments_left:  # normally empty: queries clean up
             try:
                 segment.close()
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            if san is not None:
+                san.note_shm_unlinked(name)
 
     def __enter__(self) -> "ParallelExecutionPool":
         return self
@@ -1170,10 +1174,14 @@ class ParallelExecutionPool:
         task, collect (result, cpu seconds, evictions) triples, update
         counters, and record the shard-plan info."""
         executor = self._ensure_executor()
+        _sanitizer.guard_blocking("pool-submit")
+        san = _sanitizer.get_sanitizer()
         with self._mutex:
             self._segment_counter += 1
             name = f"maybms-{os.getpid()}-{self._segment_counter}-{os.urandom(3).hex()}"
         segment = _publish(data, name)
+        if san is not None:
+            san.note_shm_created(name)
         with self._mutex:
             self._active_segments[name] = segment
             self.segment_history.append(name)
@@ -1191,6 +1199,8 @@ class ParallelExecutionPool:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+            if san is not None:
+                san.note_shm_unlinked(name)
         shard_cpu = [cpu for _, cpu, _ in returned]
         evictions = sum(ev for _, _, ev in returned)
         self._count(

@@ -32,7 +32,10 @@ class Relation:
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
         self.rows: List[Row] = [tuple(r) for r in rows]
-        self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
+        # One immutable sequence per column: tuples when pivoted here,
+        # decoded lists when pre-seeded by the checkpoint recovery fast
+        # path (storage.Table.load_columns) -- never mutated either way.
+        self._columns: Optional[Tuple[Sequence[Any], ...]] = None
         # Grouped-lineage cache for the confidence dispatcher.  It lives on
         # the relation because table snapshots are cached per version
         # (storage.Table.snapshot), so "same relation object" means "same
@@ -68,7 +71,7 @@ class Relation:
         relation.source = None
         return relation
 
-    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
+    def columns(self) -> Tuple[Sequence[Any], ...]:
         """The relation pivoted column-wise (cached; relations are
         immutable once built).  This is the batch engine's scan input."""
         if self._columns is None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine import sanitizer as _sanitizer
 from repro.engine.columnar import columns_to_rows
 from repro.engine.indexes import HashIndex, SortedIndex
 from repro.engine.relation import Relation
@@ -37,7 +38,7 @@ from repro.errors import StorageError
 class Table:
     """A mutable base table with stable tuple ids and optional indexes."""
 
-    def __init__(self, name: str, schema: Schema):
+    def __init__(self, name: str, schema: Schema) -> None:
         self.name = name
         self.schema = schema
         self._rows: Dict[int, tuple] = {}
@@ -55,7 +56,8 @@ class Table:
         # is bounded by the number of concurrently pinned versions;
         # unpinning the last reader of a non-current version reclaims it.
         self._pinned_versions: Dict[int, Tuple[Relation, int]] = {}
-        self._pin_mutex = threading.Lock()
+        self._pin_mutex = _sanitizer.wrap_lock("Table._pin_mutex")
+        self._san = _sanitizer.get_sanitizer()
 
     # -- inspection -----------------------------------------------------------
     def __len__(self) -> int:
@@ -117,6 +119,8 @@ class Table:
         against concurrent :meth:`unpin_snapshot` calls from finishing
         readers."""
         with self._pin_mutex:
+            if self._san is not None:
+                self._san.note_pin()
             version = self._version
             entry = self._pinned_versions.get(version)
             if entry is not None:
@@ -143,6 +147,8 @@ class Table:
                     f"table {self.name!r} has no pinned snapshot at "
                     f"version {version}"
                 )
+            if self._san is not None:
+                self._san.note_unpin()
             relation, count = entry
             if count > 1:
                 self._pinned_versions[version] = (relation, count - 1)
@@ -415,7 +421,7 @@ class Table:
             raise StorageError(f"no index {index_name!r} on table {self.name!r}")
         del self._indexes[index_name]
 
-    def index(self, index_name: str):
+    def index(self, index_name: str) -> Any:
         try:
             return self._indexes[index_name]
         except KeyError:
@@ -451,7 +457,7 @@ class PinnedVersionSet:
 
     __slots__ = ("pins",)
 
-    def __init__(self, pins: Dict[str, Tuple[Any, int, Relation]]):
+    def __init__(self, pins: Dict[str, Tuple[Any, int, Relation]]) -> None:
         #: name -> (catalog entry, pinned version, pinned relation)
         self.pins = pins
 
@@ -499,11 +505,11 @@ class SnapshotManager:
     here without a cycle).
     """
 
-    def __init__(self, catalog: Any, locks: Any, gate: str):
+    def __init__(self, catalog: Any, locks: Any, gate: str) -> None:
         self.catalog = catalog
         self.locks = locks
         self.gate = gate
-        self._mutex = threading.Lock()
+        self._mutex = _sanitizer.wrap_lock("SnapshotManager._mutex")
         self._captures = 0
         self._pins_held = 0
         self._versions_retained = 0

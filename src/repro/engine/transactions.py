@@ -38,6 +38,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine import sanitizer as _sanitizer
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.schema import Column, Schema
 from repro.engine.storage import Table
@@ -119,7 +120,7 @@ class Transaction:
     ``rollback`` applies the undo journal in reverse.
     """
 
-    def __init__(self, catalog: Catalog, wal: Optional["WriteAheadLog"] = None):
+    def __init__(self, catalog: Catalog, wal: Optional["WriteAheadLog"] = None) -> None:
         self.catalog = catalog
         self.wal = wal
         self._undo: List[Any] = []
@@ -319,7 +320,7 @@ class LockManager:
     exclusive gate acquisition indefinitely.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         #: table -> {thread ident -> number of shared holds}
@@ -330,6 +331,14 @@ class LockManager:
         #: table -> number of threads currently waiting for exclusive
         #: (the pending-checkpoint/writer-preference flag)
         self._exclusive_waiters: Dict[str, int] = {}
+        #: runtime concurrency sanitizer (None unless REPRO_SANITIZE=1);
+        #: logical grants are noted record-only -- violations surface at
+        #: end of test, never by raising out of a granted acquisition
+        self._san = _sanitizer.get_sanitizer()
+
+    @staticmethod
+    def _san_node(key: str) -> str:
+        return "lockmgr:__store_gate__" if key == STORE_GATE else "lockmgr:<table>"
 
     def _other_readers(self, key: str, me: int) -> int:
         holders = self._readers.get(key)
@@ -362,6 +371,8 @@ class LockManager:
                 raise LockTimeout(f"timeout acquiring shared lock on {table_name!r}")
             holders = self._readers.setdefault(key, {})
             holders[me] = holders.get(me, 0) + 1
+            if self._san is not None:
+                self._san.note_acquired(self._san_node(key), mode="shared")
 
     def release_shared(self, table_name: str, ident: Optional[int] = None) -> None:
         """Release one shared hold.  ``ident`` names the owning thread when
@@ -380,6 +391,8 @@ class LockManager:
                     del self._readers[key]
             else:
                 holders[me] = count - 1
+            if self._san is not None:
+                self._san.note_released(self._san_node(key), ident=me)
             self._condition.notify_all()
 
     def acquire_exclusive(self, table_name: str, timeout: Optional[float] = None) -> None:
@@ -426,6 +439,8 @@ class LockManager:
                     f"timeout acquiring exclusive lock on {table_name!r}"
                 )
             self._writer[key] = me
+            if self._san is not None:
+                self._san.note_acquired(self._san_node(key), mode="exclusive")
 
     def release_exclusive(self, table_name: str, ident: Optional[int] = None) -> None:
         """Release the exclusive lock; ``ident`` as in :meth:`release_shared`."""
@@ -435,6 +450,8 @@ class LockManager:
             if self._writer.get(key) != me:
                 raise TransactionError(f"exclusive lock on {table_name!r} not held")
             self._writer[key] = None
+            if self._san is not None:
+                self._san.note_released(self._san_node(key), ident=me)
             self._condition.notify_all()
 
 
@@ -475,7 +492,7 @@ class WriteAheadLog:
     committer instead of serializing on the WAL.
     """
 
-    def __init__(self, sink: Optional[Any] = None):
+    def __init__(self, sink: Optional[Any] = None) -> None:
         self._records: List[Tuple[Any, ...]] = []
         self._mutex = threading.Lock()
         self.sink = sink

@@ -68,6 +68,13 @@ class LockTimeout(TransactionError):
     seeing this means writer-vs-writer contention, not analytics."""
 
 
+class SanitizerError(EngineError):
+    """The runtime concurrency sanitizer (``REPRO_SANITIZE=1``) detected a
+    violation: a lock-order cycle, a lock held across fsync or a pool
+    submit, or a pin/shared-memory leak.  Raised eagerly under pytest;
+    outside tests violations only increment stats counters."""
+
+
 class DurabilityError(EngineError):
     """The on-disk log or checkpoint could not be written or read."""
 

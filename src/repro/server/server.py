@@ -357,7 +357,9 @@ class MayBMSServer:
                 # shared execution pool's per-operator counters (empty
                 # when no pool), "snapshots" the MVCC snapshot manager's
                 # capture/pin/reclaim counters (always present -- reads
-                # are lock-free for in-memory stores too).
+                # are lock-free for in-memory stores too), "sanitizer" the
+                # runtime concurrency sanitizer's violation counters
+                # (empty unless REPRO_SANITIZE=1).
                 with self._threads_mutex:
                     active = len(self._connections)
                 return (
@@ -372,6 +374,7 @@ class MayBMSServer:
                         },
                         "parallel": session.parallel_stats() or {},
                         "snapshots": session.snapshot_stats(),
+                        "sanitizer": session.sanitizer_stats() or {},
                     },
                     False,
                 )

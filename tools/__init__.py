@@ -1,0 +1,1 @@
+"""Project-local developer tooling (not part of the installed package)."""

@@ -1,0 +1,74 @@
+"""CLI: ``python -m tools.reprolint [--format json] [--manifest PATH] PATHS...``
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from tools.reprolint import all_rules, lint_paths, load_manifest
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific static analysis for the repro engine.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--manifest", default=None, help="lock-hierarchy manifest (default: committed one)"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for code in sorted(rules):
+            rule = rules[code]
+            print("%s  %-20s %s" % (code, rule.name, rule.description))
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+    if args.rules:
+        wanted = {c.strip() for c in args.rules.split(",") if c.strip()}
+        unknown = wanted - set(rules)
+        if unknown:
+            print("unknown rule code(s): %s" % ", ".join(sorted(unknown)), file=sys.stderr)
+            return 2
+        rules = {code: rule for code, rule in rules.items() if code in wanted}
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print("cannot load lock-hierarchy manifest: %s" % exc, file=sys.stderr)
+        return 2
+
+    result = lint_paths(args.paths, rules=rules, manifest=manifest)
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        for violation in result.violations:
+            print(violation.render())
+        print(
+            "reprolint: %d file(s) checked, %d violation(s), %d suppressed"
+            % (result.checked_files, len(result.violations), result.suppressed)
+        )
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
