@@ -48,6 +48,10 @@ class ClientResult:
     row_count: Optional[int] = None
     payload_arity: Optional[int] = None
     cond_arity: Optional[int] = None
+    #: Transparent retries the client spent obtaining this result
+    #: (reconnects after a dropped connection and/or ServerBusyError
+    #: backoffs); 0 on the happy path.
+    retries: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -83,7 +87,22 @@ class Client:
     ``read_only=True`` asks the server for a read-only session: DML, DDL,
     CHECKPOINT, and transactions are rejected server-side, and such a
     session can never block a checkpoint or another writer.
+
+    ``retries``/``backoff`` make the client robust against transient
+    serving failures: a statement refused with
+    :class:`~repro.errors.ServerBusyError` is retried in place (the wire
+    contract keeps the connection and its transaction intact), and a
+    *dropped connection* triggers an automatic reconnect-and-retry --
+    but only for idempotent work: read-only sessions, SELECT/EXPLAIN
+    statements, and the metadata operations.  A dropped connection loses
+    the server-side session, so an open transaction does not survive a
+    reconnect; non-idempotent statements therefore surface the error
+    instead of risking a double apply.  The number of retries actually
+    spent is on :attr:`ClientResult.retries` (and :attr:`last_retries`).
     """
+
+    #: Statement kinds safe to replay on a fresh connection.
+    _IDEMPOTENT_KEYWORDS = frozenset({"select", "explain"})
 
     def __init__(
         self,
@@ -93,7 +112,18 @@ class Client:
         timeout: Optional[float] = None,
         connect_retries: int = 0,
         retry_delay: float = 0.1,
+        retries: int = 0,
+        backoff: float = 0.05,
     ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._read_only_requested = read_only
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        #: Retries the most recent request consumed (0 = first try won).
+        self.last_retries = 0
+        self._user_closed = False
         last_error: Optional[OSError] = None
         for attempt in range(connect_retries + 1):
             try:
@@ -108,11 +138,12 @@ class Client:
             raise last_error
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._closed = False
-        self.server_info = self._request({"op": "hello", "read_only": read_only})
+        self.server_info = self._exchange({"op": "hello", "read_only": read_only})
         self.read_only = bool(self.server_info.get("read_only", read_only))
 
     # -- plumbing -----------------------------------------------------------
-    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _exchange(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip on the current socket."""
         if self._closed:
             raise ProtocolError("client connection is closed")
         protocol.send_message(self._sock, message)
@@ -128,16 +159,80 @@ class Client:
             )
         return response
 
+    def _reconnect(self) -> None:
+        """Replace a dead socket with a fresh connection + handshake.
+        The new server-side session starts clean (no open transaction)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        self.server_info = self._exchange(
+            {"op": "hello", "read_only": self._read_only_requested}
+        )
+
+    def _request(
+        self, message: Dict[str, Any], idempotent: bool = False
+    ) -> Dict[str, Any]:
+        if self._user_closed:
+            raise ProtocolError("client connection is closed")
+        attempt = 0
+        self.last_retries = 0
+        while True:
+            reconnect = False
+            try:
+                return self._exchange(message)
+            except ServerError as exc:
+                # Backpressure refusal: the statement never ran and the
+                # connection (with its transaction) is intact -- safe to
+                # retry anything after a short backoff.
+                if exc.error_type != "ServerBusyError" or attempt >= self.retries:
+                    raise
+            except (OSError, ProtocolError):
+                # Dropped/garbled connection: the statement's fate is
+                # unknown, so only idempotent work is replayed -- on a
+                # fresh connection.
+                if not idempotent or attempt >= self.retries:
+                    raise
+                reconnect = True
+            attempt += 1
+            self.last_retries = attempt
+            time.sleep(self.backoff * attempt)
+            if reconnect:
+                try:
+                    self._reconnect()
+                except OSError:
+                    if attempt >= self.retries:
+                        raise
+                    # Server not back yet; the next loop iteration finds
+                    # the socket closed and retries the reconnect.
+                    self._closed = True
+
+    @classmethod
+    def _idempotent_sql(cls, sql: str) -> bool:
+        head = sql.lstrip().split(None, 1)
+        return bool(head) and head[0].lower() in cls._IDEMPOTENT_KEYWORDS
+
     # -- statements ----------------------------------------------------------
     def execute(self, sql: str) -> ClientResult:
         """Execute one SQL statement of any kind."""
-        response = self._request({"op": "execute", "sql": sql})
-        return ClientResult.from_wire(response.get("result", {}))
+        idempotent = self.read_only or self._idempotent_sql(sql)
+        response = self._request({"op": "execute", "sql": sql}, idempotent)
+        result = ClientResult.from_wire(response.get("result", {}))
+        result.retries = self.last_retries
+        return result
 
     def execute_script(self, sql: str) -> List[ClientResult]:
         """Execute a semicolon-separated batch, atomically per statement."""
-        response = self._request({"op": "script", "sql": sql})
-        return [ClientResult.from_wire(r) for r in response.get("results", [])]
+        response = self._request({"op": "script", "sql": sql}, self.read_only)
+        results = [ClientResult.from_wire(r) for r in response.get("results", [])]
+        for result in results:
+            result.retries = self.last_retries
+        return results
 
     def query(self, sql: str) -> ClientResult:
         """Execute a statement that must produce a t-certain relation."""
@@ -171,14 +266,14 @@ class Client:
 
     # -- misc -----------------------------------------------------------------
     def tables(self) -> List[str]:
-        response = self._request({"op": "tables"})
+        response = self._request({"op": "tables"}, idempotent=True)
         return list(response.get("tables", []))
 
     def stats(self) -> Dict[str, Any]:
         """The server store's durability counters (``checkpoint_ms``,
         ``checkpoint_bytes``, ``tables_snapshotted``, ``segments_reused``,
         ``recovery_ms``, fsync/commit totals); empty for in-memory stores."""
-        response = self._request({"op": "stats"})
+        response = self._request({"op": "stats"}, idempotent=True)
         return dict(response.get("stats", {}))
 
     def server_stats(self) -> Dict[str, Any]:
@@ -191,21 +286,47 @@ class Client:
         capture/pin/reclaim counters), and ``sanitizer`` (the runtime
         concurrency sanitizer's violation counters and live gauges;
         empty unless the server runs with ``REPRO_SANITIZE=1``)."""
-        response = self._request({"op": "stats"})
+        response = self._request({"op": "stats"}, idempotent=True)
         return {
             "durability": dict(response.get("stats", {})),
             "serving": dict(response.get("serving", {})),
             "parallel": dict(response.get("parallel", {})),
             "snapshots": dict(response.get("snapshots", {})),
             "sanitizer": dict(response.get("sanitizer", {})),
+            "faults": dict(response.get("faults", {})),
         }
 
+    def arm_faults(
+        self, spec: str, seed: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Arm fault injection in the *server* process (``faults`` wire
+        op; see :mod:`repro.faults` for the spec syntax).  Returns the
+        server registry's stats.  Test/torture tooling only."""
+        message: Dict[str, Any] = {"op": "faults", "action": "arm", "spec": spec}
+        if seed is not None:
+            message["seed"] = int(seed)
+        return dict(self._request(message).get("faults") or {})
+
+    def disarm_faults(self) -> None:
+        """Disarm all fault injection in the server process."""
+        self._request({"op": "faults", "action": "disarm"})
+
+    def fault_stats(self) -> Dict[str, Any]:
+        """The server-side fault registry's counters ({} when disarmed)."""
+        response = self._request(
+            {"op": "faults", "action": "stats"}, idempotent=True
+        )
+        return dict(response.get("faults") or {})
+
     def ping(self) -> bool:
-        return bool(self._request({"op": "ping"}).get("ok", False))
+        return bool(
+            self._request({"op": "ping"}, idempotent=True).get("ok", False)
+        )
 
     def close(self) -> None:
         """Close the connection (the server rolls back any open transaction
         and releases the session).  Idempotent."""
+        self._user_closed = True
         if self._closed:
             return
         try:

@@ -48,6 +48,7 @@ import random
 import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import faults as _faults
 from repro.core.confidence.dispatch import DispatchPolicy
 from repro.core.urelation import URelation
 from repro.core.variables import VariableRegistry
@@ -67,7 +68,12 @@ from repro.engine.transactions import (
     Transaction,
     WriteAheadLog,
 )
-from repro.errors import AnalysisError, DurabilityError, TransactionError
+from repro.errors import (
+    AnalysisError,
+    DegradedError,
+    DurabilityError,
+    TransactionError,
+)
 from repro.sql import ast_nodes as ast
 from repro.sql.analyzer import creates_variables, referenced_tables
 from repro.sql.executor import Executor, StatementResult
@@ -191,6 +197,13 @@ class _SessionBase:
                     "read-write session"
                 )
         store = self._store
+        if writes and store.storage is not None and store.storage.degraded:
+            # Fail the write before it does any work (and before it takes
+            # any locks): a degraded store keeps serving reads only.
+            raise DegradedError(
+                "durable store is in read-only degraded mode: "
+                f"{store.storage.degraded_reason}"
+            )
         pinned = None
         acquired: List[Tuple[str, str]] = []
         if store.mvcc and reads and not writes and not self.in_transaction:
@@ -442,6 +455,23 @@ class _SessionBase:
             stats.update(san.stats())
         return stats
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the durable store dropped into read-only degraded mode
+        (ENOSPC mid-checkpoint, WAL appends failing past the bounded
+        retry).  Always False for in-memory sessions.  The reason string
+        is in ``durability_stats()['degraded_reason']``."""
+        storage = self._store.storage
+        return storage is not None and storage.degraded
+
+    def fault_stats(self) -> Optional[Dict[str, object]]:
+        """Counters of the process-global fault-injection registry
+        (:mod:`repro.faults`): armed sites, per-site hit and fired
+        totals, and the trigger seed.  None unless faults are armed
+        (``MayBMS(faults=...)``, ``REPRO_FAULTS``, or the server's
+        ``faults`` wire op)."""
+        return _faults.stats()
+
     def snapshot_stats(self) -> Dict[str, int]:
         """MVCC snapshot counters of the store's
         :class:`~repro.engine.storage.SnapshotManager`:
@@ -542,6 +572,11 @@ class MayBMS(_SessionBase):
       restores the pre-MVCC shared/exclusive 2PL read path -- useful as
       a baseline for benchmarks and differential tests; results are
       identical either way.
+    - ``faults``: arm deterministic fault injection (a
+      ``"site=action@trigger,..."`` spec string or a ``{site: action}``
+      mapping; see :mod:`repro.faults`) before the store opens, so even
+      recovery-time failpoints fire.  Seeded with ``seed``; test/torture
+      use only -- disarmed failpoints cost nothing.
 
     :meth:`session` spawns additional concurrent sessions over this
     store; see the module docstring.
@@ -559,9 +594,18 @@ class MayBMS(_SessionBase):
         parallel_workers: Optional[int] = None,
         parallel_min_rows: Optional[int] = None,
         mvcc: Optional[bool] = None,
+        faults: Optional[Union[str, Dict[str, str]]] = None,
     ):
         if seed is None:
             seed = int(os.environ.get("REPRO_SEED", "0"))
+        if faults:
+            # Arm fault injection BEFORE storage opens, so recovery-time
+            # failpoints (recovery.manifest.read, segment.read/decode)
+            # fire during this constructor's own recovery pass.  The spec
+            # syntax and site catalog live in :mod:`repro.faults`;
+            # REPRO_FAULTS covers the environment surface (including
+            # spawned pool workers).
+            _faults.arm(faults, seed=seed)
         if confidence_strategy is None:
             confidence_strategy = os.environ.get("REPRO_CONF_STRATEGY", "auto")
         if path is None:
@@ -778,12 +822,21 @@ class MayBMS(_SessionBase):
         if self.in_transaction:
             self.rollback()
         self._release_all_locks()
-        self.wal.flush()
+        try:
+            self.wal.flush()
+        except DegradedError:
+            # Closing a degraded store must succeed: what the WAL holds
+            # cannot be made durable any more, but everything previously
+            # acknowledged already is.
+            pass
         if self.storage is not None:
             # Skip the snapshot when nothing committed since the last one:
             # close() on a read-only session must not pay O(database size).
-            if self.storage.commits_since_checkpoint > 0:
-                self.checkpoint()
+            if self.storage.commits_since_checkpoint > 0 and not self.storage.degraded:
+                try:
+                    self.checkpoint()
+                except DegradedError:
+                    pass
             self.storage.close()
         if self.parallel_pool is not None:
             self.parallel_pool.shutdown()

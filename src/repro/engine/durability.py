@@ -46,6 +46,7 @@ double-applied mixture.
 from __future__ import annotations
 
 import contextlib
+import errno
 import json
 import os
 import re
@@ -61,10 +62,11 @@ try:
 except ImportError:  # non-POSIX platform: single-writer check unavailable
     fcntl = None
 
+from repro import faults as _faults
 from repro.engine import sanitizer as _sanitizer
 from repro.engine import segments as segment_codec
 from repro.engine.catalog import Catalog
-from repro.errors import DurabilityError, RecoveryError
+from repro.errors import DegradedError, DurabilityError, RecoveryError
 
 CHECKPOINT_NAME = "checkpoint.json"
 CHECKPOINT_TMP = "checkpoint.json.tmp"
@@ -334,6 +336,21 @@ class DurabilityManager:
         self.snapshot_format = snapshot_format
         self._epoch = 1
         self._wal_handle: Optional[Any] = None
+        #: Read-only degraded mode: set after an unrecoverable write
+        #: failure (ENOSPC mid-checkpoint, WAL appends failing past the
+        #: bounded retry).  Reads keep working; writes and checkpoints
+        #: raise :class:`DegradedError` until the store is reopened.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: WAL append attempts beyond the first that eventually succeeded
+        #: (transient-failure absorption by the retry-with-backoff).
+        self.wal_retries = 0
+        self._wal_retry_limit = max(
+            0, int(os.environ.get("REPRO_WAL_RETRIES", "2"))
+        )
+        self._wal_retry_backoff = max(
+            0.0, float(os.environ.get("REPRO_WAL_RETRY_BACKOFF", "0.02"))
+        )
         #: Commit units with DML content appended since the last checkpoint
         #: (drives the session's periodic auto-checkpoint; variable-only
         #: units don't count -- one repair-key statement can log hundreds).
@@ -362,6 +379,10 @@ class DurabilityManager:
         self._segment_map: Dict[str, Tuple[Any, int, str]] = {}
         self._registry_record: Optional[Tuple[int, int, List[str]]] = None
         self._current_artifact: Optional[Tuple[str, int, Set[str]]] = None
+        #: Segment files physically written by the in-flight checkpoint
+        #: commit (guarded by the checkpoint lock); removed wholesale if
+        #: the commit fails so no partial epoch lingers on disk.
+        self._commit_written: List[str] = []
         self._checkpoint_lock = _sanitizer.wrap_lock(
             "DurabilityManager._checkpoint_lock"
         )
@@ -466,7 +487,29 @@ class DurabilityManager:
             "fsync_count": self.fsync_count,
             "commit_count": self.commit_count,
             "group_commit": self.group_commit,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "wal_retries": self.wal_retries,
         }
+
+    # -- degraded mode -------------------------------------------------------
+    def degrade(self, reason: str) -> None:
+        """Flip the store into read-only degraded mode.
+
+        Called after a write failure that cannot be retried away.  The
+        on-disk state stays recoverable (the previous checkpoint plus
+        the WAL chain cover everything acknowledged); only *new* writes
+        are refused, so reads and analytics keep serving."""
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = reason
+
+    def _require_writable(self) -> None:
+        if self.degraded:
+            raise DegradedError(
+                f"durable store is in read-only degraded mode: "
+                f"{self.degraded_reason}"
+            )
 
     # -- recovery ----------------------------------------------------------
     def recover_into(self, catalog: Catalog, registry: Any) -> Dict[str, Any]:
@@ -495,6 +538,7 @@ class DurabilityManager:
         chosen: Optional[Tuple[int, Dict[str, Any], List[Dict[str, Any]], List[Tuple[str, bytes]]]] = None
         for epoch, path in self._list_manifests():
             try:
+                _faults.failpoint("recovery.manifest.read")
                 with open(path, "rb") as handle:
                     manifest = decode_manifest(handle.read())
                 table_segments: List[Dict[str, Any]] = []
@@ -586,6 +630,7 @@ class DurabilityManager:
                 # next checkpoint's sweep prunes precisely.
                 wal_floor = 0
         self._sweep_stale_wal_files(wal_floor)
+        self._sweep_orphan_files(chosen[1] if chosen is not None else None)
         # Replay the committed WAL chain from the checkpoint's epoch up to
         # the newest log present (more than one epoch exists after a crash
         # between rotation and the manifest becoming durable, or after an
@@ -640,7 +685,15 @@ class DurabilityManager:
         if os.sep in name or name.startswith("."):
             raise RecoveryError(f"illegal segment name {name!r}")
         with open(os.path.join(self.path, name), "rb") as handle:
-            return handle.read()
+            data = handle.read()
+        directive = _faults.failpoint("segment.read")
+        if directive == "corrupt" and data:
+            # Bit-rot simulation: flip the low bit of the last byte; the
+            # segment checksum must catch it and recovery must fall back.
+            data = data[:-1] + bytes([data[-1] ^ 0x01])
+        elif directive in ("truncate", "short") and data:
+            data = data[: len(data) // 2]
+        return data
 
     def _sweep_stale_wal_files(self, floor: int) -> None:
         """Delete logs from epochs before ``floor`` (the oldest epoch any
@@ -651,6 +704,39 @@ class DurabilityManager:
             if epoch < floor:
                 try:
                     os.remove(self._wal_path(epoch))
+                except OSError:
+                    pass
+
+    def _sweep_orphan_files(self, chosen: Optional[Dict[str, Any]]) -> None:
+        """Remove segments referenced by no retained manifest, plus stray
+        ``*.tmp`` files -- the debris a crash mid-checkpoint leaves behind
+        (segments written but never committed by a manifest rename).
+        Conservative: if any retained manifest fails to decode, the sweep
+        is skipped entirely rather than risk deleting a referenced file."""
+        referenced: Set[str] = set()
+        if chosen is not None:
+            referenced |= manifest_segment_names(chosen)
+        for _, path in self._list_manifests():
+            try:
+                with open(path, "rb") as handle:
+                    referenced |= manifest_segment_names(
+                        decode_manifest(handle.read())
+                    )
+            except (RecoveryError, OSError):
+                return
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            is_orphan_segment = (
+                name.startswith("seg-")
+                and name.endswith(segment_codec.SEGMENT_SUFFIX)
+                and name not in referenced
+            )
+            if is_orphan_segment or name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(self.path, name))
                 except OSError:
                     pass
 
@@ -671,15 +757,42 @@ class DurabilityManager:
         dml_units = count_dml_units(records)
         commit_markers = count_commit_markers(records)
         if not self.group_commit:
+            self._append_with_retry(buffer)
             with self._file_mutex:
-                self._require_open()
-                self._write_durably(buffer)
                 # Flush batches always consist of whole units (the WAL
                 # appends complete begin..commit groups).
                 self.commits_since_checkpoint += dml_units
                 self.commit_count += commit_markers
             return
         self._append_grouped(buffer, dml_units, commit_markers)
+
+    def _append_with_retry(self, buffer: bytes) -> None:
+        """Write + fsync under the file mutex, absorbing transient I/O
+        failures with bounded exponential backoff (``REPRO_WAL_RETRIES`` /
+        ``REPRO_WAL_RETRY_BACKOFF``); each failed attempt has already been
+        truncated away by :meth:`_write_durably`, so a retry is a clean
+        re-append.  The backoff sleeps outside the mutex.  When the budget
+        is spent the store degrades to read-only."""
+        attempts = self._wal_retry_limit + 1
+        last: Optional[OSError] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._wal_retry_backoff * (2 ** (attempt - 1)))
+            try:
+                with self._file_mutex:
+                    self._require_open()
+                    self._require_writable()
+                    self._write_durably(buffer)
+                if attempt:
+                    self.wal_retries += attempt
+                return
+            except OSError as exc:
+                last = exc
+        self.degrade(f"WAL append failed {attempts} times: {last}")
+        raise DegradedError(
+            f"durable store degraded to read-only after {attempts} failed "
+            f"WAL appends: {last}"
+        ) from last
 
     def _append_grouped(
         self, buffer: bytes, dml_units: int, commit_markers: int
@@ -713,12 +826,13 @@ class DurabilityManager:
                 error: Optional[BaseException] = None
                 with _condition_released(cond):
                     try:
-                        with self._file_mutex:
-                            self._require_open()
-                            self._write_durably(
-                                b"".join(chunk for _, chunk, _, _ in batch)
-                            )
+                        self._append_with_retry(
+                            b"".join(chunk for _, chunk, _, _ in batch)
+                        )
                     except BaseException as exc:
+                        # Distributed below to EVERY ticket in the batch:
+                        # a failed leader write rolls back all queued
+                        # followers, not just the leader's own commit.
                         error = exc
                 self._gc_leader_running = False
                 top = batch[-1][0]
@@ -745,8 +859,19 @@ class DurabilityManager:
         handle = self._ensure_wal_handle()
         start = handle.tell()
         try:
+            directive = _faults.failpoint("wal.write")
+            if directive == "torn":
+                # Simulate a torn append: half the buffer reaches the file
+                # before the write "fails".  Recovery must drop the torn
+                # frame; the repair path below truncates it for retries.
+                handle.write(buffer[: len(buffer) // 2])
+                handle.flush()
+                raise OSError(
+                    errno.EIO, "injected torn write at failpoint 'wal.write'"
+                )
             handle.write(buffer)
             handle.flush()
+            _faults.failpoint("wal.fsync")
             os.fsync(handle.fileno())
         except BaseException:
             # The caller treats this commit as failed and rolls back, so any
@@ -777,6 +902,7 @@ class DurabilityManager:
 
     def _ensure_wal_handle(self):
         if self._wal_handle is None:
+            _faults.failpoint("wal.open")
             creating = not os.path.exists(self.wal_path)
             self._wal_handle = open(self.wal_path, "ab")
             if creating:
@@ -813,16 +939,20 @@ class DurabilityManager:
         checkpoint mutex.
         """
         self._require_open()
+        self._require_writable()
         if not self._checkpoint_lock.acquire(  # reprolint: disable=R001 -- two-phase handoff by design: commit_checkpoint()/abort path releases in its finally; callers are contractually bound to call it
             timeout=30.0 if timeout is None else max(timeout, 0.001)
         ):
             raise DurabilityError("another checkpoint is already in progress")
         try:
             self._require_open()
+            self._require_writable()
+            _faults.failpoint("checkpoint.prepare")
             capture = _CheckpointCapture()
             capture.started = time.perf_counter()
             capture.format = self.snapshot_format
             with self._file_mutex:
+                _faults.failpoint("wal.rotate")
                 if self._wal_handle is not None:
                     self._wal_handle.close()
                     self._wal_handle = None
@@ -890,13 +1020,45 @@ class DurabilityManager:
     def commit_checkpoint(self, capture: _CheckpointCapture) -> str:
         """Phase 2 (store gate released): encode and durably write the new
         segments and the manifest, then sweep artifacts older than the
-        previous epoch.  Returns the manifest (or legacy snapshot) path."""
+        previous epoch.  Returns the manifest (or legacy snapshot) path.
+
+        An I/O failure here (ENOSPC is the canonical case) removes the
+        partially written artifacts and flips the store into read-only
+        degraded mode: the previous manifest and the full WAL chain stay
+        on disk, so everything acknowledged remains recoverable."""
         try:
+            self._commit_written = []
+            _faults.failpoint("checkpoint.prepared")
             if capture.format == "json":
                 return self._commit_json_checkpoint(capture)
             return self._commit_columnar_checkpoint(capture)
+        except OSError as exc:
+            self._cleanup_failed_commit(capture)
+            self.degrade(f"checkpoint commit failed: {exc}")
+            raise DegradedError(
+                f"checkpoint commit failed ({exc}); store degraded to "
+                "read-only -- the previous checkpoint and WAL chain "
+                "remain recoverable"
+            ) from exc
         finally:
             self._checkpoint_lock.release()
+
+    def _cleanup_failed_commit(self, capture: _CheckpointCapture) -> None:
+        """Remove the partial artifacts of a failed commit, so the on-disk
+        state is exactly the previous checkpoint plus the WAL chain."""
+        leftovers = list(self._commit_written)
+        leftovers += [path + ".tmp" for path in self._commit_written]
+        if capture.format == "json":
+            leftovers.append(self.checkpoint_path + ".tmp")
+        else:
+            target = self.manifest_path(capture.epoch)
+            leftovers += [target, target + ".tmp"]
+        for path in leftovers:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._commit_written = []
 
     def _commit_columnar_checkpoint(self, capture: _CheckpointCapture) -> str:
         self._require_open()
@@ -948,7 +1110,7 @@ class DurabilityManager:
         target = self.manifest_path(capture.epoch)
         with self._file_mutex:
             self._require_open()
-            self._write_atomically(target, manifest_data)
+            self._write_atomically(target, manifest_data, site="checkpoint.manifest")
         written_bytes += len(manifest_data)
         previous = self._current_artifact
         self._current_artifact = (
@@ -977,7 +1139,7 @@ class DurabilityManager:
         )
         with self._file_mutex:
             self._require_open()
-            self._write_atomically(self.checkpoint_path, data)
+            self._write_atomically(self.checkpoint_path, data, site="checkpoint.json")
         self._current_artifact = ("legacy", capture.epoch, set())
         self._segment_map = {}
         self._registry_record = None
@@ -999,18 +1161,30 @@ class DurabilityManager:
         target = os.path.join(self.path, name)
         if os.path.exists(target):
             return False
+        self._commit_written.append(target)
+        _faults.failpoint("segment.write")
         self._write_atomically(target, data, fsync_dir=False)
         return True
 
     def _write_atomically(
-        self, target: str, data: bytes, fsync_dir: bool = True
+        self,
+        target: str,
+        data: bytes,
+        fsync_dir: bool = True,
+        site: Optional[str] = None,
     ) -> None:
         _sanitizer.guard_blocking("fsync")
+        if site is not None:
+            _faults.failpoint(f"{site}.write")
         tmp_path = target + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(data)
             handle.flush()
+            if site is not None:
+                _faults.failpoint("checkpoint.fsync")
             os.fsync(handle.fileno())
+        if site is not None:
+            _faults.failpoint(f"{site}.rename")
         os.replace(tmp_path, target)
         if fsync_dir:
             self._fsync_directory()

@@ -80,6 +80,7 @@ from contextlib import contextmanager
 from multiprocessing import get_context, shared_memory
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro.core.conditions import Condition
 from repro.core.confidence.dispatch import (
     ComponentDecision,
@@ -648,6 +649,7 @@ def _run_group_shard(
 ) -> Tuple[List[Tuple[int, float, List[Tuple[str, float, int, int]]]], float, int]:
     """One group shard: build each group's lineage from the shared batch
     and run the full dispatcher on it."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length)
     header = payload["header"]
@@ -686,6 +688,7 @@ def _run_component_shard(
     name: str, length: int, ordinals: Sequence[int]
 ) -> Tuple[List[Tuple[int, str, float, int, int]], float, int]:
     """One component shard: dispatch single independent components."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length)
     atom_vars = payload["atom_vars"]
@@ -724,6 +727,7 @@ def _run_aconf_shard(
     but each group runs the deterministic (ε, δ) approximation under its
     own :func:`~repro.core.confidence.dklr.aconf_unit_seed`, so every
     worker count reproduces the serial estimates bit-identically."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length)
     header = payload["header"]
@@ -764,6 +768,7 @@ def _run_table_shard(
     """One scan shard: slice ``[start, stop)`` of the shared table columns
     and run the compiled filter/project pipeline batch-wise, exactly as
     the serial batch engine would over that row range."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length, cache_key)
     pipelines = payload.setdefault("pipelines", {})
@@ -803,6 +808,7 @@ def _run_join_shard(
     apply the residual worker-side, and return global (probe, build)
     index pairs.  The coordinator assembles the output from its *own*
     batches, so joined values never round-trip through the codec."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length, cache_key)
     header = payload["header"]
@@ -865,6 +871,7 @@ def _run_expect_shard(
     this shard's weight (ecount) or weight × value (esum) terms.  The
     partials represent exact sums, so the coordinator's ``math.fsum``
     over concatenated shard partials equals the serial fsum."""
+    _faults.failpoint("parallel.worker")
     begin = time.process_time()
     payload = _decode_payload(name, length)
     flat_index = payload["flat_index"]
@@ -982,6 +989,9 @@ class ParallelExecutionPool:
         self._payload_counter = 0
         self._pool_tag = f"{os.getpid()}-{os.urandom(3).hex()}"
         self._active_segments: Dict[str, shared_memory.SharedMemory] = {}
+        #: Segments whose unlink failed (injected or transient); retried
+        #: at shutdown so nothing outlives the pool in /dev/shm.
+        self._failed_unlinks: List[Tuple[str, shared_memory.SharedMemory]] = []
         #: Names of every segment ever published (tests assert they are
         #: all unlinked afterwards); bounded, oldest dropped first.
         self.segment_history: List[str] = []
@@ -1001,6 +1011,7 @@ class ParallelExecutionPool:
             "parallel_gated_serial": 0,
             "parallel_fallbacks": 0,
             "parallel_worker_crashes": 0,
+            "parallel_shm_unlink_failures": 0,
             "parallel_shm_bytes": 0,
             "parallel_worker_cpu_ms": 0,
             "parallel_encode_ms": 0.0,
@@ -1059,6 +1070,7 @@ class ParallelExecutionPool:
             executor, self._executor = self._executor, None
             segments_left = list(self._active_segments.items())
             self._active_segments.clear()
+            retry_unlinks, self._failed_unlinks = self._failed_unlinks, []
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
         san = _sanitizer.get_sanitizer()
@@ -1068,6 +1080,15 @@ class ParallelExecutionPool:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            if san is not None:
+                san.note_shm_unlinked(name)
+        for name, segment in retry_unlinks:  # deferred by a failed unlink
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:  # pragma: no cover - gone with the process anyway
+                continue
             if san is not None:
                 san.note_shm_unlinked(name)
 
@@ -1187,6 +1208,7 @@ class ParallelExecutionPool:
             self.segment_history.append(name)
             del self.segment_history[:-64]
         try:
+            _faults.failpoint("parallel.submit")
             futures = [
                 executor.submit(worker, name, len(data), *task) for task in tasks
             ]
@@ -1195,11 +1217,21 @@ class ParallelExecutionPool:
             with self._mutex:
                 self._active_segments.pop(name, None)
             segment.close()
+            unlinked = True
             try:
+                _faults.failpoint("parallel.shm.unlink")
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
-            if san is not None:
+            except OSError:
+                # Keep the handle: shutdown() retries the unlink, so an
+                # injected (or transient) failure never leaks /dev/shm
+                # past the pool's lifetime.
+                unlinked = False
+                with self._mutex:
+                    self._failed_unlinks.append((name, segment))
+                self._count(parallel_shm_unlink_failures=1)
+            if san is not None and unlinked:
                 san.note_shm_unlinked(name)
         shard_cpu = [cpu for _, cpu, _ in returned]
         evictions = sum(ev for _, _, ev in returned)

@@ -63,6 +63,7 @@ import struct
 import zlib
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro import faults as _faults
 from repro.errors import RecoveryError
 
 MAGIC = b"MBSEG001"
@@ -316,6 +317,15 @@ def _frame(header: Dict[str, Any], blocks: Sequence[bytes]) -> bytes:
 
 
 def _unframe(data: bytes) -> Tuple[Dict[str, Any], bytes]:
+    directive = _faults.failpoint("segment.decode")
+    if directive in ("corrupt", "truncate", "short") and data:
+        # Cooperative injection: damage the framed bytes and let the
+        # real CRC/framing checks below produce the RecoveryError, so
+        # the exact corruption-detection path is what gets exercised.
+        if directive == "corrupt":
+            data = data[:-1] + bytes([data[-1] ^ 0x01])
+        else:
+            data = data[: len(data) // 2]
     known = data.startswith(MAGIC) or data.startswith(MAGIC_V2)
     if len(data) < len(MAGIC) + _HEAD.size or not known:
         if data.startswith(b"MBSEG"):

@@ -83,6 +83,23 @@ class RecoveryError(DurabilityError):
     """Crash recovery failed (corrupt checkpoint, malformed WAL record)."""
 
 
+class DegradedError(DurabilityError):
+    """The durable store entered read-only **degraded mode** after an
+    unrecoverable write failure: ENOSPC (or any I/O error) while
+    committing a checkpoint, or repeated WAL append failures that
+    survived the bounded retry-with-backoff.  The store stays
+    consistent -- the previous checkpoint plus the WAL chain recover
+    everything acknowledged -- and reads keep working; writes and
+    checkpoints raise this until the store is reopened.  Surfaced as
+    ``degraded`` / ``degraded_reason`` in durability stats."""
+
+
+class FaultInjected(DurabilityError):
+    """A :mod:`repro.faults` failpoint fired with the generic ``fault``
+    action.  Only ever raised when fault injection is armed (tests and
+    torture runs); production paths never construct it."""
+
+
 class ExpressionError(EngineError):
     """An expression could not be evaluated (bad function, arity, ...)."""
 
@@ -141,6 +158,16 @@ class ServerBusyError(ServingError):
     refusal is a clean wire error: a rejected connection is closed right
     after the error is sent; a rejected statement leaves the connection
     -- and its open transaction -- intact, so the client can retry."""
+
+
+class StatementTimeout(ServingError):
+    """The server aborted a statement that ran past the configured
+    statement timeout (``REPRO_STATEMENT_TIMEOUT`` /
+    ``--statement-timeout``).  The statement's effects are rolled back
+    (statement-level atomicity) and the session -- including an open
+    explicit transaction -- stays intact, so the client can retry or
+    roll back; over the wire it arrives as a clean error with this
+    class name."""
 
 
 class ServerError(ServingError):

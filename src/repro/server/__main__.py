@@ -75,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="confidence worker processes shared by all sessions "
         "(default: REPRO_PARALLEL_WORKERS, else 0 = serial)",
     )
+    parser.add_argument(
+        "--statement-timeout",
+        type=float,
+        default=None,
+        help="abort statements running longer than this many seconds with "
+        "a StatementTimeout wire error (default: REPRO_STATEMENT_TIMEOUT, "
+        "else unlimited)",
+    )
     return parser
 
 
@@ -91,6 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_connections=args.max_connections,
         max_active_statements=args.max_statements,
         parallel_workers=args.parallel_workers,
+        statement_timeout=args.statement_timeout,
     )
     store = args.path if args.path else "in-memory"
     print(

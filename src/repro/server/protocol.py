@@ -37,11 +37,13 @@ encoding.  DML carries ``row_count`` only.
 
 from __future__ import annotations
 
+import errno
 import json
 import socket
 import struct
 from typing import Any, Dict, List, Optional
 
+from repro import faults as _faults
 from repro.core.urelation import URelation
 from repro.engine.relation import Relation
 from repro.errors import ProtocolError
@@ -62,11 +64,40 @@ def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
             f"message of {len(payload)} bytes exceeds the "
             f"{MAX_MESSAGE_BYTES}-byte limit"
         )
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    framed = _LENGTH.pack(len(payload)) + payload
+    directive = _faults.failpoint("wire.send")
+    if directive is not None:
+        _drop_connection(sock, framed, directive, "wire.send")
+    sock.sendall(framed)
+
+
+def _drop_connection(
+    sock: socket.socket, framed: bytes, directive: str, site: str
+) -> None:
+    """Cooperative connection-drop injection: ``torn``/``short`` push half
+    the frame before dying so the peer sees a mid-message cut, ``drop``
+    dies before any byte.  Either way the socket is hard-closed (RST via
+    zero linger is not portable enough; close suffices for loopback
+    tests) and the caller's send/recv raises like a real dead peer."""
+    if directive in ("torn", "short") and len(framed) > 1:
+        try:
+            sock.sendall(framed[: len(framed) // 2])
+        except OSError:
+            pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+    raise OSError(
+        errno.ECONNRESET, f"injected connection drop at failpoint {site!r}"
+    )
 
 
 def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
     """Receive one framed message; None on a clean EOF between messages."""
+    directive = _faults.failpoint("wire.recv")
+    if directive is not None:
+        _drop_connection(sock, b"", directive, "wire.recv")
     header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
     if header is None:
         return None

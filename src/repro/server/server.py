@@ -37,14 +37,21 @@ work over the same worker pool.
 
 from __future__ import annotations
 
+import ctypes
 import os
 import socket
 import threading
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
+from repro import faults
 from repro.db import MayBMS, Session
-from repro.errors import MayBMSError, ProtocolError, ServerBusyError
+from repro.errors import (
+    MayBMSError,
+    ProtocolError,
+    ServerBusyError,
+    StatementTimeout,
+)
 from repro.server import protocol
 
 DEFAULT_HOST = "127.0.0.1"
@@ -60,6 +67,66 @@ def _env_positive(name: str) -> Optional[int]:
     except ValueError:
         return None
     return value if value > 0 else None
+
+
+def _env_seconds(name: str) -> Optional[float]:
+    """A positive float (seconds) from the environment, else None."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+class _StatementDeadline:
+    """Aborts a runaway statement by raising :class:`StatementTimeout`
+    *inside* the statement's thread (``PyThreadState_SetAsyncExc``) once
+    the deadline passes.  The injection lands between bytecodes, so pure-
+    Python evaluation loops are interruptible; the executor's statement-
+    level rollback then undoes the statement's effects and the session
+    (including an open explicit transaction) survives.
+
+    The enter/exit protocol guards the race where the statement finishes
+    just as the timer fires: a pending-but-unlanded async exception is
+    cleared on exit so it cannot detonate in unrelated code."""
+
+    def __init__(self, seconds: float):
+        self._thread_id = threading.get_ident()
+        self._mutex = threading.Lock()
+        self._active = True
+        self._fired = False
+        self._timer = threading.Timer(seconds, self._fire)
+        self._timer.daemon = True
+
+    def _fire(self) -> None:
+        with self._mutex:
+            if not self._active:
+                return
+            self._fired = True
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._thread_id),
+                ctypes.py_object(StatementTimeout),
+            )
+
+    def __enter__(self) -> "_StatementDeadline":
+        self._timer.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.cancel()
+        with self._mutex:
+            self._active = False
+            leaked = self._fired and exc_type is not StatementTimeout
+        if leaked:
+            # The timer won the race but the statement completed first:
+            # clear the pending async exception before it lands later.
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._thread_id), None
+            )
+        return False
 
 
 class MayBMSServer:
@@ -92,6 +159,7 @@ class MayBMSServer:
         max_connections: Optional[int] = None,
         max_active_statements: Optional[int] = None,
         parallel_workers: Optional[int] = None,
+        statement_timeout: Optional[float] = None,
     ):
         if db is None:
             db = MayBMS(
@@ -117,8 +185,24 @@ class MayBMSServer:
             if max_active_statements is not None
             else None
         )
+        if statement_timeout is None:
+            statement_timeout = _env_seconds("REPRO_STATEMENT_TIMEOUT")
+        #: Seconds a statement may run before it is aborted with a
+        #: :class:`StatementTimeout` wire error (None = unlimited).
+        self.statement_timeout = statement_timeout
         self.connections_rejected = 0
         self.statements_rejected = 0
+        #: Named failure counters (guarded by ``_threads_mutex``) for the
+        #: paths that used to swallow OSError silently; surfaced by the
+        #: ``stats`` wire op so dropped connections and failed replies
+        #: are observable instead of invisible.
+        self._error_counters: Dict[str, int] = {
+            "accept_errors": 0,
+            "reject_errors": 0,
+            "recv_errors": 0,
+            "reply_errors": 0,
+            "statements_timed_out": 0,
+        }
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -135,19 +219,31 @@ class MayBMSServer:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
+    def _count_error(self, name: str) -> None:
+        with self._threads_mutex:
+            self._error_counters[name] += 1
+
     # -- serving -----------------------------------------------------------
     def serve_forever(self) -> None:
         """Accept connections until :meth:`close` (blocking)."""
         # A finite accept timeout lets the loop observe close() promptly --
         # closing a socket does not reliably wake a thread blocked in
         # accept().
-        self._listener.settimeout(0.2)
+        try:
+            self._listener.settimeout(0.2)
+        except OSError:
+            # close() won the race and already closed the listener.
+            return
         while not self._stopping.is_set():
             try:
                 connection, _ = self._listener.accept()
             except socket.timeout:
                 continue
             except OSError:
+                if not self._stopping.is_set():
+                    # A live listener failed to accept (EMFILE, ECONNABORTED
+                    # burst, ...): count it so the outage is observable.
+                    self._count_error("accept_errors")
                 break  # listener closed
             connection.settimeout(None)
             with self._threads_mutex:
@@ -240,7 +336,9 @@ class MayBMSServer:
                     {"ok": False, "error": protocol.encode_error(busy)},
                 )
         except (OSError, ProtocolError, socket.timeout):
-            pass
+            # The refused client vanished before reading its refusal;
+            # nothing to serve, but make the failure countable.
+            self._count_error("reject_errors")
 
     def _handle_connection(self, connection: socket.socket) -> None:
         session: Optional[Session] = None
@@ -253,12 +351,18 @@ class MayBMSServer:
                     try:
                         request = protocol.recv_message(connection)
                     except ProtocolError:
-                        break  # malformed framing: drop the connection
+                        # Malformed framing: drop the connection, visibly.
+                        self._count_error("recv_errors")
+                        break
+                    except OSError:
+                        self._count_error("recv_errors")
+                        break
                     if request is None:
                         break
                     if session is None:
                         session = self._open_session(request)
                     response, done = self._respond(session, request)
+                    faults.failpoint("server.reply.delay")
                     try:
                         protocol.send_message(connection, response)
                     except ProtocolError as exc:
@@ -272,8 +376,10 @@ class MayBMSServer:
                                 {"ok": False, "error": protocol.encode_error(exc)},
                             )
                         except (OSError, ProtocolError):
+                            self._count_error("reply_errors")
                             break
                     except OSError:
+                        self._count_error("reply_errors")
                         break
                     if done:
                         break
@@ -307,6 +413,15 @@ class MayBMSServer:
         finally:
             self._statement_gate.release()
 
+    @contextmanager
+    def _deadline(self):
+        """Arm the per-statement timeout watchdog (no-op when unset)."""
+        if self.statement_timeout is None:
+            yield
+            return
+        with _StatementDeadline(self.statement_timeout):
+            yield
+
     def _open_session(self, request: Dict[str, Any]) -> Session:
         read_only = bool(request.get("read_only", False))
         with self._threads_mutex:
@@ -334,11 +449,11 @@ class MayBMSServer:
             if op == "close":
                 return {"ok": True}, True
             if op == "execute":
-                with self._statement_slot():
+                with self._statement_slot(), self._deadline():
                     result = session.execute(str(request.get("sql", "")))
                 return {"ok": True, "result": protocol.encode_result(result)}, False
             if op == "script":
-                with self._statement_slot():
+                with self._statement_slot(), self._deadline():
                     results = session.execute_script(str(request.get("sql", "")))
                 return (
                     {
@@ -349,6 +464,24 @@ class MayBMSServer:
                 )
             if op == "tables":
                 return {"ok": True, "tables": session.tables()}, False
+            if op == "faults":
+                # Over-the-wire fault-injection control, so subprocess
+                # tests and the torture harness can arm a live server
+                # without restarting it.  "arm" takes a spec string (and
+                # an optional seed), "disarm" clears everything, "stats"
+                # just reports; every action returns the registry state.
+                action = str(request.get("action", "stats"))
+                if action == "arm":
+                    seed = request.get("seed")
+                    faults.arm(
+                        str(request.get("spec", "")),
+                        seed=None if seed is None else int(seed),
+                    )
+                elif action == "disarm":
+                    faults.disarm()
+                elif action != "stats":
+                    raise ProtocolError(f"unknown faults action {action!r}")
+                return {"ok": True, "faults": faults.stats()}, False
             if op == "stats":
                 # Durability counters (checkpoint_ms, checkpoint_bytes,
                 # tables_snapshotted, segments_reused, recovery_ms, fsync
@@ -362,23 +495,34 @@ class MayBMSServer:
                 # (empty unless REPRO_SANITIZE=1).
                 with self._threads_mutex:
                     active = len(self._connections)
+                    errors = dict(self._error_counters)
+                serving = {
+                    "connections_active": active,
+                    "connections_rejected": self.connections_rejected,
+                    "statements_rejected": self.statements_rejected,
+                    "statement_timeout": self.statement_timeout,
+                }
+                serving.update(errors)
                 return (
                     {
                         "ok": True,
                         "durable": session.is_durable,
                         "stats": session.durability_stats() or {},
-                        "serving": {
-                            "connections_active": active,
-                            "connections_rejected": self.connections_rejected,
-                            "statements_rejected": self.statements_rejected,
-                        },
+                        "serving": serving,
                         "parallel": session.parallel_stats() or {},
                         "snapshots": session.snapshot_stats(),
                         "sanitizer": session.sanitizer_stats() or {},
+                        "faults": faults.stats() or {},
                     },
                     False,
                 )
             raise ProtocolError(f"unknown operation {op!r}")
+        except StatementTimeout as exc:
+            # The watchdog aborted the statement; its effects are rolled
+            # back and the session survives.  Counted, then reported as
+            # an ordinary wire error.
+            self._count_error("statements_timed_out")
+            return {"ok": False, "error": protocol.encode_error(exc)}, False
         except MayBMSError as exc:
             # Statement-level failure: report and keep serving.  The
             # executor already rolled back the statement's effects.

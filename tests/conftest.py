@@ -8,6 +8,8 @@ test even if the violating code path did not raise inline (logical
 LockManager notes are record-only by design).
 """
 
+import os
+
 import pytest
 
 
@@ -19,3 +21,15 @@ def _sanitizer_guard():
     sanitizer = get_sanitizer()
     if sanitizer is not None:
         sanitizer.assert_clean()
+
+
+@pytest.fixture(autouse=True)
+def _faults_guard():
+    """The fault registry is process-global; never let an armed failpoint
+    leak from one test into the next (unless the whole run was armed via
+    REPRO_FAULTS, which the chaos job does deliberately)."""
+    yield
+    if not os.environ.get("REPRO_FAULTS"):
+        from repro import faults
+
+        faults.disarm()

@@ -261,9 +261,12 @@ class TestDurabilityManager:
         """A failed write/fsync must not leave the unit's frames in the
         file: the caller rolls the commit back, and a later successful
         commit fsyncing after them would make the rolled-back transaction
-        durable (its commit marker is in the batch)."""
+        durable (its commit marker is in the batch).  With retries
+        disabled, exhausting the single attempt degrades the store."""
         import repro.engine.durability as durability_module
+        from repro.errors import DegradedError
 
+        monkeypatch.setenv("REPRO_WAL_RETRIES", "0")
         path = str(tmp_path / "db")
         manager = DurabilityManager(path)
         manager.append([
@@ -283,16 +286,66 @@ class TestDurabilityManager:
             return real_fsync(fd)
 
         monkeypatch.setattr(durability_module.os, "fsync", flaky_fsync)
-        with pytest.raises(OSError):
+        with pytest.raises(DegradedError):
             manager.append([("begin",), ("insert", "t", 1, [99]), ("commit",)])
         monkeypatch.setattr(durability_module.os, "fsync", real_fsync)
         assert os.path.getsize(manager.wal_path) == good_size
-
-        manager.append([("begin",), ("insert", "t", 1, [1]), ("commit",)])
+        assert manager.degraded
         manager.close()
+
+        # Degradation is in-memory state: a fresh manager starts clean,
+        # and recovery must not surface any frame of the failed unit.
+        again = DurabilityManager(path)
+        recovered = Catalog()
+        again.recover_into(recovered, VariableRegistry())
+        assert not again.degraded
+        again.append([("begin",), ("insert", "t", 1, [1]), ("commit",)])
+        again.close()
         recovered = Catalog()
         DurabilityManager(path).recover_into(recovered, VariableRegistry())
         assert list(recovered.table("t").rows()) == [(1,)]  # no 99
+
+    def test_transient_append_failure_absorbed_by_retry(
+        self, tmp_path, monkeypatch
+    ):
+        """With the default retry budget, a single flaky fsync is retried
+        transparently: the append succeeds, the retry counter records the
+        extra attempt, and recovery sees exactly one copy of the unit."""
+        import repro.engine.durability as durability_module
+
+        monkeypatch.setenv("REPRO_WAL_RETRIES", "2")
+        monkeypatch.setenv("REPRO_WAL_RETRY_BACKOFF", "0.001")
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        # Prime the WAL handle so the flaky fsync below hits the data
+        # fsync, not the (best-effort) directory fsync at file creation.
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+        ])
+
+        real_fsync = os.fsync
+        failures = {"remaining": 1}
+
+        def flaky_fsync(fd):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise OSError("simulated EIO at fsync")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(durability_module.os, "fsync", flaky_fsync)
+        manager.append([
+            ("begin",), ("insert", "t", 1, [7]), ("commit",),
+        ])
+        monkeypatch.setattr(durability_module.os, "fsync", real_fsync)
+        assert manager.wal_retries == 1
+        assert not manager.degraded
+        manager.close()
+
+        recovered = Catalog()
+        DurabilityManager(path).recover_into(recovered, VariableRegistry())
+        assert list(recovered.table("t").rows()) == [(7,)]
 
     def test_recovery_seeds_commit_counter_from_tail(self, tmp_path):
         """A crash-looping workload must still reach the auto-checkpoint
@@ -779,3 +832,220 @@ class TestDurabilityCounters:
         again.recover_into(Catalog(), VariableRegistry())
         assert again.stats()["recovery_ms"] > 0
         again.close()
+
+
+class TestFailpointInjection:
+    """Deterministic failpoint-driven failure drills: the graceful
+    degradation contract (ENOSPC checkpoints, WAL fsync exhaustion,
+    group-commit batch failure) and recovery's epoch fallback under
+    injected segment corruption -- all armed via :mod:`repro.faults`,
+    no monkeypatching."""
+
+    def _populated_store(self, tmp_path, **kwargs):
+        from repro import MayBMS
+
+        path = str(tmp_path / "db")
+        db = MayBMS(path=path, checkpoint_every=0, **kwargs)
+        db.execute("create table t (k integer, w float)")
+        db.execute("insert into t values (1, 0.5), (2, 0.25), (3, 0.75)")
+        db.checkpoint()
+        db.execute("insert into t values (4, 1.0)")
+        return path, db
+
+    def test_enospc_checkpoint_degrades_store_readonly(self, tmp_path):
+        from repro import MayBMS, faults
+        from repro.errors import DegradedError
+
+        path, db = self._populated_store(tmp_path)
+        live = db.query("select k from t order by k").rows
+        faults.arm("checkpoint.manifest.rename=enospc@1")
+        with pytest.raises(DegradedError, match="degraded"):
+            db.checkpoint()
+        faults.disarm()
+
+        # Reads keep answering from the live store; writes are refused.
+        assert db.storage.degraded
+        assert db.storage.stats()["degraded"] is True
+        assert db.query("select k from t order by k").rows == live
+        with pytest.raises(DegradedError):
+            db.execute("insert into t values (5, 1.0)")
+        # No partial checkpoint artifacts survive the failed commit.
+        assert not glob.glob(os.path.join(path, "*.tmp"))
+        db.close()
+
+        # A reopen recovers everything acknowledged before the failure
+        # (previous manifest + WAL chain) and clears the degradation.
+        reopened = MayBMS(path=path)
+        assert not reopened.storage.degraded
+        assert reopened.query("select k from t order by k").rows == live
+        reopened.execute("insert into t values (5, 1.0)")
+        reopened.checkpoint()  # the next checkpoint completes normally
+        reopened.close()
+
+    def test_enospc_segment_write_keeps_previous_epoch(self, tmp_path):
+        """ENOSPC while writing a *segment* (before the manifest exists):
+        the cleanup removes the partial segment files, so recovery never
+        sees a half-written epoch at all."""
+        from repro import MayBMS, faults
+        from repro.errors import DegradedError
+
+        path, db = self._populated_store(tmp_path)
+        live = db.query("select k from t order by k").rows
+        manifests_before = _manifests(path)
+        faults.arm("segment.write=enospc@1")
+        with pytest.raises(DegradedError):
+            db.checkpoint()
+        faults.disarm()
+        db.close()
+
+        assert _manifests(path) == manifests_before
+        reopened = MayBMS(path=path)
+        assert reopened.query("select k from t order by k").rows == live
+        reopened.close()
+
+    def test_wal_retry_exhaustion_degrades(self, tmp_path, monkeypatch):
+        from repro import MayBMS, faults
+        from repro.errors import DegradedError
+
+        monkeypatch.setenv("REPRO_WAL_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WAL_RETRY_BACKOFF", "0.001")
+        path, db = self._populated_store(tmp_path)
+        # Two attempts (first + one retry), both injected to fail.
+        faults.arm("wal.fsync=error")
+        with pytest.raises(DegradedError, match="WAL append"):
+            db.execute("insert into t values (9, 1.0)")
+        faults.disarm()
+        assert db.storage.degraded
+        assert db.storage.stats()["wal_retries"] == 0  # none succeeded
+        db.close()
+
+    def test_wal_retry_absorbs_single_injected_failure(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import MayBMS, faults
+
+        monkeypatch.setenv("REPRO_WAL_RETRIES", "2")
+        monkeypatch.setenv("REPRO_WAL_RETRY_BACKOFF", "0.001")
+        path, db = self._populated_store(tmp_path)
+        faults.arm("wal.fsync=error@1")
+        db.execute("insert into t values (9, 1.0)")
+        faults.disarm()
+        assert not db.storage.degraded
+        assert db.storage.stats()["wal_retries"] == 1
+        db.close()
+
+        reopened = MayBMS(path=path)
+        assert reopened.query("select k from t where k = 9").rows == [(9,)]
+        reopened.close()
+
+    def test_corrupt_segment_read_during_recovery_falls_back(self, tmp_path):
+        """An injected corrupt read of a newest-epoch segment must push
+        recovery back one epoch, exactly like real on-disk bit rot."""
+        from repro import faults
+
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=2)
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+        manager.checkpoint(catalog, registry)
+        txn = Transaction(catalog, wal)
+        txn.insert("t0", (77, 7.5, "tail"))
+        txn.commit()
+        manager.checkpoint(catalog, registry)
+        manager.close()
+        assert len(_manifests(path)) == 2
+
+        faults.arm("segment.read=corrupt@1")
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered, VariableRegistry())
+        faults.disarm()
+        assert stats["fallbacks"] == 1
+        for name in ("t0", "t1"):
+            assert sorted(recovered.table(name).rows()) == sorted(
+                catalog.table(name).rows()
+            )
+        again.close()
+
+    def test_truncated_segment_read_during_recovery_falls_back(self, tmp_path):
+        from repro import faults
+
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path)
+        catalog = _build_catalog(tables=1)
+        registry = VariableRegistry()
+        wal = WriteAheadLog(sink=manager)
+        manager.checkpoint(catalog, registry)
+        txn = Transaction(catalog, wal)
+        txn.insert("t0", (77, 7.5, "tail"))
+        txn.commit()
+        manager.checkpoint(catalog, registry)
+        manager.close()
+
+        faults.arm("segment.read=truncate@1")
+        recovered = Catalog()
+        again = DurabilityManager(path)
+        stats = again.recover_into(recovered, VariableRegistry())
+        faults.disarm()
+        assert stats["fallbacks"] == 1
+        assert sorted(recovered.table("t0").rows()) == sorted(
+            catalog.table("t0").rows()
+        )
+        again.close()
+
+    def test_group_commit_failure_fails_every_queued_follower(
+        self, tmp_path, monkeypatch
+    ):
+        """When the group-commit leader's write+fsync fails for good, the
+        whole batch is rolled back: every enqueued session's append raises
+        and not one byte of any unit reaches the WAL."""
+        import threading
+
+        from repro import faults
+        from repro.errors import DegradedError, DurabilityError
+
+        monkeypatch.setenv("REPRO_WAL_RETRIES", "0")
+        path = str(tmp_path / "db")
+        manager = DurabilityManager(path, group_commit=True)
+        manager.append([
+            ("begin",),
+            ("create_table", "t", [["x", "INTEGER"]], "standard", {}),
+            ("commit",),
+        ])
+        good_size = os.path.getsize(manager.wal_path)
+
+        faults.arm("wal.fsync=error")
+        outcomes = []
+        outcomes_mutex = threading.Lock()
+
+        def writer(i):
+            try:
+                manager.append([
+                    ("begin",), ("insert", "t", i, [i]), ("commit",),
+                ])
+                result = "ok"
+            except (DegradedError, DurabilityError, OSError) as exc:
+                result = type(exc).__name__
+            with outcomes_mutex:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        faults.disarm()
+
+        assert len(outcomes) == 4
+        assert "ok" not in outcomes, outcomes
+        assert manager.degraded
+        assert os.path.getsize(manager.wal_path) == good_size
+        manager.close()
+
+        # Recovery sees only the priming unit -- nothing from the batch.
+        recovered = Catalog()
+        DurabilityManager(path).recover_into(recovered, VariableRegistry())
+        assert list(recovered.table("t").rows()) == []

@@ -9,7 +9,7 @@ import os
 import pytest
 
 from repro import MayBMS
-from repro.errors import TransactionError
+from repro.errors import DurabilityError, TransactionError
 
 CONF_QUERY = "select k, v, conf() as p from maybe group by k, v order by k, v"
 
@@ -475,15 +475,17 @@ class TestIncrementalCheckpointFacade:
         original = db.storage._write_atomically
         calls = {"n": 0}
 
-        def dies_at_manifest(target, data, fsync_dir=True):
+        def dies_at_manifest(target, data, fsync_dir=True, site=None):
             if target.endswith(".manifest"):
                 raise OSError("simulated power loss at manifest rename")
-            return original(target, data, fsync_dir)
+            return original(target, data, fsync_dir, site=site)
 
         db.storage._write_atomically = dies_at_manifest
-        with pytest.raises(OSError):
+        with pytest.raises(DurabilityError):
             db.storage.commit_checkpoint(capture)
         db.storage._write_atomically = original
+        # The failed commit flips the store read-only; a reopen recovers.
+        assert db.storage.degraded
         db = crash(db)
 
         reopened = MayBMS(path=path)
